@@ -1,0 +1,54 @@
+"""Experiment E5 — Fig. 10: per-feature CNOT-reduction breakdown.
+
+The paper decomposes the overall reduction for UCC-(4,8) (2624 -> 1014 -> 984
+-> ~490 -> 448 CNOTs) and MaxCut-(n20, r8) (320 -> 286 -> 258 -> 129 -> 129)
+into the contributions of recursive tree extraction, commuting-block
+reordering, Clifford absorption and Qiskit local optimization.  The same
+breakdown is produced here with the feature flags of the extractor.
+"""
+
+import pytest
+
+from repro.evaluation.breakdown import feature_breakdown
+from repro.workloads.registry import get_benchmark
+
+from benchmarks.conftest import tier
+
+#: paper Fig. 10 values (CNOT count after each feature)
+PAPER_BREAKDOWN = {
+    "UCC-(4,8)": {
+        "native": 2624,
+        "tree_extraction": 1014,
+        "commutation": 984,
+        "absorption": 492,
+        "local_optimization": 448,
+    },
+    "MaxCut-(n20, r8)": {
+        "native": 320,
+        "tree_extraction": 286,
+        "commutation": 258,
+        "absorption": 129,
+        "local_optimization": 129,
+    },
+}
+
+_WORKLOADS = ["UCC-(4,8)", "MaxCut-(n20, r8)"] if tier() != "small" else ["UCC-(2,6)", "MaxCut-(n15, r4)"]
+
+
+@pytest.mark.parametrize("name", _WORKLOADS)
+def test_fig10_feature_breakdown(benchmark, name):
+    terms = get_benchmark(name).terms()
+
+    breakdown = benchmark.pedantic(feature_breakdown, args=(terms,), rounds=1, iterations=1)
+    paper = PAPER_BREAKDOWN.get(name, {})
+    benchmark.extra_info.update(
+        {
+            "benchmark": name,
+            **{f"measured_{stage}": value for stage, value in breakdown.items()},
+            **{f"paper_{stage}": value for stage, value in paper.items()},
+        }
+    )
+    # The structural shape of the figure: absorption halves the post-extraction
+    # count, and the local pass never increases it.
+    assert breakdown["absorption"] <= breakdown["commutation"]
+    assert breakdown["local_optimization"] <= breakdown["absorption"]

@@ -1,0 +1,58 @@
+"""Experiment E6 — Fig. 11: mapping to devices with limited connectivity.
+
+The paper maps the largest benchmark of each category to a 64-qubit 2-D grid
+(Google Sycamore) and a 65-qubit heavy-hex lattice (IBM Manhattan) and
+compares post-routing CNOT counts.  The default tier uses a mid-size
+benchmark per category so the bench completes quickly; set
+``REPRO_BENCH_TIER=full`` for the paper's exact workload list.
+"""
+
+import pytest
+
+from repro.evaluation.mapping import MAPPED_COMPILERS, compare_mapped_compilers
+from repro.transpile.coupling import CouplingMap
+from repro.workloads.registry import get_benchmark
+
+from benchmarks.conftest import tier
+
+#: paper Fig. 11 CNOT counts on Google Sycamore (subset)
+PAPER_SYCAMORE = {
+    "UCC-(10,20)": {"QuCLEAR": 63222, "qiskit-like": 86486, "tket-like": 197757, "paulihedral-like": 87640},
+    "benzene": {"QuCLEAR": 6302, "qiskit-like": 9123, "tket-like": 9835, "paulihedral-like": 9425},
+    "LABS-(n20)": {"QuCLEAR": 3845, "qiskit-like": 6485, "tket-like": 4550, "paulihedral-like": 6867},
+    "MaxCut-(n20,r12)": {"QuCLEAR": 542, "qiskit-like": 525, "tket-like": 729, "paulihedral-like": 492},
+}
+
+if tier() == "full":
+    _WORKLOADS = ["UCC-(6,12)", "benzene", "LABS-(n20)", "MaxCut-(n20, r12)"]
+elif tier() == "medium":
+    _WORKLOADS = ["UCC-(4,8)", "H2O", "LABS-(n15)", "MaxCut-(n20, r12)"]
+else:
+    _WORKLOADS = ["UCC-(2,6)", "LiH", "LABS-(n10)", "MaxCut-(n15, r4)"]
+
+_DEVICES = {
+    "sycamore": CouplingMap.sycamore,
+    "ibm-manhattan": CouplingMap.ibm_manhattan,
+}
+
+
+@pytest.mark.parametrize("device", sorted(_DEVICES))
+@pytest.mark.parametrize("name", _WORKLOADS)
+def test_fig11_device_mapping(benchmark, name, device):
+    spec = get_benchmark(name)
+    coupling = _DEVICES[device]()
+
+    def run():
+        return compare_mapped_compilers(spec, coupling, compilers=MAPPED_COMPILERS)
+
+    comparison = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "benchmark": name,
+            "device": device,
+            **{
+                f"measured_cx_{compiler}": metrics["cx_count"]
+                for compiler, metrics in comparison.results.items()
+            },
+        }
+    )

@@ -1,0 +1,38 @@
+"""Experiment E1 — Table II: benchmark inventory (qubits, #Pauli, native gates).
+
+For every enabled benchmark the workload generator is run and the native
+(unoptimized) circuit is synthesized; the measured Pauli and CNOT counts are
+stored in ``extra_info`` next to the published numbers so the bench output
+regenerates the table.
+"""
+
+import pytest
+
+from repro.synthesis.trotter import synthesize_trotter_circuit
+from repro.workloads.registry import get_benchmark
+
+from benchmarks.conftest import selected_benchmarks
+
+
+@pytest.mark.parametrize("name", selected_benchmarks())
+def test_table2_native_workload(benchmark, name):
+    spec = get_benchmark(name)
+
+    def build():
+        terms = spec.terms()
+        circuit = synthesize_trotter_circuit(terms)
+        return terms, circuit
+
+    terms, circuit = benchmark.pedantic(build, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "benchmark": name,
+            "category": spec.category,
+            "num_qubits": spec.num_qubits,
+            "paper_num_paulis": spec.paper_num_paulis,
+            "measured_num_paulis": len(terms),
+            "paper_num_cnots": spec.paper_num_cnots,
+            "measured_num_cnots": circuit.cx_count(),
+            "measured_single_qubit": circuit.single_qubit_count(),
+        }
+    )

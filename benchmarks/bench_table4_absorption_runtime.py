@@ -1,0 +1,90 @@
+"""Experiment E3 — Table IV: Clifford Absorption runtime versus the number of
+observables (chemistry workloads) and the number of measured states (QAOA).
+
+The paper reports linear scaling on UCC-(10,20) and MaxCut-(n20, r12); the
+workloads here use the largest benchmarks of the enabled tier so that the
+bench completes in reasonable time while exercising the same code path.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.absorption import ObservableAbsorber, absorb_probabilities
+from repro.core.extraction import CliffordExtractor
+from repro.paulis.pauli import PauliString
+from repro.workloads.registry import get_benchmark
+
+from benchmarks.conftest import tier
+
+#: paper Table IV runtimes in seconds for UCC-(10,20) / MaxCut-(n20, r12)
+PAPER_OBSERVABLE_SECONDS = {10: 0.047, 50: 0.108, 100: 0.210, 500: 1.071, 1000: 2.189}
+PAPER_STATE_SECONDS = {10: 0.002, 50: 0.009, 100: 0.015, 500: 0.079, 1000: 0.156}
+
+_COUNTS = [10, 50, 100, 500, 1000] if tier() != "small" else [10, 50, 100]
+
+_OBSERVABLE_BENCHMARK = "UCC-(4,8)" if tier() != "full" else "UCC-(6,12)"
+_STATE_BENCHMARK = "MaxCut-(n20, r12)" if tier() != "small" else "MaxCut-(n15, r4)"
+
+
+def _random_observables(num_qubits: int, count: int, seed: int = 5) -> list[PauliString]:
+    rng = np.random.default_rng(seed)
+    observables = []
+    for _ in range(count):
+        label = "".join(rng.choice(list("IXYZ")) for _ in range(num_qubits))
+        if set(label) == {"I"}:
+            label = "Z" + label[1:]
+        observables.append(PauliString.from_label(label))
+    return observables
+
+
+@pytest.fixture(scope="module")
+def chemistry_extraction():
+    terms = get_benchmark(_OBSERVABLE_BENCHMARK).terms()
+    return CliffordExtractor().extract(terms)
+
+
+@pytest.fixture(scope="module")
+def qaoa_extraction():
+    terms = get_benchmark(_STATE_BENCHMARK).terms()
+    return CliffordExtractor().extract(terms)
+
+
+@pytest.mark.parametrize("count", _COUNTS)
+def test_table4_observable_absorption(benchmark, chemistry_extraction, count):
+    observables = _random_observables(chemistry_extraction.num_qubits, count)
+    absorber = ObservableAbsorber(chemistry_extraction.conjugation)
+
+    result = benchmark(absorber.absorb_all, observables)
+    assert len(result) == count
+    benchmark.extra_info.update(
+        {
+            "mode": "observables",
+            "benchmark": _OBSERVABLE_BENCHMARK,
+            "count": count,
+            "paper_seconds_ucc_10_20": PAPER_OBSERVABLE_SECONDS.get(count),
+        }
+    )
+
+
+@pytest.mark.parametrize("count", _COUNTS)
+def test_table4_state_absorption(benchmark, qaoa_extraction, count):
+    absorber = absorb_probabilities(qaoa_extraction)
+    rng = np.random.default_rng(9)
+    num_qubits = qaoa_extraction.num_qubits
+    counts = {}
+    while len(counts) < count:
+        bitstring = "".join(rng.choice(["0", "1"]) for _ in range(num_qubits))
+        counts[bitstring] = int(rng.integers(1, 50))
+
+    remapped = benchmark(absorber.map_counts, counts)
+    assert sum(remapped.values()) == sum(counts.values())
+    benchmark.extra_info.update(
+        {
+            "mode": "states",
+            "benchmark": _STATE_BENCHMARK,
+            "count": count,
+            "paper_seconds_maxcut_n20_r12": PAPER_STATE_SECONDS.get(count),
+        }
+    )

@@ -1,0 +1,34 @@
+"""Shared configuration for the benchmark harness.
+
+Benchmark tiers
+---------------
+The full benchmark suite of the paper includes workloads with > 13 000 Pauli
+strings whose pure-Python compilation takes minutes to hours.  The harness
+therefore runs in tiers selected with the ``REPRO_BENCH_TIER`` environment
+variable:
+
+* ``small``  — sub-second workloads only (default on CI),
+* ``medium`` — everything that compiles in a few seconds (the default here),
+* ``full``   — all 19 benchmarks of Table II.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.workloads.registry import MEDIUM_BENCHMARKS, SMALL_BENCHMARKS, benchmark_names
+
+_TIER = os.environ.get("REPRO_BENCH_TIER", "medium").lower()
+
+
+def selected_benchmarks() -> list[str]:
+    """Benchmark names enabled for the current tier."""
+    if _TIER == "small":
+        return list(SMALL_BENCHMARKS)
+    if _TIER == "full":
+        return benchmark_names()
+    return list(MEDIUM_BENCHMARKS)
+
+
+def tier() -> str:
+    return _TIER

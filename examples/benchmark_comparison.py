@@ -1,0 +1,38 @@
+"""Compiler comparison on a few Table II benchmarks (a mini Table III).
+
+Runs QuCLEAR and the re-implemented baselines on a handful of benchmarks and
+prints CNOT count, entangling depth and compile time per compiler.
+
+Run with:  python examples/benchmark_comparison.py [benchmark ...]
+"""
+
+import sys
+
+from repro.evaluation.comparison import compare_on_benchmark
+from repro.evaluation.reporting import format_table
+
+DEFAULT_BENCHMARKS = ["UCC-(2,4)", "UCC-(2,6)", "LiH", "LABS-(n10)", "MaxCut-(n15, r4)"]
+
+
+def main(benchmarks: list[str]) -> None:
+    rows = []
+    for name in benchmarks:
+        comparison = compare_on_benchmark(name)
+        for compiler, metrics in comparison.results.items():
+            rows.append(
+                {
+                    "benchmark": name,
+                    "compiler": compiler,
+                    "cx": int(metrics["cx_count"]),
+                    "entangling_depth": int(metrics["entangling_depth"]),
+                    "compile_s": metrics["compile_seconds"],
+                }
+            )
+        best = comparison.best_compiler("cx_count")
+        print(f"{name}: fewest CNOTs -> {best}")
+    print()
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:] or DEFAULT_BENCHMARKS)

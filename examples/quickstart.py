@@ -1,0 +1,53 @@
+"""Quickstart: optimize a small quantum-simulation circuit with QuCLEAR.
+
+Reproduces the paper's motivating example (Fig. 2): the two-term program
+``exp(-i t1/2 ZZZZ) exp(-i t2/2 YYXX)`` costs 12 CNOTs when synthesized
+directly, but Clifford Extraction plus Absorption leaves a much smaller
+circuit on the quantum device.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import PauliTerm, QuCLEAR
+from repro.circuits.statevector import circuits_equivalent
+from repro.synthesis.trotter import synthesize_trotter_circuit
+
+
+def main() -> None:
+    terms = [
+        PauliTerm.from_label("ZZZZ", 0.31),
+        PauliTerm.from_label("YYXX", 0.52),
+    ]
+
+    native = synthesize_trotter_circuit(terms)
+    print("Native circuit:")
+    print(f"  CNOTs            : {native.cx_count()}")
+    print(f"  entangling depth : {native.entangling_depth()}")
+
+    result = QuCLEAR().compile(terms)
+    print("\nQuCLEAR-optimized circuit (what runs on hardware):")
+    print(f"  CNOTs            : {result.cx_count()}")
+    print(f"  entangling depth : {result.entangling_depth()}")
+    print(f"  extracted tail   : {result.extracted_clifford.cx_count()} CNOTs handled classically")
+
+    # The optimized circuit followed by the extracted Clifford tail implements
+    # exactly the original unitary.
+    reconstructed = result.circuit.compose(result.extracted_clifford)
+    print("\nEquivalence check (optimized + tail == original):", end=" ")
+    print("PASS" if circuits_equivalent(native, reconstructed) else "FAIL")
+
+    # For expectation-value workloads the tail never has to run: it is folded
+    # into the measured observable instead.
+    from repro import PauliString
+
+    observable = PauliString.from_label("XXZZ")
+    absorbed = result.absorb_observables([observable])[0]
+    print(
+        f"\nObservable {observable.to_label()} becomes "
+        f"{'-' if absorbed.sign < 0 else ''}{absorbed.updated.to_label()} "
+        "after absorbing the Clifford tail."
+    )
+
+
+if __name__ == "__main__":
+    main()

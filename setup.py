@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs also work on
+environments whose setuptools/pip versions predate PEP 660 wheel-based
+editable installs (no ``wheel`` package available offline).
+"""
+
+from setuptools import setup
+
+setup()

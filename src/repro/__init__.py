@@ -1,0 +1,57 @@
+"""Reproduction of *QuCLEAR: Clifford Extraction and Absorption for Quantum
+Circuit Optimization* (HPCA 2025).
+
+The public API re-exports the pieces a downstream user needs most often:
+
+* :class:`QuCLEAR` — the end-to-end compiler (Clifford Extraction + local
+  optimization + Clifford Absorption helpers).
+* :class:`PauliString`, :class:`PauliTerm`, :class:`SparsePauliSum` — the
+  Pauli-string program representation.
+* :class:`QuantumCircuit`, :class:`Statevector` — the circuit substrate.
+* :mod:`repro.workloads` — the benchmark workload generators of Table II.
+* :mod:`repro.baselines` — re-implementations of the comparison compilers.
+
+Quick start::
+
+    from repro import QuCLEAR, PauliTerm
+
+    terms = [PauliTerm.from_label("ZZZZ", 0.3), PauliTerm.from_label("YYXX", 0.5)]
+    result = QuCLEAR().compile(terms)
+    print(result.cx_count(), "CNOTs instead of", 12)
+"""
+
+from repro.circuits import Gate, QuantumCircuit, Statevector
+from repro.clifford import CliffordTableau, StabilizerState
+from repro.core import (
+    CliffordExtractor,
+    CompilationResult,
+    ExtractionResult,
+    ObservableAbsorber,
+    ProbabilityAbsorber,
+    QuCLEAR,
+    absorb_observables,
+    absorb_probabilities,
+)
+from repro.paulis import PauliString, PauliTerm, SparsePauliSum
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Gate",
+    "QuantumCircuit",
+    "Statevector",
+    "CliffordTableau",
+    "StabilizerState",
+    "CliffordExtractor",
+    "CompilationResult",
+    "ExtractionResult",
+    "ObservableAbsorber",
+    "ProbabilityAbsorber",
+    "QuCLEAR",
+    "absorb_observables",
+    "absorb_probabilities",
+    "PauliString",
+    "PauliTerm",
+    "SparsePauliSum",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Name-indexed access to every baseline compiler."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.baselines.naive import compile_naive, compile_qiskit_like
+from repro.baselines.paulihedral import compile_paulihedral_like
+from repro.baselines.result import BaselineResult
+from repro.baselines.rustiq import compile_rustiq_like
+from repro.baselines.tket import compile_tket_like
+from repro.exceptions import WorkloadError
+from repro.paulis.term import PauliTerm
+
+#: every baseline compiler used by the evaluation harness, keyed by the short
+#: name that appears in the benchmark output tables
+BASELINE_COMPILERS: dict[str, Callable[[Sequence[PauliTerm]], BaselineResult]] = {
+    "naive": compile_naive,
+    "qiskit-like": compile_qiskit_like,
+    "paulihedral-like": compile_paulihedral_like,
+    "tket-like": compile_tket_like,
+    "rustiq-like": compile_rustiq_like,
+}
+
+
+def compile_with(name: str, terms: Sequence[PauliTerm]) -> BaselineResult:
+    """Run the baseline compiler called ``name`` on ``terms``."""
+    try:
+        compiler = BASELINE_COMPILERS[name]
+    except KeyError as error:
+        raise WorkloadError(
+            f"unknown baseline {name!r}; available: {sorted(BASELINE_COMPILERS)}"
+        ) from error
+    return compiler(terms)

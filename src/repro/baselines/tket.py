@@ -1,0 +1,38 @@
+"""T|ket>-style baseline: phase-gadget synthesis with balanced parity trees.
+
+T|ket> compiles exponentiated Pauli strings as phase gadgets (Cowtan et al.,
+2019), pairing and diagonalizing commuting gadgets and synthesizing the
+parity logic with balanced trees before running its Clifford peephole
+simplification.  The re-implementation keeps the two ingredients that matter
+for the gate-count comparison: balanced (logarithmic-depth) parity trees per
+gadget and a local rewriting pass over the concatenated circuit, with
+commuting gadgets ordered to maximise adjacent cancellation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.baselines.paulihedral import _order_block
+from repro.baselines.result import BaselineResult
+from repro.core.commuting import convert_commute_sets
+from repro.paulis.term import PauliTerm
+from repro.synthesis.trotter import synthesize_trotter_circuit
+from repro.transpile.peephole import peephole_optimize
+
+
+def compile_tket_like(terms: Sequence[PauliTerm]) -> BaselineResult:
+    """Phase-gadget synthesis with balanced trees and local rewriting."""
+    term_list = list(terms)
+    start = time.perf_counter()
+    blocks = [_order_block(block) for block in convert_commute_sets(term_list)]
+    ordered = [term for block in blocks for term in block]
+    circuit = synthesize_trotter_circuit(ordered, tree="balanced")
+    optimized = peephole_optimize(circuit)
+    return BaselineResult(
+        name="tket-like",
+        circuit=optimized,
+        compile_seconds=time.perf_counter() - start,
+        metadata={"num_blocks": len(blocks), "pre_optimization_cx": circuit.cx_count()},
+    )

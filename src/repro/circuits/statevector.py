@@ -1,0 +1,186 @@
+"""Dense statevector simulation for correctness checks and small workloads.
+
+The simulator uses the little-endian convention: basis index ``b`` has qubit 0
+as the least-significant bit.  It is intended for up to roughly 20 qubits
+(QAOA workloads) and forms the ground truth for every equivalence test in the
+test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gate import Gate
+from repro.exceptions import CircuitError
+from repro.paulis.pauli import PauliString
+from repro.paulis.sum import SparsePauliSum
+
+
+class Statevector:
+    """A dense complex state vector on ``num_qubits`` qubits."""
+
+    def __init__(self, num_qubits: int, data: np.ndarray | None = None):
+        self.num_qubits = int(num_qubits)
+        dimension = 1 << self.num_qubits
+        if data is None:
+            self.data = np.zeros(dimension, dtype=complex)
+            self.data[0] = 1.0
+        else:
+            data = np.asarray(data, dtype=complex)
+            if data.shape != (dimension,):
+                raise CircuitError(
+                    f"statevector data must have length {dimension}, got {data.shape}"
+                )
+            self.data = data.copy()
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_circuit(cls, circuit: QuantumCircuit) -> "Statevector":
+        """Simulate ``circuit`` starting from ``|0...0>``."""
+        state = cls(circuit.num_qubits)
+        state.apply_circuit(circuit)
+        return state
+
+    def copy(self) -> "Statevector":
+        return Statevector(self.num_qubits, self.data)
+
+    # ------------------------------------------------------------------ #
+    # Evolution
+    # ------------------------------------------------------------------ #
+    def apply_gate(self, gate: Gate) -> None:
+        matrix = gate.matrix()
+        if gate.num_qubits == 1:
+            self._apply_single(matrix, gate.qubits[0])
+        elif gate.num_qubits == 2:
+            self._apply_two(matrix, gate.qubits[0], gate.qubits[1])
+        else:
+            raise CircuitError(f"unsupported gate arity for {gate!r}")
+
+    def apply_circuit(self, circuit: QuantumCircuit) -> None:
+        if circuit.num_qubits != self.num_qubits:
+            raise CircuitError("circuit and statevector qubit counts differ")
+        for gate in circuit:
+            self.apply_gate(gate)
+
+    def _apply_single(self, matrix: np.ndarray, qubit: int) -> None:
+        tensor = self.data.reshape([2] * self.num_qubits)
+        axis = self.num_qubits - 1 - qubit
+        tensor = np.moveaxis(tensor, axis, 0)
+        shape = tensor.shape
+        tensor = matrix @ tensor.reshape(2, -1)
+        tensor = tensor.reshape(shape)
+        self.data = np.moveaxis(tensor, 0, axis).reshape(-1)
+
+    def _apply_two(self, matrix: np.ndarray, qubit_a: int, qubit_b: int) -> None:
+        # The 4x4 matrices in GATE_DEFINITIONS are little-endian: index
+        # ordering |q_b q_a> with qubit_a the first listed qubit as the least
+        # significant bit.
+        tensor = self.data.reshape([2] * self.num_qubits)
+        axis_a = self.num_qubits - 1 - qubit_a
+        axis_b = self.num_qubits - 1 - qubit_b
+        tensor = np.moveaxis(tensor, [axis_b, axis_a], [0, 1])
+        shape = tensor.shape
+        tensor = matrix @ tensor.reshape(4, -1)
+        tensor = tensor.reshape(shape)
+        self.data = np.moveaxis(tensor, [0, 1], [axis_b, axis_a]).reshape(-1)
+
+    # ------------------------------------------------------------------ #
+    # Measurement and expectation values
+    # ------------------------------------------------------------------ #
+    def probabilities(self) -> np.ndarray:
+        """Probability of each computational-basis state."""
+        return np.abs(self.data) ** 2
+
+    def probability_dict(self, tolerance: float = 1e-12) -> dict[str, float]:
+        """Non-negligible basis-state probabilities keyed by bitstring.
+
+        Bitstrings are written with qubit 0 as the rightmost character.
+        """
+        probabilities = self.probabilities()
+        result: dict[str, float] = {}
+        for index, probability in enumerate(probabilities):
+            if probability > tolerance:
+                result[format(index, f"0{self.num_qubits}b")] = float(probability)
+        return result
+
+    def sample_counts(self, shots: int, seed: int | None = None) -> dict[str, int]:
+        """Sample measurement outcomes in the computational basis."""
+        rng = np.random.default_rng(seed)
+        probabilities = self.probabilities()
+        probabilities = probabilities / probabilities.sum()
+        outcomes = rng.choice(len(probabilities), size=shots, p=probabilities)
+        counts: dict[str, int] = {}
+        for outcome in outcomes:
+            key = format(int(outcome), f"0{self.num_qubits}b")
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def expectation_value(self, observable: PauliString | SparsePauliSum) -> float:
+        """Exact expectation value of a Pauli string or a weighted sum."""
+        if isinstance(observable, SparsePauliSum):
+            return float(
+                sum(
+                    term.coefficient * self.expectation_value(term.pauli)
+                    for term in observable
+                )
+            )
+        transformed = self._apply_pauli(observable)
+        return float(np.real(np.vdot(self.data, transformed)))
+
+    def _apply_pauli(self, pauli: PauliString) -> np.ndarray:
+        if pauli.num_qubits != self.num_qubits:
+            raise CircuitError("Pauli and statevector qubit counts differ")
+        result = self.data
+        scratch = Statevector(self.num_qubits, result)
+        for qubit in range(self.num_qubits):
+            letter = pauli.letter(qubit)
+            if letter != "I":
+                scratch._apply_single(
+                    {"X": np.array([[0, 1], [1, 0]], dtype=complex),
+                     "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+                     "Z": np.array([[1, 0], [0, -1]], dtype=complex)}[letter],
+                    qubit,
+                )
+        return complex(pauli.sign) * scratch.data
+
+    # ------------------------------------------------------------------ #
+    # Comparison helpers (used heavily by the tests)
+    # ------------------------------------------------------------------ #
+    def equiv(self, other: "Statevector", tolerance: float = 1e-9) -> bool:
+        """True when the two states agree up to a global phase."""
+        if self.num_qubits != other.num_qubits:
+            return False
+        overlap = np.vdot(self.data, other.data)
+        return bool(abs(abs(overlap) - 1.0) < tolerance)
+
+
+def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
+    """Dense unitary matrix of a circuit (small qubit counts only)."""
+    dimension = 1 << circuit.num_qubits
+    columns = []
+    for basis in range(dimension):
+        data = np.zeros(dimension, dtype=complex)
+        data[basis] = 1.0
+        state = Statevector(circuit.num_qubits, data)
+        state.apply_circuit(circuit)
+        columns.append(state.data)
+    return np.stack(columns, axis=1)
+
+
+def circuits_equivalent(
+    first: QuantumCircuit, second: QuantumCircuit, tolerance: float = 1e-8
+) -> bool:
+    """True when two circuits implement the same unitary up to global phase."""
+    if first.num_qubits != second.num_qubits:
+        return False
+    unitary_first = circuit_unitary(first)
+    unitary_second = circuit_unitary(second)
+    product = unitary_second.conj().T @ unitary_first
+    phase = product[0, 0]
+    if abs(abs(phase) - 1.0) > tolerance:
+        return False
+    dimension = product.shape[0]
+    return bool(np.allclose(product, phase * np.eye(dimension), atol=tolerance))

@@ -1,0 +1,18 @@
+"""Stabilizer / Clifford substrate.
+
+Provides the gate-wise Pauli conjugation rules, the Aaronson–Gottesman style
+:class:`CliffordTableau` used by Clifford Extraction and Absorption, and a
+CHP-style :class:`StabilizerState` simulator used to verify and sample
+Clifford circuits.
+"""
+
+from repro.clifford.conjugation import conjugate_pauli_by_gate, conjugate_pauli_by_circuit
+from repro.clifford.tableau import CliffordTableau
+from repro.clifford.stabilizer import StabilizerState
+
+__all__ = [
+    "conjugate_pauli_by_gate",
+    "conjugate_pauli_by_circuit",
+    "CliffordTableau",
+    "StabilizerState",
+]

@@ -1,0 +1,193 @@
+"""CHP-style stabilizer-state simulator (Aaronson & Gottesman, 2004).
+
+Used to simulate and sample Clifford circuits in polynomial time.  The
+simulator follows the standard tableau layout with ``n`` destabilizer rows,
+``n`` stabilizer rows and a sign bit per row.  It supports the Clifford gate
+set of this package plus computational-basis measurement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gate import Gate
+from repro.exceptions import CliffordError
+
+
+class StabilizerState:
+    """A stabilizer state on ``num_qubits`` qubits, initialised to ``|0...0>``."""
+
+    def __init__(self, num_qubits: int, seed: int | None = None):
+        self.num_qubits = int(num_qubits)
+        if self.num_qubits < 1:
+            raise CliffordError("a stabilizer state needs at least one qubit")
+        rows = 2 * self.num_qubits
+        # Row i < n: destabilizers (X_i); row n + i: stabilizers (Z_i).
+        self.x = np.zeros((rows, self.num_qubits), dtype=bool)
+        self.z = np.zeros((rows, self.num_qubits), dtype=bool)
+        self.r = np.zeros(rows, dtype=bool)
+        for qubit in range(self.num_qubits):
+            self.x[qubit, qubit] = True
+            self.z[self.num_qubits + qubit, qubit] = True
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    # Gate application
+    # ------------------------------------------------------------------ #
+    def apply_gate(self, gate: Gate) -> None:
+        name = gate.name
+        if name == "i":
+            return
+        if name == "h":
+            self._h(gate.qubits[0])
+        elif name == "s":
+            self._s(gate.qubits[0])
+        elif name == "sdg":
+            self._s(gate.qubits[0])
+            self._s(gate.qubits[0])
+            self._s(gate.qubits[0])
+        elif name == "x":
+            self._h(gate.qubits[0])
+            self._s(gate.qubits[0])
+            self._s(gate.qubits[0])
+            self._h(gate.qubits[0])
+        elif name == "z":
+            self._s(gate.qubits[0])
+            self._s(gate.qubits[0])
+        elif name == "y":
+            self.apply_gate(Gate("z", gate.qubits))
+            self.apply_gate(Gate("x", gate.qubits))
+        elif name == "sx":
+            self._h(gate.qubits[0])
+            self._s(gate.qubits[0])
+            self._h(gate.qubits[0])
+        elif name == "sxdg":
+            self._h(gate.qubits[0])
+            self.apply_gate(Gate("sdg", gate.qubits))
+            self._h(gate.qubits[0])
+        elif name == "cx":
+            self._cx(gate.qubits[0], gate.qubits[1])
+        elif name == "cz":
+            self._h(gate.qubits[1])
+            self._cx(gate.qubits[0], gate.qubits[1])
+            self._h(gate.qubits[1])
+        elif name == "swap":
+            self._cx(gate.qubits[0], gate.qubits[1])
+            self._cx(gate.qubits[1], gate.qubits[0])
+            self._cx(gate.qubits[0], gate.qubits[1])
+        else:
+            raise CliffordError(f"gate {name!r} is not supported by the stabilizer simulator")
+
+    def apply_circuit(self, circuit: QuantumCircuit) -> None:
+        if circuit.num_qubits != self.num_qubits:
+            raise CliffordError("circuit and state qubit counts differ")
+        for gate in circuit:
+            self.apply_gate(gate)
+
+    def _h(self, qubit: int) -> None:
+        self.r ^= self.x[:, qubit] & self.z[:, qubit]
+        self.x[:, qubit], self.z[:, qubit] = (
+            self.z[:, qubit].copy(),
+            self.x[:, qubit].copy(),
+        )
+
+    def _s(self, qubit: int) -> None:
+        self.r ^= self.x[:, qubit] & self.z[:, qubit]
+        self.z[:, qubit] ^= self.x[:, qubit]
+
+    def _cx(self, control: int, target: int) -> None:
+        self.r ^= (
+            self.x[:, control]
+            & self.z[:, target]
+            & (self.x[:, target] ^ self.z[:, control] ^ True)
+        )
+        self.x[:, target] ^= self.x[:, control]
+        self.z[:, control] ^= self.z[:, target]
+
+    # ------------------------------------------------------------------ #
+    # Row arithmetic (the "rowsum" of Aaronson & Gottesman)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _g(x1: np.ndarray, z1: np.ndarray, x2: np.ndarray, z2: np.ndarray) -> int:
+        """Exponent of ``i`` produced when multiplying the two rows, per AG04."""
+        x1i = x1.astype(np.int64)
+        z1i = z1.astype(np.int64)
+        x2i = x2.astype(np.int64)
+        z2i = z2.astype(np.int64)
+        contributions = np.zeros_like(x1i)
+        # case x1=1, z1=1 (Y): g = z2 - x2
+        mask_y = (x1i == 1) & (z1i == 1)
+        contributions[mask_y] = z2i[mask_y] - x2i[mask_y]
+        # case x1=1, z1=0 (X): g = z2 * (2*x2 - 1)
+        mask_x = (x1i == 1) & (z1i == 0)
+        contributions[mask_x] = z2i[mask_x] * (2 * x2i[mask_x] - 1)
+        # case x1=0, z1=1 (Z): g = x2 * (1 - 2*z2)
+        mask_z = (x1i == 0) & (z1i == 1)
+        contributions[mask_z] = x2i[mask_z] * (1 - 2 * z2i[mask_z])
+        return int(np.sum(contributions))
+
+    def _rowsum(self, target: int, source: int) -> None:
+        """Set row ``target`` to the product row ``source`` * row ``target``."""
+        exponent = (
+            2 * int(self.r[target]) + 2 * int(self.r[source])
+            + self._g(self.x[source], self.z[source], self.x[target], self.z[target])
+        )
+        exponent %= 4
+        self.r[target] = exponent == 2
+        self.x[target] ^= self.x[source]
+        self.z[target] ^= self.z[source]
+
+    # ------------------------------------------------------------------ #
+    # Measurement
+    # ------------------------------------------------------------------ #
+    def measure(self, qubit: int) -> int:
+        """Measure ``qubit`` in the computational basis, collapsing the state."""
+        n = self.num_qubits
+        stabilizer_rows = np.nonzero(self.x[n:, qubit])[0]
+        if stabilizer_rows.size > 0:
+            # Random outcome.
+            pivot = int(stabilizer_rows[0]) + n
+            for row in range(2 * n):
+                if row != pivot and self.x[row, qubit]:
+                    self._rowsum(row, pivot)
+            self.x[pivot - n] = self.x[pivot]
+            self.z[pivot - n] = self.z[pivot]
+            self.r[pivot - n] = self.r[pivot]
+            outcome = int(self._rng.integers(0, 2))
+            self.x[pivot] = False
+            self.z[pivot] = False
+            self.z[pivot, qubit] = True
+            self.r[pivot] = bool(outcome)
+            return outcome
+        # Deterministic outcome: accumulate into a scratch row.
+        scratch_x = np.zeros(n, dtype=bool)
+        scratch_z = np.zeros(n, dtype=bool)
+        scratch_r = 0
+        for destabilizer in range(n):
+            if self.x[destabilizer, qubit]:
+                stabilizer = destabilizer + n
+                exponent = (
+                    2 * scratch_r + 2 * int(self.r[stabilizer])
+                    + self._g(self.x[stabilizer], self.z[stabilizer], scratch_x, scratch_z)
+                )
+                exponent %= 4
+                scratch_r = 1 if exponent == 2 else 0
+                scratch_x ^= self.x[stabilizer]
+                scratch_z ^= self.z[stabilizer]
+        return int(scratch_r)
+
+    def measure_all(self) -> str:
+        """Measure every qubit; returns the bitstring with qubit 0 rightmost."""
+        bits = [self.measure(qubit) for qubit in range(self.num_qubits)]
+        return "".join(str(bit) for bit in reversed(bits))
+
+    def sample_counts(self, circuit: QuantumCircuit, shots: int) -> dict[str, int]:
+        """Sample ``shots`` measurement outcomes of ``circuit`` from ``|0...0>``."""
+        counts: dict[str, int] = {}
+        for _ in range(shots):
+            fresh = StabilizerState(self.num_qubits, seed=int(self._rng.integers(0, 2**31)))
+            fresh.apply_circuit(circuit)
+            key = fresh.measure_all()
+            counts[key] = counts.get(key, 0) + 1
+        return counts

@@ -1,0 +1,149 @@
+"""Aaronson–Gottesman style Clifford tableau.
+
+The tableau stores, for an n-qubit Clifford unitary ``U``, the images of the
+single-qubit generators under Heisenberg evolution::
+
+    row 2q     =  U X_q U†
+    row 2q + 1 =  U Z_q U†
+
+Each row is a Pauli in the explicit-phase convention of
+:class:`repro.paulis.PauliString` (exponent of ``i`` modulo 4).  The tableau
+supports appending Clifford gates (the map then represents the grown circuit)
+and conjugating arbitrary Pauli strings in ``O(n * weight)`` time, which is
+the operation QuCLEAR's Clifford Extraction and Absorption modules rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gate import Gate
+from repro.clifford.conjugation import apply_gate_to_rows
+from repro.exceptions import CliffordError
+from repro.paulis.pauli import PauliString
+
+
+class CliffordTableau:
+    """The conjugation map ``P -> U P U†`` of a Clifford unitary ``U``."""
+
+    def __init__(self, num_qubits: int):
+        self.num_qubits = int(num_qubits)
+        if self.num_qubits < 1:
+            raise CliffordError("a tableau needs at least one qubit")
+        rows = 2 * self.num_qubits
+        self._x = np.zeros((rows, self.num_qubits), dtype=bool)
+        self._z = np.zeros((rows, self.num_qubits), dtype=bool)
+        self._phase = np.zeros(rows, dtype=np.int64)
+        for qubit in range(self.num_qubits):
+            self._x[2 * qubit, qubit] = True
+            self._z[2 * qubit + 1, qubit] = True
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def identity(cls, num_qubits: int) -> "CliffordTableau":
+        return cls(num_qubits)
+
+    @classmethod
+    def from_circuit(cls, circuit: QuantumCircuit) -> "CliffordTableau":
+        """Tableau of a Clifford circuit (raises on non-Clifford gates)."""
+        tableau = cls(circuit.num_qubits)
+        for gate in circuit:
+            tableau.append_gate(gate)
+        return tableau
+
+    def copy(self) -> "CliffordTableau":
+        clone = CliffordTableau(self.num_qubits)
+        clone._x = self._x.copy()
+        clone._z = self._z.copy()
+        clone._phase = self._phase.copy()
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # Growing the represented Clifford
+    # ------------------------------------------------------------------ #
+    def append_gate(self, gate: Gate) -> None:
+        """Grow the circuit by one gate: the map becomes ``P -> g U P U† g†``."""
+        if not gate.is_clifford:
+            raise CliffordError(f"gate {gate.name!r} is not Clifford")
+        apply_gate_to_rows(self._x, self._z, self._phase, gate)
+
+    def append_circuit(self, circuit: QuantumCircuit) -> None:
+        """Append every gate of ``circuit`` in time order."""
+        if circuit.num_qubits != self.num_qubits:
+            raise CliffordError("circuit and tableau qubit counts differ")
+        for gate in circuit:
+            self.append_gate(gate)
+
+    # ------------------------------------------------------------------ #
+    # Row access
+    # ------------------------------------------------------------------ #
+    def image_of_x(self, qubit: int) -> PauliString:
+        """The image ``U X_qubit U†``."""
+        row = 2 * qubit
+        return PauliString(self._x[row], self._z[row], int(self._phase[row]))
+
+    def image_of_z(self, qubit: int) -> PauliString:
+        """The image ``U Z_qubit U†``."""
+        row = 2 * qubit + 1
+        return PauliString(self._x[row], self._z[row], int(self._phase[row]))
+
+    def is_identity(self) -> bool:
+        """True when the tableau represents conjugation by the identity (up to phase)."""
+        reference = CliffordTableau(self.num_qubits)
+        return (
+            bool(np.array_equal(self._x, reference._x))
+            and bool(np.array_equal(self._z, reference._z))
+            and bool(np.array_equal(self._phase % 4, reference._phase))
+        )
+
+    # ------------------------------------------------------------------ #
+    # Conjugation of arbitrary Paulis
+    # ------------------------------------------------------------------ #
+    def conjugate(self, pauli: PauliString) -> PauliString:
+        """Return ``U P U†`` for an arbitrary Pauli string ``P``."""
+        if pauli.num_qubits != self.num_qubits:
+            raise CliffordError("Pauli and tableau qubit counts differ")
+        # P = i^phase * prod_q X_q^{x_q} Z_q^{z_q}; conjugation is a
+        # homomorphism, so the image is the ordered product of row images.
+        result_x = np.zeros(self.num_qubits, dtype=bool)
+        result_z = np.zeros(self.num_qubits, dtype=bool)
+        result_phase = int(pauli.phase)
+        for qubit in range(self.num_qubits):
+            if pauli.x[qubit]:
+                row = 2 * qubit
+                result_phase += int(self._phase[row])
+                result_phase += 2 * int(np.count_nonzero(result_z & self._x[row]))
+                result_x ^= self._x[row]
+                result_z ^= self._z[row]
+            if pauli.z[qubit]:
+                row = 2 * qubit + 1
+                result_phase += int(self._phase[row])
+                result_phase += 2 * int(np.count_nonzero(result_z & self._x[row]))
+                result_x ^= self._x[row]
+                result_z ^= self._z[row]
+        return PauliString(result_x, result_z, result_phase % 4)
+
+    def conjugate_many(self, paulis: list[PauliString]) -> list[PauliString]:
+        """Conjugate a list of Paulis (convenience wrapper)."""
+        return [self.conjugate(p) for p in paulis]
+
+    # ------------------------------------------------------------------ #
+    # Structure queries used by Clifford Absorption
+    # ------------------------------------------------------------------ #
+    def x_block(self) -> np.ndarray:
+        """The 2n x n boolean matrix of X components of every row."""
+        return self._x.copy()
+
+    def z_block(self) -> np.ndarray:
+        """The 2n x n boolean matrix of Z components of every row."""
+        return self._z.copy()
+
+    def phases(self) -> np.ndarray:
+        """Phase exponents (of ``i``) of every row."""
+        return self._phase.copy() % 4
+
+    def __repr__(self) -> str:
+        return f"CliffordTableau(num_qubits={self.num_qubits})"

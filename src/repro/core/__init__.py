@@ -1,0 +1,43 @@
+"""The paper's primary contribution: Clifford Extraction and Absorption.
+
+* :mod:`repro.core.commuting` — partitioning a Pauli sequence into blocks of
+  mutually commuting strings (the reordering scope of Algorithm 2).
+* :mod:`repro.core.tree_synthesis` — the recursive CNOT-tree synthesis
+  heuristic (Algorithm 1).
+* :mod:`repro.core.extraction` — the Clifford Extraction pass (Algorithm 2).
+* :mod:`repro.core.absorption` — Clifford Absorption for observable and
+  probability measurements (CA-Pre / CA-Post).
+* :mod:`repro.core.framework` — the end-to-end :class:`QuCLEAR` compiler.
+"""
+
+from repro.core.commuting import convert_commute_sets
+from repro.core.extraction import CliffordExtractor, ExtractionResult
+from repro.core.absorption import (
+    AbsorbedObservable,
+    ObservableAbsorber,
+    ProbabilityAbsorber,
+    absorb_observables,
+    absorb_probabilities,
+)
+from repro.core.framework import QuCLEAR, CompilationResult
+from repro.core.measurement_grouping import (
+    MeasurementGroup,
+    group_observables,
+    measurement_savings,
+)
+
+__all__ = [
+    "MeasurementGroup",
+    "group_observables",
+    "measurement_savings",
+    "convert_commute_sets",
+    "CliffordExtractor",
+    "ExtractionResult",
+    "AbsorbedObservable",
+    "ObservableAbsorber",
+    "ProbabilityAbsorber",
+    "absorb_observables",
+    "absorb_probabilities",
+    "QuCLEAR",
+    "CompilationResult",
+]

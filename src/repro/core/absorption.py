@@ -1,0 +1,263 @@
+"""Clifford Absorption (CA-Pre and CA-Post modules of the paper).
+
+Two absorption modes are provided, matching the two measurement styles of the
+paper's workloads:
+
+* **Observable absorption** (VQE / Hamiltonian simulation): the extracted
+  Clifford tail ``U_CL`` is folded into every measured Pauli observable,
+  ``O' = U_CL† O U_CL``.  CA-Pre builds the measurement-basis rotation that
+  has to be appended to the optimized circuit; CA-Post converts the measured
+  bitstring histogram back into the expectation value of the *original*
+  observable.
+
+* **Probability absorption** (QAOA): for problem Hamiltonians made of
+  ``Z``/``I`` strings and an ``X`` mixer, the extracted tail reduces to one
+  layer of Hadamards followed by a CNOT network (Proposition 1).  CA-Pre
+  appends only the Hadamard layer; CA-Post remaps every measured bitstring
+  through the GF(2) affine map of the CNOT network, recovering the original
+  circuit's computational-basis distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.clifford.tableau import CliffordTableau
+from repro.core.extraction import ExtractionResult
+from repro.exceptions import AbsorptionError
+from repro.linear.gf2 import gf2_is_invertible, gf2_matvec, gf2_solve
+from repro.paulis.pauli import PauliString
+from repro.paulis.sum import SparsePauliSum
+from repro.paulis.term import PauliTerm
+
+
+# ---------------------------------------------------------------------- #
+# Observable absorption
+# ---------------------------------------------------------------------- #
+@dataclass
+class AbsorbedObservable:
+    """One original observable together with its absorbed replacement."""
+
+    original: PauliString
+    #: the observable to measure on the optimized circuit (sign folded out)
+    updated: PauliString
+    #: +1 or -1 factor to apply to the measured expectation value
+    sign: float
+    #: single-qubit basis-rotation circuit appended before measurement
+    measurement_basis: QuantumCircuit
+
+    def expectation_from_counts(self, counts: Mapping[str, int]) -> float:
+        """CA-Post: expectation value of the *original* observable.
+
+        ``counts`` must be a histogram of computational-basis measurements of
+        the optimized circuit with :attr:`measurement_basis` appended.
+        Bitstrings use the usual convention of qubit 0 as the rightmost
+        character.
+        """
+        total = sum(counts.values())
+        if total == 0:
+            raise AbsorptionError("empty measurement histogram")
+        support = self.updated.support
+        accumulator = 0
+        for bitstring, count in counts.items():
+            parity = 0
+            for qubit in support:
+                if bitstring[len(bitstring) - 1 - qubit] == "1":
+                    parity ^= 1
+            accumulator += count * (1 - 2 * parity)
+        return self.sign * accumulator / total
+
+
+class ObservableAbsorber:
+    """CA module for observable measurements."""
+
+    def __init__(self, conjugation: CliffordTableau):
+        self.conjugation = conjugation
+        self.num_qubits = conjugation.num_qubits
+
+    # ------------------------------------------------------------------ #
+    def absorb_pauli(self, observable: PauliString) -> AbsorbedObservable:
+        """Absorb the Clifford tail into a single Pauli observable."""
+        if observable.num_qubits != self.num_qubits:
+            raise AbsorptionError("observable and circuit qubit counts differ")
+        updated = self.conjugation.conjugate(observable)
+        sign = updated.sign
+        if sign not in (1, -1):
+            raise AbsorptionError("absorbed observable is not Hermitian")
+        bare = updated.bare()
+        return AbsorbedObservable(
+            original=observable.copy(),
+            updated=bare,
+            sign=float(np.real(sign)),
+            measurement_basis=self.measurement_basis_circuit(bare),
+        )
+
+    def absorb_all(self, observables: Iterable[PauliString]) -> list[AbsorbedObservable]:
+        return [self.absorb_pauli(observable) for observable in observables]
+
+    def absorb_sum(self, observable: SparsePauliSum) -> list[tuple[float, AbsorbedObservable]]:
+        """Absorb every term of a weighted observable; returns (weight, absorbed)."""
+        return [(term.coefficient, self.absorb_pauli(term.pauli)) for term in observable]
+
+    # ------------------------------------------------------------------ #
+    def measurement_basis_circuit(self, observable: PauliString) -> QuantumCircuit:
+        """CA-Pre: single-qubit rotations mapping ``observable`` to a Z-string."""
+        circuit = QuantumCircuit(self.num_qubits)
+        for qubit in range(self.num_qubits):
+            letter = observable.letter(qubit)
+            if letter == "X":
+                circuit.h(qubit)
+            elif letter == "Y":
+                circuit.sdg(qubit)
+                circuit.h(qubit)
+        return circuit
+
+    def expectation_from_sum_counts(
+        self,
+        absorbed: Sequence[tuple[float, AbsorbedObservable]],
+        counts_per_observable: Sequence[Mapping[str, int]],
+    ) -> float:
+        """CA-Post for a weighted observable measured term by term."""
+        if len(absorbed) != len(counts_per_observable):
+            raise AbsorptionError("one histogram per absorbed observable is required")
+        return float(
+            sum(
+                weight * item.expectation_from_counts(counts)
+                for (weight, item), counts in zip(absorbed, counts_per_observable)
+            )
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Probability absorption
+# ---------------------------------------------------------------------- #
+@dataclass
+class ProbabilityAbsorber:
+    """CA module for probability-distribution measurements (QAOA).
+
+    The extracted tail is decomposed as ``U_affine * H_S`` (Hadamard layer
+    first in time): CA-Pre appends ``H`` on the qubits in ``hadamard_qubits``
+    to the optimized circuit, and CA-Post maps every measured bitstring ``y``
+    to ``A y + b`` over GF(2).
+    """
+
+    num_qubits: int
+    hadamard_qubits: list[int]
+    linear_map: np.ndarray
+    shift: np.ndarray
+    metadata: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    def pre_circuit(self) -> QuantumCircuit:
+        """CA-Pre: the Hadamard layer to append before measuring."""
+        circuit = QuantumCircuit(self.num_qubits)
+        for qubit in self.hadamard_qubits:
+            circuit.h(qubit)
+        return circuit
+
+    def map_bitstring(self, bitstring: str) -> str:
+        """CA-Post: remap one measured bitstring (qubit 0 rightmost)."""
+        if len(bitstring) != self.num_qubits:
+            raise AbsorptionError(
+                f"bitstring length {len(bitstring)} does not match {self.num_qubits} qubits"
+            )
+        vector = np.array([bit == "1" for bit in reversed(bitstring)], dtype=bool)
+        mapped = gf2_matvec(self.linear_map, vector) ^ self.shift
+        return "".join("1" if bit else "0" for bit in reversed(mapped))
+
+    def map_counts(self, counts: Mapping[str, int]) -> dict[str, int]:
+        """CA-Post: remap a whole histogram of measured bitstrings."""
+        remapped: dict[str, int] = {}
+        for bitstring, count in counts.items():
+            key = self.map_bitstring(bitstring)
+            remapped[key] = remapped.get(key, 0) + count
+        return remapped
+
+    def map_probabilities(self, probabilities: Mapping[str, float]) -> dict[str, float]:
+        """CA-Post: remap a probability dictionary."""
+        remapped: dict[str, float] = {}
+        for bitstring, probability in probabilities.items():
+            key = self.map_bitstring(bitstring)
+            remapped[key] = remapped.get(key, 0.0) + probability
+        return remapped
+
+
+def _tail_tableau_rows(tableau: CliffordTableau) -> tuple[list[PauliString], list[PauliString]]:
+    x_images = [tableau.image_of_x(qubit) for qubit in range(tableau.num_qubits)]
+    z_images = [tableau.image_of_z(qubit) for qubit in range(tableau.num_qubits)]
+    return x_images, z_images
+
+
+def build_probability_absorber(tail: QuantumCircuit) -> ProbabilityAbsorber:
+    """Decompose a Clifford tail as a Hadamard layer followed by a CNOT network.
+
+    Raises :class:`AbsorptionError` when the tail is not of this restricted
+    form (Proposition 1 guarantees the form for QAOA programs whose problem
+    Hamiltonian contains only ``Z``/``I`` strings and whose mixer is an ``X``
+    rotation per qubit).
+    """
+    num_qubits = tail.num_qubits
+    tableau = CliffordTableau.from_circuit(tail)
+    x_images, z_images = _tail_tableau_rows(tableau)
+
+    def is_x_type(pauli: PauliString) -> bool:
+        return not bool(np.any(pauli.z))
+
+    def is_z_type(pauli: PauliString) -> bool:
+        return not bool(np.any(pauli.x))
+
+    hadamard_qubits = [
+        qubit for qubit in range(num_qubits) if is_x_type(z_images[qubit])
+    ]
+    hadamard_set = set(hadamard_qubits)
+
+    linear_map = np.zeros((num_qubits, num_qubits), dtype=bool)
+    z_rows = np.zeros((num_qubits, num_qubits), dtype=bool)
+    signs = np.zeros(num_qubits, dtype=bool)
+    for qubit in range(num_qubits):
+        if qubit in hadamard_set:
+            x_type_image, z_type_image = z_images[qubit], x_images[qubit]
+        else:
+            x_type_image, z_type_image = x_images[qubit], z_images[qubit]
+        if not is_x_type(x_type_image) or not is_z_type(z_type_image):
+            raise AbsorptionError(
+                "the extracted Clifford tail is not a Hadamard layer followed by a "
+                "CNOT network; use observable absorption instead"
+            )
+        linear_map[:, qubit] = x_type_image.x
+        z_rows[qubit] = z_type_image.z
+        signs[qubit] = z_type_image.sign == -1
+
+    if not gf2_is_invertible(linear_map):
+        raise AbsorptionError("the tail's linear action on basis states is singular")
+    shift = gf2_solve(z_rows, signs)
+
+    return ProbabilityAbsorber(
+        num_qubits=num_qubits,
+        hadamard_qubits=hadamard_qubits,
+        linear_map=linear_map,
+        shift=shift,
+        metadata={"tail_gates": len(tail)},
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Convenience entry points
+# ---------------------------------------------------------------------- #
+def absorb_observables(
+    result: ExtractionResult, observables: Iterable[PauliString] | SparsePauliSum
+) -> list[AbsorbedObservable]:
+    """Absorb the extracted Clifford into a collection of Pauli observables."""
+    absorber = ObservableAbsorber(result.conjugation)
+    if isinstance(observables, SparsePauliSum):
+        return [absorber.absorb_pauli(term.pauli) for term in observables]
+    return absorber.absorb_all(observables)
+
+
+def absorb_probabilities(result: ExtractionResult) -> ProbabilityAbsorber:
+    """Build the probability post-processor for an extraction result."""
+    return build_probability_absorber(result.extracted_clifford)

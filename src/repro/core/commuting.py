@@ -1,0 +1,41 @@
+"""Partitioning of a Pauli-rotation sequence into commuting blocks.
+
+QuCLEAR only reorders Pauli strings *inside* a block of mutually commuting
+strings; the blocks themselves stay in program order.  This keeps the
+optimization free of any high-level knowledge about the benchmark (unlike
+Paulihedral, which also reorders blocks).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.paulis.term import PauliTerm
+
+
+def convert_commute_sets(terms: Sequence[PauliTerm]) -> list[list[PauliTerm]]:
+    """Greedy split of ``terms`` into maximal runs of mutually commuting strings.
+
+    Scanning the sequence in order, a term joins the current block when it
+    commutes with every string already in the block; otherwise it starts a
+    new block.  The concatenation of the returned blocks is a permutation-free
+    copy of the input (order inside blocks is preserved here; reordering
+    happens later during extraction).
+    """
+    blocks: list[list[PauliTerm]] = []
+    current: list[PauliTerm] = []
+    for term in terms:
+        if current and not all(
+            term.pauli.commutes_with(member.pauli) for member in current
+        ):
+            blocks.append(current)
+            current = []
+        current.append(term)
+    if current:
+        blocks.append(current)
+    return blocks
+
+
+def count_commuting_blocks(terms: Sequence[PauliTerm]) -> int:
+    """Number of commuting blocks the sequence splits into."""
+    return len(convert_commute_sets(terms))

@@ -1,0 +1,121 @@
+"""Measurement grouping for absorbed observables.
+
+Section VI-A of the paper notes that because Clifford conjugation preserves
+commutation relations, the absorbed observables can still be grouped with the
+standard commutation-based measurement-reduction techniques.  This module
+implements greedy qubit-wise-commuting grouping: observables that commute
+qubit by qubit can be estimated from the *same* measurement histogram, which
+reduces the number of circuit executions from one per observable to one per
+group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.absorption import AbsorbedObservable
+from repro.exceptions import AbsorptionError
+from repro.paulis.pauli import PauliString
+
+
+def qubitwise_commute(first: PauliString, second: PauliString) -> bool:
+    """True when the two Paulis commute qubit by qubit (same or identity letter)."""
+    if first.num_qubits != second.num_qubits:
+        raise AbsorptionError("observables act on different register sizes")
+    for qubit in range(first.num_qubits):
+        first_letter = first.letter(qubit)
+        second_letter = second.letter(qubit)
+        if first_letter != "I" and second_letter != "I" and first_letter != second_letter:
+            return False
+    return True
+
+
+@dataclass
+class MeasurementGroup:
+    """A set of qubit-wise commuting observables measured from one histogram."""
+
+    members: list[AbsorbedObservable] = field(default_factory=list)
+
+    @property
+    def num_qubits(self) -> int:
+        return self.members[0].updated.num_qubits
+
+    def accepts(self, candidate: AbsorbedObservable) -> bool:
+        return all(
+            qubitwise_commute(candidate.updated, member.updated) for member in self.members
+        )
+
+    def add(self, candidate: AbsorbedObservable) -> None:
+        if self.members and not self.accepts(candidate):
+            raise AbsorptionError("observable does not qubit-wise commute with the group")
+        self.members.append(candidate)
+
+    # ------------------------------------------------------------------ #
+    def combined_basis(self) -> PauliString:
+        """The per-qubit measurement basis covering every member."""
+        letters = ["I"] * self.num_qubits
+        for member in self.members:
+            for qubit in member.updated.support:
+                letters[qubit] = member.updated.letter(qubit)
+        return PauliString.from_sparse(
+            self.num_qubits,
+            [(qubit, letter) for qubit, letter in enumerate(letters) if letter != "I"],
+        )
+
+    def measurement_circuit(self) -> QuantumCircuit:
+        """CA-Pre for the whole group: one basis-rotation circuit."""
+        basis = self.combined_basis()
+        circuit = QuantumCircuit(self.num_qubits)
+        for qubit in range(self.num_qubits):
+            letter = basis.letter(qubit)
+            if letter == "X":
+                circuit.h(qubit)
+            elif letter == "Y":
+                circuit.sdg(qubit)
+                circuit.h(qubit)
+        return circuit
+
+    def expectations_from_counts(self, counts: Mapping[str, int]) -> list[float]:
+        """CA-Post: expectation value of every member from the shared histogram."""
+        total = sum(counts.values())
+        if total == 0:
+            raise AbsorptionError("empty measurement histogram")
+        values = []
+        for member in self.members:
+            support = member.updated.support
+            accumulator = 0
+            for bitstring, count in counts.items():
+                parity = 0
+                for qubit in support:
+                    if bitstring[len(bitstring) - 1 - qubit] == "1":
+                        parity ^= 1
+                accumulator += count * (1 - 2 * parity)
+            values.append(member.sign * accumulator / total)
+        return values
+
+
+def group_observables(observables: Sequence[AbsorbedObservable]) -> list[MeasurementGroup]:
+    """Greedy first-fit grouping of qubit-wise commuting absorbed observables."""
+    groups: list[MeasurementGroup] = []
+    for observable in observables:
+        for group in groups:
+            if group.accepts(observable):
+                group.add(observable)
+                break
+        else:
+            fresh = MeasurementGroup()
+            fresh.add(observable)
+            groups.append(fresh)
+    return groups
+
+
+def measurement_savings(observables: Sequence[AbsorbedObservable]) -> dict[str, int]:
+    """How many circuit executions grouping saves for a set of observables."""
+    groups = group_observables(observables)
+    return {
+        "num_observables": len(observables),
+        "num_groups": len(groups),
+        "saved_executions": len(observables) - len(groups),
+    }

@@ -1,0 +1,154 @@
+"""Recursive CNOT-tree synthesis (Algorithm 1 of the paper).
+
+Given the support of the Pauli string currently being synthesized and the
+Pauli strings that follow it in the program, the algorithm builds a CNOT
+parity tree whose *extraction* (commutation through the rest of the circuit)
+minimises the weight of the following strings:
+
+1. the support qubits are grouped by the letter the *next* Pauli carries on
+   them (``I``, ``X``, ``Y``, ``Z`` sub-trees);
+2. each group is synthesized recursively, using the Pauli one position
+   further down the program to order the qubits inside the group;
+3. the four group roots are connected with the pairing that Table I of the
+   paper shows to be weight-reducing: ``Z -> Y``, ``I -> X`` and finally the
+   ``Z/Y`` survivor into the ``I/X`` survivor, which becomes the tree root
+   carrying the ``Rz`` rotation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.circuits.gate import Gate
+from repro.exceptions import SynthesisError
+from repro.paulis.pauli import PauliString
+
+#: order in which group roots are considered when connecting (paper Sec. V-A)
+_ROOT_PRIORITY = ("Z", "I", "Y", "X")
+
+#: a callable returning the (already conjugated) Pauli ``depth`` positions
+#: after the current one, or None when the program ends before that
+LookaheadProvider = Callable[[int], PauliString | None]
+
+
+def chain_tree(tree_qubits: Sequence[int]) -> tuple[list[Gate], int]:
+    """A plain CNOT chain over ``tree_qubits``; the last qubit is the root."""
+    qubits = list(tree_qubits)
+    if not qubits:
+        raise SynthesisError("cannot synthesize a tree over an empty support")
+    gates = [
+        Gate("cx", (qubits[index], qubits[index + 1]))
+        for index in range(len(qubits) - 1)
+    ]
+    return gates, qubits[-1]
+
+
+def _group_by_letter(
+    tree_qubits: Sequence[int], guide: PauliString
+) -> dict[str, list[int]]:
+    groups: dict[str, list[int]] = {"I": [], "X": [], "Y": [], "Z": []}
+    for qubit in tree_qubits:
+        groups[guide.letter(qubit)].append(qubit)
+    return groups
+
+
+def _connect_roots(roots: dict[str, int], gates: list[Gate]) -> int:
+    """Connect the sub-tree roots; returns the overall tree root.
+
+    The pairing follows the paper: the ``Z`` root feeds the ``Y`` root
+    (``ZY -> IY``), the ``I`` root feeds the ``X`` root (``IX`` stays put but
+    keeps the root on the ``X`` side), and finally the ``Z/Y`` survivor feeds
+    the ``I/X`` survivor (``YX -> YI``).
+    """
+    def connect(first: str, second: str) -> int | None:
+        first_root = roots.get(first)
+        second_root = roots.get(second)
+        if first_root is None and second_root is None:
+            return None
+        if first_root is None:
+            return second_root
+        if second_root is None:
+            return first_root
+        gates.append(Gate("cx", (first_root, second_root)))
+        return second_root
+
+    zy_root = connect("Z", "Y")
+    ix_root = connect("I", "X")
+    if zy_root is None and ix_root is None:
+        raise SynthesisError("cannot connect roots of an empty tree")
+    if zy_root is None:
+        return ix_root
+    if ix_root is None:
+        return zy_root
+    gates.append(Gate("cx", (zy_root, ix_root)))
+    return ix_root
+
+
+def synthesize_tree(
+    tree_qubits: Sequence[int],
+    lookahead: LookaheadProvider,
+    recursive: bool = True,
+    depth: int = 0,
+    max_depth: int | None = None,
+) -> tuple[list[Gate], int]:
+    """Synthesize a CNOT parity tree over ``tree_qubits``.
+
+    Parameters
+    ----------
+    tree_qubits:
+        Support of the Pauli currently being synthesized (or a subset of it
+        during recursion).
+    lookahead:
+        ``lookahead(d)`` must return the Pauli ``d + 1`` positions after the
+        current one, already conjugated by the Clifford extracted so far and
+        by the current string's basis-change layer, or ``None`` past the end
+        of the program.
+    recursive:
+        When ``False``, the sub-trees are plain chains (the cheap variant used
+        for cost estimation inside ``find_next_pauli``).
+    max_depth:
+        Optional cap on the recursion depth (how many future strings guide the
+        tree).  ``None`` means unbounded.
+
+    Returns
+    -------
+    (gates, root):
+        The CNOT gates in circuit (time) order and the root qubit where the
+        ``Rz`` rotation is placed.
+    """
+    qubits = list(tree_qubits)
+    if not qubits:
+        raise SynthesisError("cannot synthesize a tree over an empty support")
+    if len(qubits) == 1:
+        return [], qubits[0]
+    if max_depth is not None and depth >= max_depth:
+        return chain_tree(qubits)
+    guide = lookahead(depth)
+    if guide is None:
+        return chain_tree(qubits)
+
+    gates: list[Gate] = []
+    groups = _group_by_letter(qubits, guide)
+    roots: dict[str, int] = {}
+    for letter in _ROOT_PRIORITY:
+        members = groups[letter]
+        if not members:
+            continue
+        if len(members) == 1:
+            roots[letter] = members[0]
+        elif recursive:
+            sub_gates, sub_root = synthesize_tree(
+                members,
+                lookahead,
+                recursive=True,
+                depth=depth + 1,
+                max_depth=max_depth,
+            )
+            gates.extend(sub_gates)
+            roots[letter] = sub_root
+        else:
+            sub_gates, sub_root = chain_tree(members)
+            gates.extend(sub_gates)
+            roots[letter] = sub_root
+    root = _connect_roots(roots, gates)
+    return gates, root

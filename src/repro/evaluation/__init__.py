@@ -1,0 +1,19 @@
+"""Evaluation harness: programmatic reproduction of the paper's tables and figures."""
+
+from repro.evaluation.comparison import (
+    CompilerComparison,
+    compare_compilers,
+    compare_on_benchmark,
+)
+from repro.evaluation.mapping import compare_mapped_compilers
+from repro.evaluation.breakdown import feature_breakdown
+from repro.evaluation.reporting import format_table
+
+__all__ = [
+    "CompilerComparison",
+    "compare_compilers",
+    "compare_on_benchmark",
+    "compare_mapped_compilers",
+    "feature_breakdown",
+    "format_table",
+]

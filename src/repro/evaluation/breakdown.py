@@ -1,0 +1,73 @@
+"""Per-feature CNOT-reduction breakdown (the paper's Fig. 10) and the
+with/without-local-optimization ablation (Fig. 9)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines.naive import compile_naive
+from repro.core.absorption import AbsorptionError, build_probability_absorber
+from repro.core.extraction import CliffordExtractor
+from repro.core.framework import QuCLEAR
+from repro.paulis.term import PauliTerm
+from repro.transpile.peephole import peephole_optimize
+
+
+def feature_breakdown(terms: Sequence[PauliTerm]) -> dict[str, int]:
+    """CNOT count after each optimization feature is switched on in turn.
+
+    Mirrors Fig. 10 of the paper:
+
+    * ``native`` — direct synthesis, no optimization;
+    * ``tree_extraction`` — Clifford Extraction with the recursive tree but no
+      reordering inside commuting blocks;
+    * ``commutation`` — extraction plus greedy reordering inside blocks;
+    * ``absorption`` — the extracted Clifford tail is absorbed classically
+      (the circuit that remains is exactly the optimized half);
+    * ``local_optimization`` — the peephole pass on top of everything.
+    """
+    term_list = list(terms)
+    native = compile_naive(term_list).circuit
+
+    no_reorder = CliffordExtractor(reorder_within_blocks=False).extract(term_list)
+    with_reorder = CliffordExtractor(reorder_within_blocks=True).extract(term_list)
+
+    # Before absorption the extracted tail still has to run on hardware.
+    tree_only_cx = (
+        no_reorder.optimized_circuit.cx_count() + no_reorder.extracted_clifford.cx_count()
+    )
+    commutation_cx = (
+        with_reorder.optimized_circuit.cx_count() + with_reorder.extracted_clifford.cx_count()
+    )
+    absorbed_cx = with_reorder.optimized_circuit.cx_count()
+    local_cx = peephole_optimize(with_reorder.optimized_circuit).cx_count()
+
+    return {
+        "native": native.cx_count(),
+        "tree_extraction": tree_only_cx,
+        "commutation": commutation_cx,
+        "absorption": absorbed_cx,
+        "local_optimization": local_cx,
+    }
+
+
+def local_optimization_ablation(terms: Sequence[PauliTerm]) -> dict[str, dict[str, float]]:
+    """QuCLEAR with and without the local-optimization pass (Fig. 9)."""
+    term_list = list(terms)
+    with_local = QuCLEAR(local_optimize=True).compile(term_list)
+    without_local = QuCLEAR(local_optimize=False).compile(term_list)
+    return {
+        "with_local_optimization": with_local.metrics(),
+        "without_local_optimization": without_local.metrics(),
+    }
+
+
+def absorption_style(terms: Sequence[PauliTerm]) -> str:
+    """Which CA mode applies to a workload: 'probabilities' when the tail
+    reduces to a Hadamard layer plus CNOT network, otherwise 'observables'."""
+    extraction = CliffordExtractor().extract(list(terms))
+    try:
+        build_probability_absorber(extraction.extracted_clifford)
+    except AbsorptionError:
+        return "observables"
+    return "probabilities"

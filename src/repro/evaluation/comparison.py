@@ -1,0 +1,94 @@
+"""Compiler comparison on fully connected devices (the paper's Table III)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.baselines.registry import BASELINE_COMPILERS
+from repro.core.framework import QuCLEAR
+from repro.paulis.term import PauliTerm
+from repro.workloads.registry import Benchmark, get_benchmark
+
+#: the compiler line-up of Table III (QuCLEAR plus the four baselines)
+DEFAULT_COMPILERS = ("QuCLEAR", "qiskit-like", "rustiq-like", "paulihedral-like", "tket-like")
+
+
+@dataclass
+class CompilerComparison:
+    """Per-compiler metrics for one workload."""
+
+    workload: str
+    num_qubits: int
+    num_paulis: int
+    results: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def cx_counts(self) -> dict[str, int]:
+        return {name: int(metrics["cx_count"]) for name, metrics in self.results.items()}
+
+    def entangling_depths(self) -> dict[str, int]:
+        return {
+            name: int(metrics["entangling_depth"]) for name, metrics in self.results.items()
+        }
+
+    def compile_times(self) -> dict[str, float]:
+        return {name: metrics["compile_seconds"] for name, metrics in self.results.items()}
+
+    def best_compiler(self, metric: str = "cx_count") -> str:
+        return min(self.results, key=lambda name: self.results[name][metric])
+
+    def reduction_vs(self, baseline: str, metric: str = "cx_count") -> float:
+        """Relative reduction of QuCLEAR versus ``baseline`` (1.0 = 100 %)."""
+        quclear = self.results["QuCLEAR"][metric]
+        other = self.results[baseline][metric]
+        if other == 0:
+            return 0.0
+        return 1.0 - quclear / other
+
+
+def compare_compilers(
+    terms: Sequence[PauliTerm],
+    workload: str = "custom",
+    compilers: Sequence[str] = DEFAULT_COMPILERS,
+    quclear_kwargs: dict | None = None,
+) -> CompilerComparison:
+    """Compile ``terms`` with every requested compiler and collect the metrics."""
+    term_list = list(terms)
+    comparison = CompilerComparison(
+        workload=workload,
+        num_qubits=term_list[0].num_qubits,
+        num_paulis=len(term_list),
+    )
+    for name in compilers:
+        start = time.perf_counter()
+        if name == "QuCLEAR":
+            result = QuCLEAR(**(quclear_kwargs or {})).compile(term_list)
+            circuit = result.circuit
+        else:
+            baseline = BASELINE_COMPILERS[name](term_list)
+            circuit = baseline.circuit
+        elapsed = time.perf_counter() - start
+        comparison.results[name] = {
+            "cx_count": circuit.cx_count(),
+            "entangling_depth": circuit.entangling_depth(),
+            "single_qubit_count": circuit.single_qubit_count(),
+            "compile_seconds": elapsed,
+        }
+    return comparison
+
+
+def compare_on_benchmark(
+    benchmark: str | Benchmark,
+    compilers: Sequence[str] = DEFAULT_COMPILERS,
+    quclear_kwargs: dict | None = None,
+) -> CompilerComparison:
+    """Run the Table III comparison on one named benchmark."""
+    if isinstance(benchmark, str):
+        benchmark = get_benchmark(benchmark)
+    return compare_compilers(
+        benchmark.terms(),
+        workload=benchmark.name,
+        compilers=compilers,
+        quclear_kwargs=quclear_kwargs,
+    )

@@ -1,0 +1,58 @@
+"""Device-mapping comparison (the paper's Fig. 11)."""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.baselines.registry import BASELINE_COMPILERS
+from repro.core.framework import QuCLEAR
+from repro.evaluation.comparison import CompilerComparison
+from repro.paulis.term import PauliTerm
+from repro.transpile.coupling import CouplingMap
+from repro.transpile.peephole import peephole_optimize
+from repro.transpile.routing import route_circuit
+from repro.workloads.registry import Benchmark, get_benchmark
+
+#: compilers compared on limited-connectivity devices (Rustiq is excluded in
+#: the paper because its output omits single-qubit rotations)
+MAPPED_COMPILERS = ("QuCLEAR", "qiskit-like", "paulihedral-like", "tket-like")
+
+
+def compare_mapped_compilers(
+    benchmark: str | Benchmark | Sequence[PauliTerm],
+    coupling: CouplingMap,
+    compilers: Sequence[str] = MAPPED_COMPILERS,
+) -> CompilerComparison:
+    """Compile with every compiler, route to ``coupling`` and compare CNOT counts."""
+    if isinstance(benchmark, str):
+        benchmark = get_benchmark(benchmark)
+    if isinstance(benchmark, Benchmark):
+        terms = benchmark.terms()
+        workload = benchmark.name
+    else:
+        terms = list(benchmark)
+        workload = "custom"
+
+    comparison = CompilerComparison(
+        workload=f"{workload}@{coupling.name}",
+        num_qubits=terms[0].num_qubits,
+        num_paulis=len(terms),
+    )
+    for name in compilers:
+        start = time.perf_counter()
+        if name == "QuCLEAR":
+            logical = QuCLEAR().compile(terms).circuit
+        else:
+            logical = BASELINE_COMPILERS[name](terms).circuit
+        routed = route_circuit(logical, coupling, decompose_swaps=True)
+        mapped = peephole_optimize(routed.circuit)
+        elapsed = time.perf_counter() - start
+        comparison.results[name] = {
+            "cx_count": mapped.cx_count(),
+            "entangling_depth": mapped.entangling_depth(),
+            "single_qubit_count": mapped.single_qubit_count(),
+            "swap_count": routed.swap_count,
+            "compile_seconds": elapsed,
+        }
+    return comparison

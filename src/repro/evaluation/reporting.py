@@ -1,0 +1,35 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None = None
+) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered_rows = [
+        [_render(row.get(column, "")) for column in columns] for row in rows
+    ]
+    widths = [
+        max(len(str(column)), max(len(rendered[index]) for rendered in rendered_rows))
+        for index, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(widths[index]) for index, column in enumerate(columns))
+    separator = "  ".join("-" * widths[index] for index in range(len(columns)))
+    body = "\n".join(
+        "  ".join(rendered[index].ljust(widths[index]) for index in range(len(columns)))
+        for rendered in rendered_rows
+    )
+    return "\n".join([header, separator, body])
+
+
+def _render(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

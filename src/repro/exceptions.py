@@ -1,0 +1,33 @@
+"""Exception hierarchy for the :mod:`repro` package."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class PauliError(ReproError):
+    """Raised for malformed Pauli strings or invalid Pauli algebra."""
+
+
+class CircuitError(ReproError):
+    """Raised for invalid circuit construction or manipulation."""
+
+
+class CliffordError(ReproError):
+    """Raised when a gate outside the supported Clifford set is used."""
+
+
+class SynthesisError(ReproError):
+    """Raised when a circuit cannot be synthesized from its specification."""
+
+
+class AbsorptionError(ReproError):
+    """Raised when a Clifford tail cannot be absorbed as requested."""
+
+
+class RoutingError(ReproError):
+    """Raised when a circuit cannot be mapped to a coupling graph."""
+
+
+class WorkloadError(ReproError):
+    """Raised for invalid workload / benchmark specifications."""

@@ -1,0 +1,34 @@
+"""GF(2) linear algebra and CNOT-network synthesis.
+
+The Clifford Absorption post-processing step for probability workloads
+(QAOA) reduces the extracted Clifford tail to a Hadamard layer followed by a
+CNOT network.  A CNOT network acts on computational basis states as an
+invertible linear map over GF(2); this sub-package provides the matrix
+algebra needed to build, invert and re-synthesize such maps.
+"""
+
+from repro.linear.gf2 import (
+    gf2_gauss_elim,
+    gf2_inverse,
+    gf2_is_invertible,
+    gf2_matvec,
+    gf2_rank,
+    gf2_solve,
+)
+from repro.linear.cnot_synthesis import (
+    cnot_network_matrix,
+    synthesize_cnot_network,
+    synthesize_cnot_network_pmh,
+)
+
+__all__ = [
+    "gf2_gauss_elim",
+    "gf2_inverse",
+    "gf2_is_invertible",
+    "gf2_matvec",
+    "gf2_rank",
+    "gf2_solve",
+    "cnot_network_matrix",
+    "synthesize_cnot_network",
+    "synthesize_cnot_network_pmh",
+]

@@ -1,0 +1,159 @@
+"""Synthesis of CNOT networks from GF(2) linear maps.
+
+A CNOT network on ``n`` qubits implements an invertible linear map ``A`` over
+GF(2): it sends the basis state ``|x>`` to ``|A x>``.  A single ``CX(c, t)``
+gate corresponds to the elementary row operation ``row_t += row_c``.
+
+Two synthesis strategies are provided:
+
+* plain Gaussian elimination (at most ``n**2`` CNOTs), and
+* the Patel–Markov–Hayes (PMH) block algorithm, asymptotically
+  ``O(n**2 / log n)`` CNOTs, used when re-synthesizing large networks.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.exceptions import SynthesisError
+from repro.linear.gf2 import gf2_is_invertible
+
+
+def cnot_network_matrix(circuit: QuantumCircuit) -> np.ndarray:
+    """The GF(2) linear map implemented by a circuit of CX / SWAP gates.
+
+    Returns the matrix ``A`` with ``|x> -> |A x>``.  Raises if the circuit
+    contains gates that do not act linearly on basis states.
+    """
+    size = circuit.num_qubits
+    matrix = np.eye(size, dtype=bool)
+    for gate in circuit:
+        if gate.name == "cx":
+            control, target = gate.qubits
+            matrix[target] ^= matrix[control]
+        elif gate.name == "swap":
+            first, second = gate.qubits
+            matrix[[first, second]] = matrix[[second, first]]
+        elif gate.name in ("i", "z", "s", "sdg", "rz", "cz", "rzz"):
+            # Diagonal gates only add phases; basis states map to themselves.
+            continue
+        else:
+            raise SynthesisError(
+                f"gate {gate.name!r} does not act linearly on computational basis states"
+            )
+    return matrix
+
+
+def _apply_row_op(matrix: np.ndarray, control: int, target: int) -> None:
+    matrix[target] ^= matrix[control]
+
+
+def synthesize_cnot_network(matrix: np.ndarray) -> QuantumCircuit:
+    """Synthesize a CNOT circuit implementing ``|x> -> |A x>`` by Gaussian elimination."""
+    matrix = np.array(matrix, dtype=bool, copy=True)
+    size = matrix.shape[0]
+    if matrix.shape != (size, size):
+        raise SynthesisError("the linear map must be a square matrix")
+    if not gf2_is_invertible(matrix):
+        raise SynthesisError("the linear map is not invertible over GF(2)")
+    operations: list[tuple[int, int]] = []
+
+    def record(control: int, target: int) -> None:
+        _apply_row_op(matrix, control, target)
+        operations.append((control, target))
+
+    # Forward elimination to upper triangular form.
+    for column in range(size):
+        if not matrix[column, column]:
+            below = np.nonzero(matrix[column + 1 :, column])[0]
+            if below.size == 0:
+                raise SynthesisError("unexpected singular column during synthesis")
+            record(column + 1 + int(below[0]), column)
+        for row in range(column + 1, size):
+            if matrix[row, column]:
+                record(column, row)
+    # Back substitution to the identity.
+    for column in range(size - 1, -1, -1):
+        for row in range(column - 1, -1, -1):
+            if matrix[row, column]:
+                record(column, row)
+
+    # The recorded row operations reduce A to the identity:
+    #   E_k ... E_1 A = I, hence A = E_1^{-1} ... E_k^{-1}.
+    # A row operation "row_t += row_c" is the matrix of CX(c, t) acting on
+    # state vectors and is its own inverse, so the circuit is the recorded
+    # operations in reverse order.
+    circuit = QuantumCircuit(size)
+    for control, target in reversed(operations):
+        circuit.cx(control, target)
+    return circuit
+
+
+def synthesize_cnot_network_pmh(matrix: np.ndarray, section_size: int | None = None) -> QuantumCircuit:
+    """Patel–Markov–Hayes synthesis of a CNOT network.
+
+    Splits the columns into sections of width roughly ``log2(n)`` and removes
+    duplicate sub-rows within each section before the usual elimination,
+    reducing the CNOT count for large ``n``.
+    """
+    matrix = np.array(matrix, dtype=bool, copy=True)
+    size = matrix.shape[0]
+    if matrix.shape != (size, size):
+        raise SynthesisError("the linear map must be a square matrix")
+    if not gf2_is_invertible(matrix):
+        raise SynthesisError("the linear map is not invertible over GF(2)")
+    if section_size is None:
+        section_size = max(1, int(round(math.log2(size))) if size > 1 else 1)
+
+    def lower_synth(mat: np.ndarray) -> list[tuple[int, int]]:
+        ops: list[tuple[int, int]] = []
+        n = mat.shape[0]
+        for section_start in range(0, n, section_size):
+            section_end = min(section_start + section_size, n)
+            # Eliminate duplicate patterns in the section below the diagonal.
+            patterns: dict[bytes, int] = {}
+            for row in range(section_start, n):
+                chunk = mat[row, section_start:section_end].tobytes()
+                if not any(mat[row, section_start:section_end]):
+                    continue
+                if chunk in patterns and patterns[chunk] != row:
+                    source = patterns[chunk]
+                    mat[row] ^= mat[source]
+                    ops.append((source, row))
+                else:
+                    patterns[chunk] = row
+            # Standard Gaussian elimination inside the section.
+            for column in range(section_start, section_end):
+                if not mat[column, column]:
+                    below = np.nonzero(mat[column + 1 :, column])[0]
+                    if below.size == 0:
+                        continue
+                    pivot = column + 1 + int(below[0])
+                    mat[column] ^= mat[pivot]
+                    ops.append((pivot, column))
+                for row in range(column + 1, n):
+                    if mat[row, column]:
+                        mat[row] ^= mat[column]
+                        ops.append((column, row))
+        return ops
+
+    # Eliminate the lower triangle of A, then the lower triangle of the
+    # transpose of the remaining upper factor (the standard PMH trick).
+    #
+    # With lower_ops = [l1, ..., lp] we have  E_lp ... E_l1 A = U  and with
+    # upper_ops = [u1, ..., uq] on U^T we have  U = F_uq ... F_u1  where
+    # F swaps control and target.  Hence
+    #   A = E_l1 ... E_lp F_uq ... F_u1
+    # and the circuit in time order is  [F_u1 ... F_uq, E_lp ... E_l1].
+    lower_ops = lower_synth(matrix)
+    upper_ops = lower_synth(matrix.T.copy())
+
+    circuit = QuantumCircuit(size)
+    for control, target in upper_ops:
+        circuit.cx(target, control)
+    for control, target in reversed(lower_ops):
+        circuit.cx(control, target)
+    return circuit

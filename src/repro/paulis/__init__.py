@@ -1,0 +1,18 @@
+"""Pauli-string algebra.
+
+This sub-package provides the symplectic (x/z bit-vector) representation of
+Pauli strings used throughout the reproduction, together with weighted sums of
+Pauli strings (observables / Hamiltonians).
+
+The string-label convention follows Qiskit: the *leftmost* character of a
+label acts on the *highest-index* qubit, so ``"XYZ"`` means ``X`` on qubit 2,
+``Y`` on qubit 1 and ``Z`` on qubit 0.  The paper (and its reference
+implementation) uses the same convention, which is why the worked example of
+Fig. 7 reads naturally with this ordering.
+"""
+
+from repro.paulis.pauli import PauliString
+from repro.paulis.term import PauliTerm
+from repro.paulis.sum import SparsePauliSum
+
+__all__ = ["PauliString", "PauliTerm", "SparsePauliSum"]

@@ -1,0 +1,284 @@
+"""Symplectic representation of Pauli strings.
+
+A Pauli operator on ``n`` qubits is stored as two boolean vectors ``x`` and
+``z`` plus a global phase exponent ``phase`` (an integer modulo 4), encoding
+
+    P = i**phase  *  prod_q  X_q**x[q] * Z_q**z[q]
+
+A qubit with ``x=1, z=1`` therefore carries ``XZ = -iY``; the usual
+single-letter label ``Y`` corresponds to ``x=1, z=1`` together with one extra
+factor of ``i`` folded into ``phase``.  Hermitian Pauli strings (products of
+``I, X, Y, Z`` with a ``+1`` or ``-1`` sign) always satisfy
+``(phase - n_Y) % 2 == 0``.
+
+The class is deliberately mutable-in-place for the hot paths used by the
+Clifford tableau (conjugation by Clifford gates); every public constructor
+returns an independent copy of its inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import PauliError
+
+_LABEL_TO_BITS = {"I": (0, 0), "X": (1, 0), "Y": (1, 1), "Z": (0, 1)}
+_BITS_TO_LABEL = {(0, 0): "I", (1, 0): "X", (1, 1): "Y", (0, 1): "Z"}
+
+_PAULI_MATRICES = {
+    "I": np.eye(2, dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
+
+
+class PauliString:
+    """An n-qubit Pauli operator with a tracked global phase.
+
+    Parameters
+    ----------
+    x, z:
+        Boolean arrays of length ``n``; qubit ``q`` carries
+        ``X**x[q] Z**z[q]``.
+    phase:
+        Integer exponent of ``i`` applied globally, stored modulo 4.
+    """
+
+    __slots__ = ("x", "z", "phase")
+
+    def __init__(self, x: Sequence[bool], z: Sequence[bool], phase: int = 0):
+        self.x = np.asarray(x, dtype=bool).copy()
+        self.z = np.asarray(z, dtype=bool).copy()
+        if self.x.ndim != 1 or self.z.ndim != 1 or self.x.shape != self.z.shape:
+            raise PauliError("x and z must be 1-D boolean vectors of equal length")
+        self.phase = int(phase) % 4
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def identity(cls, num_qubits: int) -> "PauliString":
+        """The identity operator on ``num_qubits`` qubits."""
+        return cls(np.zeros(num_qubits, dtype=bool), np.zeros(num_qubits, dtype=bool))
+
+    @classmethod
+    def from_label(cls, label: str, sign: int = 1) -> "PauliString":
+        """Build a Pauli from a textual label such as ``"XIZY"``.
+
+        The label may start with ``+``, ``-``, ``+i`` or ``-i``.  ``sign``
+        multiplies the label's own prefix and must be ``+1`` or ``-1``.
+        The leftmost character acts on the highest-index qubit (Qiskit
+        ordering).
+        """
+        if sign not in (1, -1):
+            raise PauliError(f"sign must be +1 or -1, got {sign!r}")
+        phase = 0 if sign == 1 else 2
+        body = label
+        if body.startswith("+i") or body.startswith("-i"):
+            phase += 1 if body[0] == "+" else 3
+            body = body[2:]
+        elif body.startswith("+") or body.startswith("-"):
+            phase += 0 if body[0] == "+" else 2
+            body = body[1:]
+        if not body:
+            raise PauliError(f"empty Pauli label: {label!r}")
+        num_qubits = len(body)
+        x = np.zeros(num_qubits, dtype=bool)
+        z = np.zeros(num_qubits, dtype=bool)
+        for position, char in enumerate(body):
+            if char not in _LABEL_TO_BITS:
+                raise PauliError(f"invalid Pauli character {char!r} in {label!r}")
+            qubit = num_qubits - 1 - position
+            bit_x, bit_z = _LABEL_TO_BITS[char]
+            x[qubit] = bit_x
+            z[qubit] = bit_z
+            if char == "Y":
+                phase += 1
+        return cls(x, z, phase)
+
+    @classmethod
+    def from_sparse(
+        cls, num_qubits: int, ops: Iterable[tuple[int, str]], sign: int = 1
+    ) -> "PauliString":
+        """Build a Pauli from ``(qubit, letter)`` pairs, identity elsewhere."""
+        x = np.zeros(num_qubits, dtype=bool)
+        z = np.zeros(num_qubits, dtype=bool)
+        phase = 0 if sign == 1 else 2
+        for qubit, letter in ops:
+            if not 0 <= qubit < num_qubits:
+                raise PauliError(f"qubit {qubit} out of range for {num_qubits} qubits")
+            if letter not in _LABEL_TO_BITS:
+                raise PauliError(f"invalid Pauli letter {letter!r}")
+            if x[qubit] or z[qubit]:
+                raise PauliError(f"qubit {qubit} specified twice")
+            bit_x, bit_z = _LABEL_TO_BITS[letter]
+            x[qubit] = bit_x
+            z[qubit] = bit_z
+            if letter == "Y":
+                phase += 1
+        return cls(x, z, phase)
+
+    @classmethod
+    def single(cls, num_qubits: int, qubit: int, letter: str, sign: int = 1) -> "PauliString":
+        """A single-qubit Pauli ``letter`` on ``qubit``, identity elsewhere."""
+        return cls.from_sparse(num_qubits, [(qubit, letter)], sign=sign)
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits the operator acts on."""
+        return int(self.x.shape[0])
+
+    @property
+    def num_y(self) -> int:
+        """Number of qubits carrying a ``Y`` operator."""
+        return int(np.count_nonzero(self.x & self.z))
+
+    @property
+    def sign(self) -> complex:
+        """Coefficient in front of the ``I/X/Y/Z`` label form (one of 1, -1, i, -i)."""
+        return 1j ** ((self.phase - self.num_y) % 4)
+
+    @property
+    def weight(self) -> int:
+        """Number of non-identity single-qubit factors."""
+        return int(np.count_nonzero(self.x | self.z))
+
+    @property
+    def support(self) -> list[int]:
+        """Sorted list of qubits carrying a non-identity factor."""
+        return [int(q) for q in np.nonzero(self.x | self.z)[0]]
+
+    def is_identity(self) -> bool:
+        """True when every qubit carries the identity (phase is ignored)."""
+        return not bool(np.any(self.x | self.z))
+
+    def is_hermitian(self) -> bool:
+        """True when the operator equals a real-signed ``I/X/Y/Z`` string."""
+        return (self.phase - self.num_y) % 2 == 0
+
+    def letter(self, qubit: int) -> str:
+        """The single-qubit Pauli letter acting on ``qubit``."""
+        return _BITS_TO_LABEL[(int(self.x[qubit]), int(self.z[qubit]))]
+
+    def letters(self) -> list[str]:
+        """Per-qubit Pauli letters indexed by qubit number."""
+        return [self.letter(q) for q in range(self.num_qubits)]
+
+    # ------------------------------------------------------------------ #
+    # Label / matrix conversion
+    # ------------------------------------------------------------------ #
+    def to_label(self, include_sign: bool = True) -> str:
+        """Return the textual label, highest qubit first."""
+        body = "".join(self.letter(q) for q in range(self.num_qubits - 1, -1, -1))
+        if not include_sign:
+            return body
+        prefix = {1: "", -1: "-", 1j: "+i", -1j: "-i"}[complex(self.sign)]
+        return prefix + body
+
+    def bare(self) -> "PauliString":
+        """A copy with the phase reset so the label sign is ``+1``."""
+        copy = self.copy()
+        copy.phase = copy.num_y % 4
+        return copy
+
+    def to_matrix(self) -> np.ndarray:
+        """Dense matrix representation (intended for small qubit counts)."""
+        matrix = np.array([[1.0 + 0j]])
+        for qubit in range(self.num_qubits - 1, -1, -1):
+            matrix = np.kron(matrix, _PAULI_MATRICES[self.letter(qubit)])
+        return complex(self.sign) * matrix
+
+    # ------------------------------------------------------------------ #
+    # Algebra
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "PauliString":
+        return PauliString(self.x, self.z, self.phase)
+
+    def commutes_with(self, other: "PauliString") -> bool:
+        """True when the two operators commute."""
+        self._check_compatible(other)
+        overlap = np.count_nonzero((self.x & other.z) ^ (self.z & other.x))
+        return overlap % 2 == 0
+
+    def compose(self, other: "PauliString") -> "PauliString":
+        """Return the operator product ``self @ other`` with exact phase."""
+        self._check_compatible(other)
+        # Moving other's X factors left past self's Z factors yields (-1) each
+        # time an X crosses a Z on the same qubit.
+        crossings = int(np.count_nonzero(self.z & other.x))
+        phase = (self.phase + other.phase + 2 * crossings) % 4
+        return PauliString(self.x ^ other.x, self.z ^ other.z, phase)
+
+    def __matmul__(self, other: "PauliString") -> "PauliString":
+        return self.compose(other)
+
+    def multiply_phase(self, power_of_i: int) -> "PauliString":
+        """Return a copy multiplied by ``i**power_of_i``."""
+        copy = self.copy()
+        copy.phase = (copy.phase + power_of_i) % 4
+        return copy
+
+    def negate(self) -> "PauliString":
+        """Return ``-P``."""
+        return self.multiply_phase(2)
+
+    def adjoint(self) -> "PauliString":
+        """Return the Hermitian adjoint."""
+        # (i^p * B)^dagger = (-i)^p * B^dagger; B = prod X^x Z^z per qubit and
+        # B^dagger = prod Z^z X^x = (-1)^{#(x&z)} B.
+        overlap = int(np.count_nonzero(self.x & self.z))
+        phase = (-self.phase + 2 * overlap) % 4
+        return PauliString(self.x, self.z, phase)
+
+    def restricted(self, qubits: Sequence[int]) -> "PauliString":
+        """The Pauli restricted to ``qubits`` (in the given order), sign dropped."""
+        indices = list(qubits)
+        x = self.x[indices]
+        z = self.z[indices]
+        return PauliString(x, z, int(np.count_nonzero(x & z)))
+
+    def expanded(self, num_qubits: int, qubits: Sequence[int]) -> "PauliString":
+        """Embed this Pauli into ``num_qubits`` qubits at positions ``qubits``."""
+        if len(qubits) != self.num_qubits:
+            raise PauliError("qubit list length must match the Pauli size")
+        x = np.zeros(num_qubits, dtype=bool)
+        z = np.zeros(num_qubits, dtype=bool)
+        for local, target in enumerate(qubits):
+            x[target] = self.x[local]
+            z[target] = self.z[local]
+        return PauliString(x, z, self.phase)
+
+    # ------------------------------------------------------------------ #
+    # Dunder plumbing
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PauliString):
+            return NotImplemented
+        return (
+            self.num_qubits == other.num_qubits
+            and bool(np.array_equal(self.x, other.x))
+            and bool(np.array_equal(self.z, other.z))
+            and self.phase == other.phase
+        )
+
+    def equals_up_to_phase(self, other: "PauliString") -> bool:
+        """True when the two operators differ only by a global phase."""
+        return bool(np.array_equal(self.x, other.x)) and bool(np.array_equal(self.z, other.z))
+
+    def __hash__(self) -> int:
+        return hash((self.x.tobytes(), self.z.tobytes(), self.phase))
+
+    def __repr__(self) -> str:
+        return f"PauliString({self.to_label()!r})"
+
+    def _check_compatible(self, other: "PauliString") -> None:
+        if self.num_qubits != other.num_qubits:
+            raise PauliError(
+                f"incompatible qubit counts: {self.num_qubits} vs {other.num_qubits}"
+            )

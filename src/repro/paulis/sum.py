@@ -1,0 +1,127 @@
+"""Weighted sums of Pauli strings (Hamiltonians and observables)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import PauliError
+from repro.paulis.pauli import PauliString
+from repro.paulis.term import PauliTerm
+
+
+class SparsePauliSum:
+    """A real-weighted sum of Pauli strings.
+
+    This is the observable / Hamiltonian container used by the workload
+    generators and by the Clifford-absorption module.  Coefficients are kept
+    real because every Hamiltonian and observable in the paper's benchmarks is
+    Hermitian with real weights.
+    """
+
+    def __init__(self, terms: Iterable[PauliTerm]):
+        self._terms: list[PauliTerm] = [t.canonicalized() for t in terms]
+        if not self._terms:
+            raise PauliError("a SparsePauliSum needs at least one term")
+        sizes = {t.num_qubits for t in self._terms}
+        if len(sizes) != 1:
+            raise PauliError(f"inconsistent qubit counts in terms: {sorted(sizes)}")
+        self._num_qubits = sizes.pop()
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_labels(
+        cls, labels: Sequence[str], coefficients: Sequence[float] | None = None
+    ) -> "SparsePauliSum":
+        if coefficients is None:
+            coefficients = [1.0] * len(labels)
+        if len(coefficients) != len(labels):
+            raise PauliError("labels and coefficients must have equal length")
+        return cls(
+            PauliTerm(PauliString.from_label(label), float(coeff))
+            for label, coeff in zip(labels, coefficients)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_qubits(self) -> int:
+        return self._num_qubits
+
+    @property
+    def terms(self) -> list[PauliTerm]:
+        return list(self._terms)
+
+    @property
+    def paulis(self) -> list[PauliString]:
+        return [t.pauli for t in self._terms]
+
+    @property
+    def coefficients(self) -> list[float]:
+        return [t.coefficient for t in self._terms]
+
+    def labels(self, include_sign: bool = False) -> list[str]:
+        return [t.pauli.to_label(include_sign=include_sign) for t in self._terms]
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __iter__(self) -> Iterator[PauliTerm]:
+        return iter(self._terms)
+
+    def __getitem__(self, index: int) -> PauliTerm:
+        return self._terms[index]
+
+    def __repr__(self) -> str:
+        preview = ", ".join(
+            f"{t.coefficient:+g}*{t.pauli.to_label(include_sign=False)}"
+            for t in self._terms[:4]
+        )
+        suffix = ", ..." if len(self._terms) > 4 else ""
+        return f"SparsePauliSum({len(self)} terms: {preview}{suffix})"
+
+    # ------------------------------------------------------------------ #
+    # Algebra
+    # ------------------------------------------------------------------ #
+    def simplified(self, tolerance: float = 1e-12) -> "SparsePauliSum":
+        """Combine duplicate Pauli strings and drop negligible terms."""
+        accumulator: dict[tuple[bytes, bytes], float] = {}
+        order: list[tuple[bytes, bytes]] = []
+        templates: dict[tuple[bytes, bytes], PauliString] = {}
+        for term in self._terms:
+            key = (term.pauli.x.tobytes(), term.pauli.z.tobytes())
+            if key not in accumulator:
+                accumulator[key] = 0.0
+                order.append(key)
+                templates[key] = term.pauli.bare()
+            accumulator[key] += term.coefficient * float(np.real(term.pauli.sign))
+        kept = [
+            PauliTerm(templates[key], accumulator[key])
+            for key in order
+            if abs(accumulator[key]) > tolerance
+        ]
+        if not kept:
+            kept = [PauliTerm(PauliString.identity(self._num_qubits), 0.0)]
+        return SparsePauliSum(kept)
+
+    def scaled(self, factor: float) -> "SparsePauliSum":
+        return SparsePauliSum(
+            PauliTerm(t.pauli.copy(), t.coefficient * factor) for t in self._terms
+        )
+
+    def __add__(self, other: "SparsePauliSum") -> "SparsePauliSum":
+        if self.num_qubits != other.num_qubits:
+            raise PauliError("cannot add sums with different qubit counts")
+        return SparsePauliSum(self.terms + other.terms)
+
+    def to_matrix(self) -> np.ndarray:
+        """Dense matrix (small qubit counts only)."""
+        dimension = 2**self._num_qubits
+        matrix = np.zeros((dimension, dimension), dtype=complex)
+        for term in self._terms:
+            matrix += term.coefficient * term.pauli.to_matrix()
+        return matrix

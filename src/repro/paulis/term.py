@@ -1,0 +1,43 @@
+"""A Pauli string paired with a rotation angle or coefficient."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.paulis.pauli import PauliString
+
+
+@dataclass(frozen=True)
+class PauliTerm:
+    """A Pauli string with an attached real coefficient.
+
+    Used both as a Hamiltonian term (``coefficient`` is the term weight) and
+    as a rotation specification (``coefficient`` is the rotation angle of
+    ``exp(-i * coefficient / 2 * P)``).
+    """
+
+    pauli: PauliString
+    coefficient: float = 1.0
+
+    @property
+    def num_qubits(self) -> int:
+        return self.pauli.num_qubits
+
+    @classmethod
+    def from_label(cls, label: str, coefficient: float = 1.0) -> "PauliTerm":
+        return cls(PauliString.from_label(label), float(coefficient))
+
+    def with_coefficient(self, coefficient: float) -> "PauliTerm":
+        return PauliTerm(self.pauli.copy(), float(coefficient))
+
+    def canonicalized(self) -> "PauliTerm":
+        """Fold a ``-1`` label sign of the Pauli into the coefficient."""
+        sign = self.pauli.sign
+        if sign == 1:
+            return self
+        if sign == -1:
+            return PauliTerm(self.pauli.bare(), -self.coefficient)
+        raise ValueError(f"cannot canonicalize a non-Hermitian Pauli {self.pauli!r}")
+
+    def __repr__(self) -> str:
+        return f"PauliTerm({self.pauli.to_label()!r}, {self.coefficient!r})"

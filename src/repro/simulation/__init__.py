@@ -1,0 +1,13 @@
+"""Hybrid quantum-classical execution helpers.
+
+The QuCLEAR workflow is hybrid by construction: the optimized circuit runs on
+a quantum backend while the extracted Clifford is resolved classically.  This
+sub-package provides small backend abstractions (dense statevector and CHP
+stabilizer sampling) and an executor that chains CA-Pre, execution and
+CA-Post for both measurement styles.
+"""
+
+from repro.simulation.backends import Backend, StatevectorBackend, StabilizerBackend
+from repro.simulation.executor import HybridExecutor
+
+__all__ = ["Backend", "StatevectorBackend", "StabilizerBackend", "HybridExecutor"]

@@ -1,0 +1,59 @@
+"""Execution backends used by the hybrid executor.
+
+A backend turns a circuit into a measurement histogram.  Two are provided:
+
+* :class:`StatevectorBackend` — exact amplitudes, optionally sampled with a
+  finite shot count; works for any gate set but is limited to ~20 qubits.
+* :class:`StabilizerBackend` — CHP sampling; only valid for Clifford
+  circuits, but scales to hundreds of qubits.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.statevector import Statevector
+from repro.clifford.stabilizer import StabilizerState
+from repro.exceptions import CircuitError
+
+
+class Backend(ABC):
+    """Minimal execution interface: circuit in, bitstring histogram out."""
+
+    @abstractmethod
+    def run(self, circuit: QuantumCircuit, shots: int) -> dict[str, int]:
+        """Execute ``circuit`` from ``|0...0>`` and return measured counts."""
+
+    def probabilities(self, circuit: QuantumCircuit) -> dict[str, float]:
+        """Exact or estimated output distribution (default: normalised counts)."""
+        counts = self.run(circuit, shots=10_000)
+        total = sum(counts.values())
+        return {bits: count / total for bits, count in counts.items()}
+
+
+class StatevectorBackend(Backend):
+    """Dense statevector simulation with optional finite sampling."""
+
+    def __init__(self, seed: int | None = None):
+        self.seed = seed
+
+    def run(self, circuit: QuantumCircuit, shots: int) -> dict[str, int]:
+        state = Statevector.from_circuit(circuit)
+        return state.sample_counts(shots, seed=self.seed)
+
+    def probabilities(self, circuit: QuantumCircuit) -> dict[str, float]:
+        return Statevector.from_circuit(circuit).probability_dict()
+
+
+class StabilizerBackend(Backend):
+    """CHP stabilizer sampling; rejects non-Clifford circuits."""
+
+    def __init__(self, seed: int | None = None):
+        self.seed = seed
+
+    def run(self, circuit: QuantumCircuit, shots: int) -> dict[str, int]:
+        if any(not gate.is_clifford for gate in circuit):
+            raise CircuitError("the stabilizer backend only executes Clifford circuits")
+        state = StabilizerState(circuit.num_qubits, seed=self.seed)
+        return state.sample_counts(circuit, shots)

@@ -1,0 +1,120 @@
+"""End-to-end hybrid execution of QuCLEAR-compiled programs.
+
+The executor owns the full workflow of Fig. 6 of the paper:
+
+* compile the Pauli-rotation program (Clifford Extraction + local passes),
+* CA-Pre: append the measurement bases / Hadamard layer,
+* execute the optimized circuit on a backend,
+* CA-Post: recover expectation values or the original output distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.framework import CompilationResult, QuCLEAR
+from repro.core.measurement_grouping import group_observables
+from repro.paulis.pauli import PauliString
+from repro.paulis.sum import SparsePauliSum
+from repro.paulis.term import PauliTerm
+from repro.simulation.backends import Backend, StatevectorBackend
+
+
+@dataclass
+class ExpectationEstimate:
+    """Result of estimating a weighted observable."""
+
+    value: float
+    num_circuit_executions: int
+    num_observables: int
+    compilation: CompilationResult
+
+
+@dataclass
+class DistributionEstimate:
+    """Result of estimating an output distribution."""
+
+    counts: dict[str, int]
+    num_circuit_executions: int
+    compilation: CompilationResult
+
+
+class HybridExecutor:
+    """Runs compiled programs on a backend and post-processes classically."""
+
+    def __init__(
+        self,
+        backend: Backend | None = None,
+        compiler: QuCLEAR | None = None,
+        shots: int = 8192,
+        group_measurements: bool = True,
+    ):
+        self.backend = backend if backend is not None else StatevectorBackend(seed=0)
+        self.compiler = compiler if compiler is not None else QuCLEAR()
+        self.shots = int(shots)
+        self.group_measurements = group_measurements
+
+    # ------------------------------------------------------------------ #
+    def estimate_expectation(
+        self,
+        terms: Sequence[PauliTerm],
+        observable: SparsePauliSum,
+        state_preparation: QuantumCircuit | None = None,
+    ) -> ExpectationEstimate:
+        """Estimate ``<psi| H |psi>`` where ``|psi>`` is prepared by the program."""
+        result = self.compiler.compile(terms)
+        absorbed = result.absorb_observables(observable)
+        weights = observable.coefficients
+
+        prefix = state_preparation if state_preparation is not None else QuantumCircuit(result.num_qubits)
+        executions = 0
+        total = 0.0
+        if self.group_measurements:
+            groups = group_observables(absorbed)
+            weight_of = {id(item): weight for item, weight in zip(absorbed, weights)}
+            for group in groups:
+                circuit = prefix.compose(result.circuit).compose(group.measurement_circuit())
+                counts = self.backend.run(circuit, self.shots)
+                executions += 1
+                for member, value in zip(group.members, group.expectations_from_counts(counts)):
+                    total += weight_of[id(member)] * value
+        else:
+            for weight, item in zip(weights, absorbed):
+                circuit = prefix.compose(result.circuit).compose(item.measurement_basis)
+                counts = self.backend.run(circuit, self.shots)
+                executions += 1
+                total += weight * item.expectation_from_counts(counts)
+        return ExpectationEstimate(
+            value=total,
+            num_circuit_executions=executions,
+            num_observables=len(absorbed),
+            compilation=result,
+        )
+
+    # ------------------------------------------------------------------ #
+    def sample_distribution(
+        self,
+        terms: Sequence[PauliTerm],
+        state_preparation: QuantumCircuit | None = None,
+    ) -> DistributionEstimate:
+        """Sample the program's output distribution in the computational basis."""
+        result = self.compiler.compile(terms)
+        absorber = result.probability_absorber()
+        prefix = state_preparation if state_preparation is not None else QuantumCircuit(result.num_qubits)
+        circuit = prefix.compose(result.circuit).compose(absorber.pre_circuit())
+        raw_counts = self.backend.run(circuit, self.shots)
+        return DistributionEstimate(
+            counts=absorber.map_counts(raw_counts),
+            num_circuit_executions=1,
+            compilation=result,
+        )
+
+    # ------------------------------------------------------------------ #
+    def expected_observable_value(
+        self, terms: Sequence[PauliTerm], observable: PauliString
+    ) -> float:
+        """Convenience wrapper for a single unweighted Pauli observable."""
+        weighted = SparsePauliSum([PauliTerm(observable.copy(), 1.0)])
+        return self.estimate_expectation(terms, weighted).value

@@ -1,0 +1,17 @@
+"""Direct synthesis of Pauli-rotation circuits (the paper's Fig. 1 building block)."""
+
+from repro.synthesis.pauli_rotation import (
+    basis_change_gates,
+    cnot_chain_gates,
+    cnot_balanced_tree_gates,
+    synthesize_pauli_rotation,
+)
+from repro.synthesis.trotter import synthesize_trotter_circuit
+
+__all__ = [
+    "basis_change_gates",
+    "cnot_chain_gates",
+    "cnot_balanced_tree_gates",
+    "synthesize_pauli_rotation",
+    "synthesize_trotter_circuit",
+]

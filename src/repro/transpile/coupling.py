@@ -1,0 +1,165 @@
+"""Coupling-map models of the evaluation backends.
+
+The paper maps circuits to two devices with limited connectivity: the
+65-qubit IBM Manhattan (heavy-hex lattice) and the 64-qubit Google Sycamore
+(2-D grid).  Real calibration data is not needed — only the connectivity
+graph matters for SWAP-insertion counts — so the maps are generated
+programmatically: an exact 2-D grid for Sycamore and a heavy-hex style
+lattice (degree at most 3) with 65 qubits for Manhattan.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+import networkx as nx
+
+from repro.exceptions import RoutingError
+
+
+class CouplingMap:
+    """An undirected qubit-connectivity graph with cached distances."""
+
+    def __init__(self, num_qubits: int, edges: Iterable[tuple[int, int]], name: str = "custom"):
+        self.num_qubits = int(num_qubits)
+        self.name = name
+        self.graph = nx.Graph()
+        self.graph.add_nodes_from(range(self.num_qubits))
+        for first, second in edges:
+            if not (0 <= first < self.num_qubits and 0 <= second < self.num_qubits):
+                raise RoutingError(f"edge ({first}, {second}) outside 0..{self.num_qubits - 1}")
+            if first == second:
+                raise RoutingError("self-loop edges are not allowed")
+            self.graph.add_edge(int(first), int(second))
+        self._distances: dict[int, dict[int, int]] | None = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def edges(self) -> list[tuple[int, int]]:
+        return [(int(a), int(b)) for a, b in self.graph.edges]
+
+    def neighbors(self, qubit: int) -> list[int]:
+        return sorted(int(n) for n in self.graph.neighbors(qubit))
+
+    def are_connected(self, first: int, second: int) -> bool:
+        return self.graph.has_edge(first, second)
+
+    def is_connected_graph(self) -> bool:
+        return nx.is_connected(self.graph)
+
+    def distance(self, first: int, second: int) -> int:
+        if self._distances is None:
+            self._distances = {
+                int(source): {int(t): int(d) for t, d in lengths.items()}
+                for source, lengths in nx.all_pairs_shortest_path_length(self.graph)
+            }
+        try:
+            return self._distances[first][second]
+        except KeyError as error:
+            raise RoutingError(f"no path between qubits {first} and {second}") from error
+
+    def shortest_path(self, first: int, second: int) -> list[int]:
+        try:
+            return [int(q) for q in nx.shortest_path(self.graph, first, second)]
+        except nx.NetworkXNoPath as error:
+            raise RoutingError(f"no path between qubits {first} and {second}") from error
+
+    def __repr__(self) -> str:
+        return f"CouplingMap({self.name!r}, qubits={self.num_qubits}, edges={len(self.edges)})"
+
+    # ------------------------------------------------------------------ #
+    # Factories
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def fully_connected(cls, num_qubits: int) -> "CouplingMap":
+        edges = [
+            (first, second)
+            for first in range(num_qubits)
+            for second in range(first + 1, num_qubits)
+        ]
+        return cls(num_qubits, edges, name=f"full-{num_qubits}")
+
+    @classmethod
+    def line(cls, num_qubits: int) -> "CouplingMap":
+        edges = [(index, index + 1) for index in range(num_qubits - 1)]
+        return cls(num_qubits, edges, name=f"line-{num_qubits}")
+
+    @classmethod
+    def ring(cls, num_qubits: int) -> "CouplingMap":
+        edges = [(index, (index + 1) % num_qubits) for index in range(num_qubits)]
+        return cls(num_qubits, edges, name=f"ring-{num_qubits}")
+
+    @classmethod
+    def grid(cls, rows: int, columns: int) -> "CouplingMap":
+        """A rows x columns 2-D nearest-neighbour grid."""
+        def index(row: int, column: int) -> int:
+            return row * columns + column
+
+        edges = []
+        for row in range(rows):
+            for column in range(columns):
+                if column + 1 < columns:
+                    edges.append((index(row, column), index(row, column + 1)))
+                if row + 1 < rows:
+                    edges.append((index(row, column), index(row + 1, column)))
+        return cls(rows * columns, edges, name=f"grid-{rows}x{columns}")
+
+    @classmethod
+    def sycamore(cls) -> "CouplingMap":
+        """The 64-qubit 2-D grid stand-in for Google Sycamore used in Fig. 11."""
+        device = cls.grid(8, 8)
+        device.name = "sycamore-64"
+        return device
+
+    @classmethod
+    def heavy_hex(cls, row_count: int = 4, row_length: int = 11) -> "CouplingMap":
+        """A heavy-hex style lattice (degree at most 3, IBM Falcon/Hummingbird style).
+
+        Rows of ``row_length`` qubits are connected linearly; consecutive rows
+        are joined through dedicated bridge qubits attached at alternating
+        columns, which reproduces the sparse degree-2/3 structure that makes
+        heavy-hex routing expensive.
+        """
+        edges: list[tuple[int, int]] = []
+        row_start: list[int] = []
+        next_index = 0
+        for _ in range(row_count):
+            row_start.append(next_index)
+            for column in range(row_length - 1):
+                edges.append((next_index + column, next_index + column + 1))
+            next_index += row_length
+        for row in range(row_count - 1):
+            # Bridges every 4 columns, offset by 2 on odd gaps (heavy-hex pattern).
+            offset = 1 if row % 2 == 0 else 3
+            for column in range(offset, row_length, 4):
+                bridge = next_index
+                next_index += 1
+                edges.append((row_start[row] + column, bridge))
+                edges.append((bridge, row_start[row + 1] + column))
+        return cls(next_index, edges, name=f"heavy-hex-{next_index}")
+
+    @classmethod
+    def ibm_manhattan(cls) -> "CouplingMap":
+        """The 65-qubit heavy-hex stand-in for IBM Manhattan used in Fig. 11."""
+        device = cls.heavy_hex(row_count=5, row_length=11)
+        device.name = "ibm-manhattan-65"
+        return device
+
+
+def bfs_distance(edges: Iterable[tuple[int, int]], num_qubits: int, source: int) -> list[int]:
+    """Breadth-first distances from ``source`` (utility for tests and layouts)."""
+    adjacency: dict[int, list[int]] = {index: [] for index in range(num_qubits)}
+    for first, second in edges:
+        adjacency[first].append(second)
+        adjacency[second].append(first)
+    distances = [-1] * num_qubits
+    distances[source] = 0
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in adjacency[node]:
+            if distances[neighbor] == -1:
+                distances[neighbor] = distances[node] + 1
+                queue.append(neighbor)
+    return distances

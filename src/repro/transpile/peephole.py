@@ -1,0 +1,137 @@
+"""Local (peephole) circuit optimization.
+
+The passes here are the stand-in for "Qiskit optimization level 3" used by the
+paper when reporting the combined QuCLEAR + local-optimization numbers:
+
+* cancellation of adjacent inverse pairs (``cx``/``cx``, ``h``/``h``,
+  ``s``/``sdg``, ...), with commuting gates allowed in between,
+* merging of same-axis rotations on the same qubit and removal of
+  (near-)zero-angle rotations,
+* removal of explicit identity gates.
+
+The passes are iterated until the circuit stops shrinking.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gate import Gate
+
+_SELF_INVERSE = {"h", "x", "y", "z", "cx", "cz", "swap"}
+_INVERSE_PAIRS = {("s", "sdg"), ("sdg", "s"), ("sx", "sxdg"), ("sxdg", "sx")}
+_ROTATIONS = {"rz", "rx", "ry", "rzz"}
+
+#: two full turns are an identity for rotation gates
+_TWO_PI = 2.0 * math.pi
+
+
+def _is_inverse_pair(first: Gate, second: Gate) -> bool:
+    if first.qubits != second.qubits:
+        return False
+    if first.name == second.name and first.name in _SELF_INVERSE:
+        return True
+    return (first.name, second.name) in _INVERSE_PAIRS
+
+
+def gates_commute(first: Gate, second: Gate) -> bool:
+    """Conservative commutation check used when looking for cancellation partners."""
+    if not set(first.qubits) & set(second.qubits):
+        return True
+    if first.is_diagonal and second.is_diagonal:
+        return True
+    shared = set(first.qubits) & set(second.qubits)
+    for gate_a, gate_b in ((first, second), (second, first)):
+        if gate_a.name == "cx":
+            control, target = gate_a.qubits
+            # A gate diagonal in Z on the control commutes with the CNOT.
+            if all(q == control for q in shared) and gate_b.is_diagonal:
+                return True
+            # An X-type gate on the target commutes with the CNOT.
+            if all(q == target for q in shared) and gate_b.name in ("x", "rx", "sx", "sxdg"):
+                return True
+            if gate_b.name == "cx":
+                other_control, other_target = gate_b.qubits
+                if control == other_control and target != other_target:
+                    return True
+                if target == other_target and control != other_control:
+                    return True
+    return False
+
+
+def _cancel_pass(gates: list[Gate]) -> tuple[list[Gate], bool]:
+    """One sweep of inverse-pair cancellation with commutation-aware search."""
+    removed = [False] * len(gates)
+    changed = False
+    for index, gate in enumerate(gates):
+        if removed[index]:
+            continue
+        if gate.name == "i":
+            removed[index] = True
+            changed = True
+            continue
+        if gate.params:
+            continue
+        for later in range(index + 1, len(gates)):
+            if removed[later]:
+                continue
+            other = gates[later]
+            if _is_inverse_pair(gate, other):
+                removed[index] = True
+                removed[later] = True
+                changed = True
+                break
+            if not gates_commute(gate, other):
+                break
+    survivors = [gate for index, gate in enumerate(gates) if not removed[index]]
+    return survivors, changed
+
+
+def _merge_rotations_pass(gates: list[Gate]) -> tuple[list[Gate], bool]:
+    """Merge same-axis rotations separated only by commuting gates."""
+    removed = [False] * len(gates)
+    merged: dict[int, float] = {}
+    changed = False
+    for index, gate in enumerate(gates):
+        if removed[index] or gate.name not in _ROTATIONS:
+            continue
+        angle = merged.get(index, gate.params[0])
+        for later in range(index + 1, len(gates)):
+            if removed[later]:
+                continue
+            other = gates[later]
+            if other.name == gate.name and other.qubits == gate.qubits:
+                angle += merged.get(later, other.params[0])
+                removed[later] = True
+                changed = True
+                continue
+            if not gates_commute(gate, other):
+                break
+        merged[index] = angle
+    survivors: list[Gate] = []
+    for index, gate in enumerate(gates):
+        if removed[index]:
+            continue
+        if index in merged:
+            angle = math.remainder(merged[index], 2.0 * _TWO_PI)
+            if abs(angle) < 1e-12 or abs(abs(angle) - 2.0 * _TWO_PI) < 1e-12:
+                changed = True
+                continue
+            if angle != gate.params[0]:
+                gate = Gate(gate.name, gate.qubits, (angle,))
+            survivors.append(gate)
+        else:
+            survivors.append(gate)
+    return survivors, changed
+
+
+def peephole_optimize(circuit: QuantumCircuit, max_iterations: int = 20) -> QuantumCircuit:
+    """Iterate the local passes until no further reduction happens."""
+    gates = circuit.gates
+    for _ in range(max_iterations):
+        gates, cancelled = _cancel_pass(gates)
+        gates, merged = _merge_rotations_pass(gates)
+        if not cancelled and not merged:
+            break
+    return QuantumCircuit(circuit.num_qubits, gates)

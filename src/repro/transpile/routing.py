@@ -1,0 +1,180 @@
+"""SWAP-insertion routing onto a limited-connectivity coupling map.
+
+A lightweight SABRE-style router: gates are processed in program order and a
+SWAP chain along the shortest path is inserted whenever a two-qubit gate acts
+on non-adjacent physical qubits.  Two initial-layout strategies are provided
+(trivial, and a greedy interaction-based placement).  The routed circuit ends
+with the logical-to-physical permutation recorded in the result so that
+measurement post-processing can undo it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gate import Gate
+from repro.exceptions import RoutingError
+from repro.transpile.coupling import CouplingMap
+
+
+@dataclass
+class RoutingResult:
+    """Routed circuit plus the bookkeeping needed to interpret its outputs."""
+
+    circuit: QuantumCircuit
+    coupling: CouplingMap
+    initial_layout: dict[int, int]
+    final_layout: dict[int, int]
+    swap_count: int
+    metadata: dict = field(default_factory=dict)
+
+    def cx_count(self) -> int:
+        """CNOT count of the routed circuit with SWAPs costed as 3 CNOTs."""
+        return self.circuit.cx_count()
+
+
+def _trivial_layout(num_logical: int) -> dict[int, int]:
+    return {logical: logical for logical in range(num_logical)}
+
+
+def _greedy_layout(circuit: QuantumCircuit, coupling: CouplingMap) -> dict[int, int]:
+    """Place the most strongly interacting logical pairs on adjacent physical qubits."""
+    interaction: Counter = Counter()
+    for gate in circuit:
+        if gate.num_qubits == 2:
+            pair = tuple(sorted(gate.qubits))
+            interaction[pair] += 1
+    layout: dict[int, int] = {}
+    used_physical: set[int] = set()
+
+    def place(logical: int, physical: int) -> None:
+        layout[logical] = physical
+        used_physical.add(physical)
+
+    # Seed with the hottest pair on the highest-degree edge.
+    if interaction:
+        hottest_pair = interaction.most_common(1)[0][0]
+        best_edge = max(
+            coupling.edges,
+            key=lambda edge: len(coupling.neighbors(edge[0])) + len(coupling.neighbors(edge[1])),
+        )
+        place(hottest_pair[0], best_edge[0])
+        place(hottest_pair[1], best_edge[1])
+    for (first, second), _ in interaction.most_common():
+        for logical, partner in ((first, second), (second, first)):
+            if logical in layout or partner not in layout:
+                continue
+            anchor = layout[partner]
+            candidates = [
+                physical
+                for physical in coupling.neighbors(anchor)
+                if physical not in used_physical
+            ]
+            if not candidates:
+                candidates = [
+                    physical
+                    for physical in range(coupling.num_qubits)
+                    if physical not in used_physical
+                ]
+                candidates.sort(key=lambda physical: coupling.distance(anchor, physical))
+            place(logical, candidates[0])
+    for logical in range(circuit.num_qubits):
+        if logical not in layout:
+            free = [p for p in range(coupling.num_qubits) if p not in used_physical]
+            if not free:
+                raise RoutingError("device has fewer qubits than the circuit")
+            place(logical, free[0])
+    return layout
+
+
+def route_circuit(
+    circuit: QuantumCircuit,
+    coupling: CouplingMap,
+    initial_layout: str | dict[int, int] = "greedy",
+    decompose_swaps: bool = False,
+) -> RoutingResult:
+    """Insert SWAPs so every two-qubit gate acts on coupled physical qubits.
+
+    Parameters
+    ----------
+    circuit:
+        Logical circuit to map.
+    coupling:
+        Target connectivity graph; must have at least as many qubits as the
+        circuit and be connected.
+    initial_layout:
+        ``"trivial"``, ``"greedy"`` or an explicit logical-to-physical map.
+    decompose_swaps:
+        When True, inserted SWAPs are emitted as three CNOTs.
+    """
+    if circuit.num_qubits > coupling.num_qubits:
+        raise RoutingError(
+            f"circuit needs {circuit.num_qubits} qubits, device has {coupling.num_qubits}"
+        )
+    if not coupling.is_connected_graph():
+        raise RoutingError("the coupling graph is not connected")
+
+    if isinstance(initial_layout, dict):
+        layout = dict(initial_layout)
+    elif initial_layout == "trivial":
+        layout = _trivial_layout(circuit.num_qubits)
+    elif initial_layout == "greedy":
+        layout = _greedy_layout(circuit, coupling)
+    else:
+        raise RoutingError(f"unknown initial layout strategy {initial_layout!r}")
+    if len(set(layout.values())) != len(layout):
+        raise RoutingError("initial layout maps two logical qubits to the same physical qubit")
+
+    physical_of = dict(layout)
+    routed = QuantumCircuit(coupling.num_qubits)
+    swap_count = 0
+
+    def emit_swap(physical_a: int, physical_b: int) -> None:
+        nonlocal swap_count
+        if decompose_swaps:
+            routed.cx(physical_a, physical_b)
+            routed.cx(physical_b, physical_a)
+            routed.cx(physical_a, physical_b)
+        else:
+            routed.swap(physical_a, physical_b)
+        swap_count += 1
+
+    inverse_layout = {physical: logical for logical, physical in physical_of.items()}
+
+    for gate in circuit:
+        if gate.num_qubits == 1:
+            routed.append(Gate(gate.name, (physical_of[gate.qubits[0]],), gate.params))
+            continue
+        logical_a, logical_b = gate.qubits
+        physical_a = physical_of[logical_a]
+        physical_b = physical_of[logical_b]
+        if not coupling.are_connected(physical_a, physical_b):
+            path = coupling.shortest_path(physical_a, physical_b)
+            # Move qubit a along the path until adjacent to qubit b.
+            for step in range(len(path) - 2):
+                here, there = path[step], path[step + 1]
+                emit_swap(here, there)
+                logical_here = inverse_layout.get(here)
+                logical_there = inverse_layout.get(there)
+                if logical_here is not None:
+                    physical_of[logical_here] = there
+                if logical_there is not None:
+                    physical_of[logical_there] = here
+                inverse_layout[here], inverse_layout[there] = (
+                    logical_there,
+                    logical_here,
+                )
+            physical_a = physical_of[logical_a]
+            physical_b = physical_of[logical_b]
+        routed.append(Gate(gate.name, (physical_a, physical_b), gate.params))
+
+    return RoutingResult(
+        circuit=routed,
+        coupling=coupling,
+        initial_layout=layout,
+        final_layout=dict(physical_of),
+        swap_count=swap_count,
+        metadata={"decompose_swaps": decompose_swaps},
+    )

@@ -1,0 +1,46 @@
+"""Workload generators reproducing the paper's benchmark suite (Table II).
+
+* :mod:`repro.workloads.fermion` — fermionic ladder operators and the
+  Jordan–Wigner transform (the substrate behind the UCCSD ansatz).
+* :mod:`repro.workloads.uccsd` — UCCSD ansatz Pauli-rotation programs.
+* :mod:`repro.workloads.molecules` — synthetic molecular Hamiltonians with the
+  qubit counts and term counts of the paper's LiH / H2O / benzene benchmarks.
+* :mod:`repro.workloads.qaoa` — QAOA programs for MaxCut and LABS.
+* :mod:`repro.workloads.registry` — the named benchmark table.
+"""
+
+from repro.workloads.fermion import FermionicOperator, jordan_wigner
+from repro.workloads.uccsd import uccsd_ansatz_terms, uccsd_excitations
+from repro.workloads.molecules import (
+    molecular_hamiltonian,
+    hamiltonian_simulation_terms,
+    synthetic_electronic_hamiltonian,
+)
+from repro.workloads.qaoa import (
+    labs_hamiltonian,
+    labs_qaoa_terms,
+    maxcut_hamiltonian,
+    maxcut_qaoa_terms,
+    random_graph,
+    regular_graph,
+)
+from repro.workloads.registry import Benchmark, get_benchmark, list_benchmarks
+
+__all__ = [
+    "FermionicOperator",
+    "jordan_wigner",
+    "uccsd_ansatz_terms",
+    "uccsd_excitations",
+    "molecular_hamiltonian",
+    "hamiltonian_simulation_terms",
+    "synthetic_electronic_hamiltonian",
+    "labs_hamiltonian",
+    "labs_qaoa_terms",
+    "maxcut_hamiltonian",
+    "maxcut_qaoa_terms",
+    "random_graph",
+    "regular_graph",
+    "Benchmark",
+    "get_benchmark",
+    "list_benchmarks",
+]

@@ -1,0 +1,180 @@
+"""Fermionic operators and the Jordan–Wigner transform.
+
+This is the substrate behind the UCCSD benchmark generator: excitation
+operators are built from creation/annihilation ladder operators, mapped to
+qubit operators with the Jordan–Wigner encoding
+
+    a_p      = Z_0 ... Z_{p-1} (X_p + i Y_p) / 2
+    a_p^dag  = Z_0 ... Z_{p-1} (X_p - i Y_p) / 2
+
+and accumulated as complex-weighted Pauli sums.  Only the functionality the
+UCCSD generator needs is implemented (products, addition, Hermitian
+conjugation), but it is implemented exactly, including all phases.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+from repro.paulis.pauli import PauliString
+from repro.paulis.sum import SparsePauliSum
+from repro.paulis.term import PauliTerm
+
+
+class ComplexPauliSum:
+    """A complex-weighted sum of Pauli strings (internal JW accumulator)."""
+
+    def __init__(self, num_qubits: int):
+        self.num_qubits = int(num_qubits)
+        self._coefficients: dict[tuple[bytes, bytes], complex] = {}
+        self._templates: dict[tuple[bytes, bytes], PauliString] = {}
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def zero(cls, num_qubits: int) -> "ComplexPauliSum":
+        return cls(num_qubits)
+
+    @classmethod
+    def from_pauli(cls, pauli: PauliString, coefficient: complex = 1.0) -> "ComplexPauliSum":
+        result = cls(pauli.num_qubits)
+        result.add_pauli(pauli, coefficient)
+        return result
+
+    def copy(self) -> "ComplexPauliSum":
+        clone = ComplexPauliSum(self.num_qubits)
+        clone._coefficients = dict(self._coefficients)
+        clone._templates = dict(self._templates)
+        return clone
+
+    # ------------------------------------------------------------------ #
+    def add_pauli(self, pauli: PauliString, coefficient: complex) -> None:
+        bare = pauli.bare()
+        weight = coefficient * complex(pauli.sign)
+        key = (bare.x.tobytes(), bare.z.tobytes())
+        self._coefficients[key] = self._coefficients.get(key, 0.0) + weight
+        self._templates.setdefault(key, bare)
+
+    def items(self) -> list[tuple[PauliString, complex]]:
+        return [
+            (self._templates[key], coefficient)
+            for key, coefficient in self._coefficients.items()
+            if abs(coefficient) > 1e-12
+        ]
+
+    def __len__(self) -> int:
+        return len(self.items())
+
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: "ComplexPauliSum") -> "ComplexPauliSum":
+        result = self.copy()
+        for pauli, coefficient in other.items():
+            result.add_pauli(pauli, coefficient)
+        return result
+
+    def __sub__(self, other: "ComplexPauliSum") -> "ComplexPauliSum":
+        result = self.copy()
+        for pauli, coefficient in other.items():
+            result.add_pauli(pauli, -coefficient)
+        return result
+
+    def __mul__(self, other: "ComplexPauliSum") -> "ComplexPauliSum":
+        result = ComplexPauliSum(self.num_qubits)
+        for left, left_coefficient in self.items():
+            for right, right_coefficient in other.items():
+                result.add_pauli(left @ right, left_coefficient * right_coefficient)
+        return result
+
+    def scaled(self, factor: complex) -> "ComplexPauliSum":
+        result = ComplexPauliSum(self.num_qubits)
+        for pauli, coefficient in self.items():
+            result.add_pauli(pauli, coefficient * factor)
+        return result
+
+    def adjoint(self) -> "ComplexPauliSum":
+        result = ComplexPauliSum(self.num_qubits)
+        for pauli, coefficient in self.items():
+            result.add_pauli(pauli, np.conj(coefficient))
+        return result
+
+    def to_hermitian_sum(self, tolerance: float = 1e-10) -> SparsePauliSum:
+        """Convert to a real-weighted sum; raises when any weight is not real."""
+        terms = []
+        for pauli, coefficient in self.items():
+            if abs(coefficient.imag) > tolerance:
+                raise WorkloadError(
+                    f"operator is not Hermitian: coefficient {coefficient} on "
+                    f"{pauli.to_label(include_sign=False)}"
+                )
+            terms.append(PauliTerm(pauli.copy(), float(coefficient.real)))
+        if not terms:
+            terms = [PauliTerm(PauliString.identity(self.num_qubits), 0.0)]
+        return SparsePauliSum(terms)
+
+
+class FermionicOperator:
+    """A product of fermionic ladder operators, e.g. ``a_3^dag a_1``."""
+
+    def __init__(self, factors: Sequence[tuple[int, bool]]):
+        #: list of (mode, is_creation) pairs, applied right to left as operators
+        self.factors = [(int(mode), bool(creation)) for mode, creation in factors]
+
+    @classmethod
+    def creation(cls, mode: int) -> "FermionicOperator":
+        return cls([(mode, True)])
+
+    @classmethod
+    def annihilation(cls, mode: int) -> "FermionicOperator":
+        return cls([(mode, False)])
+
+    def __mul__(self, other: "FermionicOperator") -> "FermionicOperator":
+        return FermionicOperator(self.factors + other.factors)
+
+    def adjoint(self) -> "FermionicOperator":
+        return FermionicOperator(
+            [(mode, not creation) for mode, creation in reversed(self.factors)]
+        )
+
+    def __repr__(self) -> str:
+        body = " ".join(
+            f"a{mode}^" if creation else f"a{mode}" for mode, creation in self.factors
+        )
+        return f"FermionicOperator({body})"
+
+
+def _jordan_wigner_ladder(mode: int, creation: bool, num_modes: int) -> ComplexPauliSum:
+    """JW image of a single ladder operator."""
+    if not 0 <= mode < num_modes:
+        raise WorkloadError(f"mode {mode} outside 0..{num_modes - 1}")
+    z_chain = [(lower, "Z") for lower in range(mode)]
+    x_part = PauliString.from_sparse(num_modes, z_chain + [(mode, "X")])
+    y_part = PauliString.from_sparse(num_modes, z_chain + [(mode, "Y")])
+    result = ComplexPauliSum(num_modes)
+    result.add_pauli(x_part, 0.5)
+    result.add_pauli(y_part, -0.5j if creation else 0.5j)
+    return result
+
+
+def jordan_wigner(operator: FermionicOperator, num_modes: int) -> ComplexPauliSum:
+    """Jordan–Wigner transform of a product of ladder operators."""
+    result = ComplexPauliSum.from_pauli(PauliString.identity(num_modes), 1.0)
+    for mode, creation in operator.factors:
+        result = result * _jordan_wigner_ladder(mode, creation, num_modes)
+    return result
+
+
+def anti_hermitian_excitation(
+    creation_modes: Iterable[int],
+    annihilation_modes: Iterable[int],
+    num_modes: int,
+    amplitude: complex = 1.0,
+) -> ComplexPauliSum:
+    """JW image of ``t T - conj(t) T†`` for ``T = a†_{p1} a†_{p2} ... a_{q2} a_{q1}``."""
+    factors: list[tuple[int, bool]] = [(mode, True) for mode in creation_modes]
+    factors += [(mode, False) for mode in annihilation_modes]
+    excitation = FermionicOperator(factors)
+    forward = jordan_wigner(excitation, num_modes).scaled(amplitude)
+    backward = jordan_wigner(excitation.adjoint(), num_modes).scaled(np.conj(amplitude))
+    return forward - backward

@@ -1,0 +1,197 @@
+"""The named benchmark suite of the paper (Table II).
+
+Every entry resolves lazily to a Pauli-rotation program (and, for chemistry
+benchmarks, to the observable set measured by VQE).  The published qubit and
+Pauli counts are kept alongside so that the Table II reproduction can report
+"paper vs. measured" in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.exceptions import WorkloadError
+from repro.paulis.sum import SparsePauliSum
+from repro.paulis.term import PauliTerm
+from repro.workloads.molecules import (
+    hamiltonian_simulation_terms,
+    molecular_hamiltonian,
+    synthetic_electronic_hamiltonian,
+)
+from repro.workloads.qaoa import (
+    labs_qaoa_terms,
+    maxcut_qaoa_terms,
+    random_graph,
+    regular_graph,
+)
+from repro.workloads.uccsd import uccsd_ansatz_terms
+
+
+@dataclass
+class Benchmark:
+    """One row of the paper's Table II."""
+
+    name: str
+    category: str
+    num_qubits: int
+    #: published number of Pauli rotations (Table II "#Pauli")
+    paper_num_paulis: int
+    #: published native CNOT count (Table II "#CNOT")
+    paper_num_cnots: int
+    #: the measurement style the workload needs ("observables" or "probabilities")
+    measurement: str
+    _terms_factory: Callable[[], list[PauliTerm]] = field(repr=False)
+    _observables_factory: Callable[[], SparsePauliSum] | None = field(default=None, repr=False)
+
+    def terms(self) -> list[PauliTerm]:
+        """The Pauli-rotation program of this benchmark."""
+        return self._terms_factory()
+
+    def observables(self) -> SparsePauliSum:
+        """The observable set (chemistry benchmarks only)."""
+        if self._observables_factory is None:
+            raise WorkloadError(f"benchmark {self.name!r} is measured in the computational basis")
+        return self._observables_factory()
+
+
+def _uccsd_entry(name: str, electrons: int, orbitals: int, paulis: int, cnots: int) -> Benchmark:
+    return Benchmark(
+        name=name,
+        category="UCCSD",
+        num_qubits=orbitals,
+        paper_num_paulis=paulis,
+        paper_num_cnots=cnots,
+        measurement="observables",
+        _terms_factory=lambda: uccsd_ansatz_terms(electrons, orbitals),
+        # VQE measures a molecular Hamiltonian on the same register; a seeded
+        # synthetic Hamiltonian with ~2 n^2 terms stands in for it.
+        _observables_factory=lambda: synthetic_electronic_hamiltonian(
+            orbitals, 2 * orbitals * orbitals
+        ),
+    )
+
+
+def _molecule_entry(name: str, paulis: int, cnots: int) -> Benchmark:
+    molecule_qubits = {"LiH": 6, "H2O": 8, "benzene": 12}
+    return Benchmark(
+        name=name,
+        category="Hamiltonian simulation",
+        num_qubits=molecule_qubits[name],
+        paper_num_paulis=paulis,
+        paper_num_cnots=cnots,
+        measurement="observables",
+        _terms_factory=lambda: hamiltonian_simulation_terms(name),
+        _observables_factory=lambda: molecular_hamiltonian(name),
+    )
+
+
+def _labs_entry(name: str, num_qubits: int, paulis: int, cnots: int) -> Benchmark:
+    return Benchmark(
+        name=name,
+        category="QAOA LABS",
+        num_qubits=num_qubits,
+        paper_num_paulis=paulis,
+        paper_num_cnots=cnots,
+        measurement="probabilities",
+        _terms_factory=lambda: labs_qaoa_terms(num_qubits),
+    )
+
+
+def _maxcut_regular_entry(
+    name: str, num_qubits: int, degree: int, paulis: int, cnots: int
+) -> Benchmark:
+    return Benchmark(
+        name=name,
+        category="QAOA MaxCut",
+        num_qubits=num_qubits,
+        paper_num_paulis=paulis,
+        paper_num_cnots=cnots,
+        measurement="probabilities",
+        _terms_factory=lambda: maxcut_qaoa_terms(regular_graph(num_qubits, degree)),
+    )
+
+
+def _maxcut_random_entry(
+    name: str, num_qubits: int, num_edges: int, paulis: int, cnots: int
+) -> Benchmark:
+    return Benchmark(
+        name=name,
+        category="QAOA MaxCut",
+        num_qubits=num_qubits,
+        paper_num_paulis=paulis,
+        paper_num_cnots=cnots,
+        measurement="probabilities",
+        _terms_factory=lambda: maxcut_qaoa_terms(random_graph(num_qubits, num_edges)),
+    )
+
+
+_BENCHMARKS: dict[str, Benchmark] = {
+    benchmark.name: benchmark
+    for benchmark in [
+        _uccsd_entry("UCC-(2,4)", 2, 4, 24, 128),
+        _uccsd_entry("UCC-(2,6)", 2, 6, 80, 544),
+        _uccsd_entry("UCC-(4,8)", 4, 8, 320, 2624),
+        _uccsd_entry("UCC-(6,12)", 6, 12, 1656, 18048),
+        _uccsd_entry("UCC-(8,16)", 8, 16, 5376, 72960),
+        _uccsd_entry("UCC-(10,20)", 10, 20, 13400, 217600),
+        _molecule_entry("LiH", 61, 254),
+        _molecule_entry("H2O", 184, 1088),
+        _molecule_entry("benzene", 1254, 10060),
+        _labs_entry("LABS-(n10)", 10, 80, 340),
+        _labs_entry("LABS-(n15)", 15, 267, 1316),
+        _labs_entry("LABS-(n20)", 20, 635, 3330),
+        _maxcut_regular_entry("MaxCut-(n15, r4)", 15, 4, 45, 60),
+        _maxcut_regular_entry("MaxCut-(n20, r4)", 20, 4, 60, 80),
+        _maxcut_regular_entry("MaxCut-(n20, r8)", 20, 8, 100, 160),
+        _maxcut_regular_entry("MaxCut-(n20, r12)", 20, 12, 140, 240),
+        _maxcut_random_entry("MaxCut-(n10, e12)", 10, 12, 22, 24),
+        _maxcut_random_entry("MaxCut-(n15, e63)", 15, 63, 78, 126),
+        _maxcut_random_entry("MaxCut-(n20, e117)", 20, 117, 137, 234),
+    ]
+}
+
+#: benchmarks small enough to recompile in seconds; used as the default set of
+#: the pytest-benchmark harness (the full set is enabled with REPRO_FULL=1)
+SMALL_BENCHMARKS = [
+    "UCC-(2,4)",
+    "UCC-(2,6)",
+    "LiH",
+    "H2O",
+    "LABS-(n10)",
+    "MaxCut-(n15, r4)",
+    "MaxCut-(n10, e12)",
+    "MaxCut-(n15, e63)",
+]
+
+#: mid-size benchmarks added by the "medium" tier
+MEDIUM_BENCHMARKS = SMALL_BENCHMARKS + [
+    "UCC-(4,8)",
+    "LABS-(n15)",
+    "MaxCut-(n20, r4)",
+    "MaxCut-(n20, r8)",
+    "MaxCut-(n20, r12)",
+    "MaxCut-(n20, e117)",
+]
+
+
+def list_benchmarks(category: str | None = None) -> list[Benchmark]:
+    """All benchmarks, optionally filtered by category."""
+    benchmarks = list(_BENCHMARKS.values())
+    if category is not None:
+        benchmarks = [b for b in benchmarks if b.category == category]
+    return benchmarks
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Look up one benchmark by its Table II name."""
+    try:
+        return _BENCHMARKS[name]
+    except KeyError as error:
+        raise WorkloadError(
+            f"unknown benchmark {name!r}; available: {sorted(_BENCHMARKS)}"
+        ) from error
+
+
+def benchmark_names() -> list[str]:
+    return list(_BENCHMARKS)

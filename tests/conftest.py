@@ -1,0 +1,70 @@
+"""Shared test helpers: random circuit/Pauli generators and matrix utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gate import Gate
+from repro.paulis.pauli import PauliString
+from repro.paulis.term import PauliTerm
+
+CLIFFORD_GATE_POOL_1Q = ["h", "s", "sdg", "x", "y", "z", "sx", "sxdg"]
+CLIFFORD_GATE_POOL_2Q = ["cx", "cz", "swap"]
+PAULI_LETTERS = "IXYZ"
+
+
+def random_pauli(rng: np.random.Generator, num_qubits: int, allow_sign: bool = True) -> PauliString:
+    label = "".join(rng.choice(list(PAULI_LETTERS)) for _ in range(num_qubits))
+    sign = int(rng.choice([1, -1])) if allow_sign else 1
+    return PauliString.from_label(label, sign=sign)
+
+
+def random_nontrivial_pauli(rng: np.random.Generator, num_qubits: int) -> PauliString:
+    while True:
+        pauli = random_pauli(rng, num_qubits)
+        if not pauli.is_identity():
+            return pauli
+
+
+def random_clifford_circuit(
+    rng: np.random.Generator, num_qubits: int, num_gates: int
+) -> QuantumCircuit:
+    circuit = QuantumCircuit(num_qubits)
+    for _ in range(num_gates):
+        if num_qubits > 1 and rng.random() < 0.4:
+            name = str(rng.choice(CLIFFORD_GATE_POOL_2Q))
+            qubits = rng.choice(num_qubits, size=2, replace=False)
+            circuit.append(Gate(name, (int(qubits[0]), int(qubits[1]))))
+        else:
+            name = str(rng.choice(CLIFFORD_GATE_POOL_1Q))
+            qubit = int(rng.integers(num_qubits))
+            circuit.append(Gate(name, (qubit,)))
+    return circuit
+
+
+def random_pauli_terms(
+    rng: np.random.Generator, num_qubits: int, num_terms: int
+) -> list[PauliTerm]:
+    terms = []
+    for _ in range(num_terms):
+        pauli = random_nontrivial_pauli(rng, num_qubits).bare()
+        angle = float(rng.uniform(-np.pi, np.pi))
+        terms.append(PauliTerm(pauli, angle))
+    return terms
+
+
+def pauli_rotation_matrix(term: PauliTerm) -> np.ndarray:
+    """Exact matrix of exp(-i * theta/2 * P) via eigendecomposition of P."""
+    matrix = term.pauli.to_matrix()
+    dimension = matrix.shape[0]
+    identity = np.eye(dimension)
+    # P**2 = I for Hermitian Paulis, so the exponential has a closed form.
+    theta = term.coefficient
+    return np.cos(theta / 2) * identity - 1j * np.sin(theta / 2) * matrix
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

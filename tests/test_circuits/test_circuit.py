@@ -1,0 +1,219 @@
+"""Unit tests for the Gate and QuantumCircuit substrate."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gate import Gate
+from repro.circuits.statevector import Statevector, circuit_unitary, circuits_equivalent
+from repro.exceptions import CircuitError
+
+from tests.conftest import random_clifford_circuit
+
+
+class TestGate:
+    def test_invalid_name(self):
+        with pytest.raises(CircuitError):
+            Gate("foo", (0,))
+
+    def test_wrong_arity(self):
+        with pytest.raises(CircuitError):
+            Gate("cx", (0,))
+        with pytest.raises(CircuitError):
+            Gate("h", (0, 1))
+
+    def test_repeated_qubits(self):
+        with pytest.raises(CircuitError):
+            Gate("cx", (1, 1))
+
+    def test_rotation_needs_angle(self):
+        with pytest.raises(CircuitError):
+            Gate("rz", (0,))
+
+    def test_fixed_gate_rejects_params(self):
+        with pytest.raises(CircuitError):
+            Gate("h", (0,), (0.3,))
+
+    def test_inverse_of_clifford(self):
+        assert Gate("s", (0,)).inverse() == Gate("sdg", (0,))
+        assert Gate("cx", (0, 1)).inverse() == Gate("cx", (0, 1))
+
+    def test_inverse_of_rotation(self):
+        assert Gate("rz", (0,), (0.5,)).inverse() == Gate("rz", (0,), (-0.5,))
+
+    def test_matrices_are_unitary(self):
+        for name in ["h", "s", "sdg", "x", "y", "z", "sx", "sxdg"]:
+            matrix = Gate(name, (0,)).matrix()
+            assert np.allclose(matrix @ matrix.conj().T, np.eye(2))
+        for name in ["cx", "cz", "swap"]:
+            matrix = Gate(name, (0, 1)).matrix()
+            assert np.allclose(matrix @ matrix.conj().T, np.eye(4))
+
+    def test_remapped(self):
+        gate = Gate("cx", (0, 1)).remapped({0: 3, 1: 2})
+        assert gate.qubits == (3, 2)
+
+    def test_is_diagonal(self):
+        assert Gate("rz", (0,), (0.1,)).is_diagonal
+        assert not Gate("h", (0,)).is_diagonal
+
+
+class TestQuantumCircuit:
+    def test_append_out_of_range(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            circuit.h(5)
+
+    def test_builder_helpers(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).rz(0.3, 1).cx(0, 1).h(0)
+        assert len(circuit) == 5
+        assert circuit.count_ops()["cx"] == 2
+
+    def test_cx_count_counts_swap_as_three(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1).swap(0, 1)
+        assert circuit.cx_count() == 4
+
+    def test_single_qubit_count_ignores_identity(self):
+        circuit = QuantumCircuit(1)
+        circuit.i(0).h(0)
+        assert circuit.single_qubit_count() == 1
+
+    def test_depth(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).h(1).cx(0, 1).cx(1, 2)
+        assert circuit.depth() == 3
+        assert circuit.entangling_depth() == 2
+
+    def test_entangling_depth_parallel_gates(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1).cx(2, 3)
+        assert circuit.entangling_depth() == 1
+
+    def test_compose_sizes_must_match(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(2).compose(QuantumCircuit(3))
+
+    def test_inverse_roundtrip_is_identity(self, rng):
+        circuit = random_clifford_circuit(rng, 3, 15)
+        roundtrip = circuit.compose(circuit.inverse())
+        identity = QuantumCircuit(3)
+        assert circuits_equivalent(roundtrip, identity)
+
+    def test_remapped(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        mapped = circuit.remapped({0: 2, 1: 0}, num_qubits=3)
+        assert mapped.gates[0].qubits == (2, 0)
+
+    def test_metrics_keys(self):
+        metrics = QuantumCircuit(2).metrics()
+        assert set(metrics) == {
+            "num_qubits",
+            "total_gates",
+            "cx_count",
+            "single_qubit_count",
+            "depth",
+            "entangling_depth",
+        }
+
+    def test_used_qubits(self):
+        circuit = QuantumCircuit(5)
+        circuit.h(1).cx(3, 4)
+        assert circuit.used_qubits() == [1, 3, 4]
+
+    def test_num_parameters(self):
+        circuit = QuantumCircuit(1)
+        circuit.rz(0.1, 0).rx(0.2, 0).h(0)
+        assert circuit.num_parameters() == 2
+
+
+class TestStatevector:
+    def test_initial_state(self):
+        state = Statevector(2)
+        assert np.allclose(state.data, [1, 0, 0, 0])
+
+    def test_x_gate(self):
+        circuit = QuantumCircuit(2)
+        circuit.x(0)
+        state = Statevector.from_circuit(circuit)
+        assert np.allclose(state.data, [0, 1, 0, 0])
+
+    def test_cx_control_is_first_qubit(self):
+        circuit = QuantumCircuit(2)
+        circuit.x(0).cx(0, 1)
+        state = Statevector.from_circuit(circuit)
+        # Control qubit 0 set, so target qubit 1 flips -> |11> = index 3.
+        assert np.allclose(state.data, [0, 0, 0, 1])
+
+    def test_bell_state(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1)
+        state = Statevector.from_circuit(circuit)
+        assert np.allclose(state.data, [1 / np.sqrt(2), 0, 0, 1 / np.sqrt(2)])
+
+    def test_ghz_probabilities(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).cx(1, 2)
+        probabilities = Statevector.from_circuit(circuit).probability_dict()
+        assert set(probabilities) == {"000", "111"}
+        assert probabilities["000"] == pytest.approx(0.5)
+
+    def test_expectation_value_z(self):
+        circuit = QuantumCircuit(1)
+        circuit.x(0)
+        state = Statevector.from_circuit(circuit)
+        from repro.paulis.pauli import PauliString
+
+        assert state.expectation_value(PauliString.from_label("Z")) == pytest.approx(-1.0)
+
+    def test_expectation_value_sum(self):
+        from repro.paulis.sum import SparsePauliSum
+
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        state = Statevector.from_circuit(circuit)
+        observable = SparsePauliSum.from_labels(["X", "Z"], [2.0, 3.0])
+        assert state.expectation_value(observable) == pytest.approx(2.0)
+
+    def test_sample_counts_total(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        counts = Statevector.from_circuit(circuit).sample_counts(200, seed=7)
+        assert sum(counts.values()) == 200
+        assert set(counts) <= {"00", "01"}
+
+    def test_circuit_unitary_of_x(self):
+        circuit = QuantumCircuit(1)
+        circuit.x(0)
+        assert np.allclose(circuit_unitary(circuit), np.array([[0, 1], [1, 0]]))
+
+    def test_circuits_equivalent_up_to_phase(self):
+        first = QuantumCircuit(1)
+        first.z(0)
+        second = QuantumCircuit(1)
+        second.s(0).s(0)
+        assert circuits_equivalent(first, second)
+
+    def test_circuits_not_equivalent(self):
+        first = QuantumCircuit(1)
+        first.x(0)
+        second = QuantumCircuit(1)
+        second.z(0)
+        assert not circuits_equivalent(first, second)
+
+    def test_gate_matrix_agreement_random(self, rng):
+        # Statevector application must agree with the dense unitary product.
+        circuit = random_clifford_circuit(rng, 3, 12)
+        state = Statevector.from_circuit(circuit)
+        unitary = circuit_unitary(circuit)
+        initial = np.zeros(8, dtype=complex)
+        initial[0] = 1
+        assert np.allclose(state.data, unitary @ initial)
+
+    def test_equiv_global_phase(self):
+        circuit = QuantumCircuit(1)
+        circuit.z(0).x(0).z(0).x(0)
+        state = Statevector.from_circuit(circuit)
+        assert state.equiv(Statevector(1))

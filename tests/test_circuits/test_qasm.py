@@ -1,0 +1,80 @@
+"""OpenQASM 2.0 export / import tests."""
+
+import math
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.qasm import from_qasm, to_qasm
+from repro.circuits.statevector import circuits_equivalent
+from repro.exceptions import CircuitError
+
+from tests.conftest import random_clifford_circuit, random_pauli_terms
+
+
+class TestQasmExport:
+    def test_header_and_register(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        text = to_qasm(circuit)
+        assert "OPENQASM 2.0;" in text
+        assert "qreg q[3];" in text
+        assert "h q[0];" in text
+
+    def test_parameterised_gate(self):
+        circuit = QuantumCircuit(1)
+        circuit.rz(0.25, 0)
+        assert "rz(0.25) q[0];" in to_qasm(circuit)
+
+    def test_two_qubit_gate_order(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(1, 0)
+        assert "cx q[1], q[0];" in to_qasm(circuit)
+
+
+class TestQasmRoundTrip:
+    def test_clifford_roundtrip(self, rng):
+        for _ in range(5):
+            circuit = random_clifford_circuit(rng, 3, 15)
+            parsed = from_qasm(to_qasm(circuit))
+            assert parsed == circuit
+
+    def test_trotter_roundtrip_equivalence(self, rng):
+        from repro.synthesis.trotter import synthesize_trotter_circuit
+
+        terms = random_pauli_terms(rng, 3, 4)
+        circuit = synthesize_trotter_circuit(terms)
+        parsed = from_qasm(to_qasm(circuit))
+        assert circuits_equivalent(circuit, parsed)
+
+    def test_pi_expression(self):
+        text = "\n".join(
+            ["OPENQASM 2.0;", 'include "qelib1.inc";', "qreg q[1];", "rz(pi/2) q[0];"]
+        )
+        parsed = from_qasm(text)
+        assert parsed.gates[0].params[0] == pytest.approx(math.pi / 2)
+
+    def test_comments_and_measure_ignored(self):
+        text = "\n".join(
+            [
+                "OPENQASM 2.0;",
+                "qreg q[2];",
+                "creg c[2];",
+                "h q[0]; // comment",
+                "measure q[0] -> c[0];",
+            ]
+        )
+        parsed = from_qasm(text)
+        assert len(parsed) == 1
+
+    def test_missing_register(self):
+        with pytest.raises(CircuitError):
+            from_qasm("OPENQASM 2.0;\nh q[0];")
+
+    def test_unknown_gate(self):
+        with pytest.raises(CircuitError):
+            from_qasm("OPENQASM 2.0;\nqreg q[1];\nfoo q[0];")
+
+    def test_malicious_parameter_rejected(self):
+        with pytest.raises(CircuitError):
+            from_qasm("OPENQASM 2.0;\nqreg q[1];\nrz(__import__) q[0];")

@@ -1,0 +1,189 @@
+"""Conjugation rules, tableau and stabilizer simulator tests.
+
+Every rule is cross-checked against explicit matrix conjugation, which makes
+these tests the ground truth for the phase conventions used by the Clifford
+Extraction and Absorption modules.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gate import Gate
+from repro.circuits.statevector import Statevector, circuit_unitary
+from repro.clifford.conjugation import conjugate_pauli_by_circuit, conjugate_pauli_by_gate
+from repro.clifford.stabilizer import StabilizerState
+from repro.clifford.tableau import CliffordTableau
+from repro.exceptions import CliffordError
+from repro.paulis.pauli import PauliString
+
+from tests.conftest import random_clifford_circuit, random_pauli
+
+
+def _embed_gate_matrix(gate: Gate, num_qubits: int) -> np.ndarray:
+    circuit = QuantumCircuit(num_qubits)
+    circuit.append(gate)
+    return circuit_unitary(circuit)
+
+
+class TestSingleGateConjugation:
+    @pytest.mark.parametrize("gate_name", ["i", "h", "s", "sdg", "x", "y", "z", "sx", "sxdg"])
+    @pytest.mark.parametrize("letter", ["I", "X", "Y", "Z"])
+    def test_single_qubit_rules_match_matrices(self, gate_name, letter):
+        pauli = PauliString.from_label(letter)
+        gate = Gate(gate_name, (0,))
+        conjugated = conjugate_pauli_by_gate(pauli, gate)
+        matrix = gate.matrix()
+        expected = matrix @ pauli.to_matrix() @ matrix.conj().T
+        assert np.allclose(conjugated.to_matrix(), expected)
+
+    @pytest.mark.parametrize("gate_name", ["cx", "cz", "swap"])
+    def test_two_qubit_rules_match_matrices(self, gate_name, rng):
+        for _ in range(20):
+            pauli = random_pauli(rng, 2)
+            gate = Gate(gate_name, (0, 1))
+            conjugated = conjugate_pauli_by_gate(pauli, gate)
+            matrix = _embed_gate_matrix(gate, 2)
+            expected = matrix @ pauli.to_matrix() @ matrix.conj().T
+            assert np.allclose(conjugated.to_matrix(), expected)
+
+    def test_cx_reversed_qubits(self, rng):
+        for _ in range(10):
+            pauli = random_pauli(rng, 2)
+            gate = Gate("cx", (1, 0))
+            conjugated = conjugate_pauli_by_gate(pauli, gate)
+            matrix = _embed_gate_matrix(gate, 2)
+            expected = matrix @ pauli.to_matrix() @ matrix.conj().T
+            assert np.allclose(conjugated.to_matrix(), expected)
+
+    def test_non_clifford_gate_rejected(self):
+        with pytest.raises(CliffordError):
+            conjugate_pauli_by_gate(
+                PauliString.from_label("X"), Gate("rz", (0,), (0.2,))
+            )
+
+    def test_paper_table1_cnot_rules(self):
+        """Reproduce Table I of the paper (signs omitted there)."""
+        table = {
+            "II": "II", "IX": "IX", "IY": "ZY", "IZ": "ZZ",
+            "XI": "XX", "XX": "XI", "XY": "YZ", "XZ": "YY",
+            "YI": "YX", "YX": "YI", "YY": "XZ", "YZ": "XY",
+            "ZI": "ZI", "ZX": "ZX", "ZY": "IY", "ZZ": "IZ",
+        }
+        # Table I labels are written control-first; qubit 1 is the control.
+        gate = Gate("cx", (1, 0))
+        for source, expected in table.items():
+            pauli = PauliString.from_label(source)
+            conjugated = conjugate_pauli_by_gate(pauli, gate)
+            assert conjugated.to_label(include_sign=False) == expected
+
+
+class TestCircuitConjugation:
+    def test_matches_matrix_conjugation(self, rng):
+        for _ in range(15):
+            num_qubits = int(rng.integers(1, 4))
+            circuit = random_clifford_circuit(rng, num_qubits, 12)
+            pauli = random_pauli(rng, num_qubits)
+            conjugated = conjugate_pauli_by_circuit(pauli, circuit)
+            unitary = circuit_unitary(circuit)
+            expected = unitary @ pauli.to_matrix() @ unitary.conj().T
+            assert np.allclose(conjugated.to_matrix(), expected)
+
+    def test_empty_circuit_is_identity_map(self):
+        pauli = PauliString.from_label("-XYZ")
+        assert conjugate_pauli_by_circuit(pauli, QuantumCircuit(3)) == pauli
+
+
+class TestCliffordTableau:
+    def test_identity_tableau(self):
+        tableau = CliffordTableau(3)
+        assert tableau.is_identity()
+        assert tableau.image_of_x(1).to_label() == "IXI"
+        assert tableau.image_of_z(2).to_label() == "ZII"
+
+    def test_tableau_matches_gatewise_conjugation(self, rng):
+        for _ in range(15):
+            num_qubits = int(rng.integers(1, 5))
+            circuit = random_clifford_circuit(rng, num_qubits, 20)
+            tableau = CliffordTableau.from_circuit(circuit)
+            pauli = random_pauli(rng, num_qubits)
+            assert tableau.conjugate(pauli) == conjugate_pauli_by_circuit(pauli, circuit)
+
+    def test_tableau_matches_matrices(self, rng):
+        for _ in range(10):
+            num_qubits = int(rng.integers(1, 4))
+            circuit = random_clifford_circuit(rng, num_qubits, 15)
+            tableau = CliffordTableau.from_circuit(circuit)
+            pauli = random_pauli(rng, num_qubits)
+            unitary = circuit_unitary(circuit)
+            expected = unitary @ pauli.to_matrix() @ unitary.conj().T
+            assert np.allclose(tableau.conjugate(pauli).to_matrix(), expected)
+
+    def test_append_gate_rejects_non_clifford(self):
+        tableau = CliffordTableau(1)
+        with pytest.raises(CliffordError):
+            tableau.append_gate(Gate("rz", (0,), (0.1,)))
+
+    def test_conjugate_size_mismatch(self):
+        tableau = CliffordTableau(2)
+        with pytest.raises(CliffordError):
+            tableau.conjugate(PauliString.from_label("X"))
+
+    def test_copy_is_independent(self):
+        tableau = CliffordTableau(2)
+        clone = tableau.copy()
+        clone.append_gate(Gate("h", (0,)))
+        assert tableau.is_identity()
+        assert not clone.is_identity()
+
+    def test_conjugation_preserves_commutation(self, rng):
+        circuit = random_clifford_circuit(rng, 4, 25)
+        tableau = CliffordTableau.from_circuit(circuit)
+        for _ in range(20):
+            first = random_pauli(rng, 4)
+            second = random_pauli(rng, 4)
+            assert first.commutes_with(second) == tableau.conjugate(first).commutes_with(
+                tableau.conjugate(second)
+            )
+
+
+class TestStabilizerState:
+    def test_initial_measurement_all_zero(self):
+        state = StabilizerState(3, seed=1)
+        assert state.measure_all() == "000"
+
+    def test_x_gate_flips_outcome(self):
+        state = StabilizerState(2, seed=1)
+        state.apply_gate(Gate("x", (1,)))
+        assert state.measure_all() == "10"
+
+    def test_deterministic_cx(self):
+        state = StabilizerState(2, seed=1)
+        state.apply_gate(Gate("x", (0,)))
+        state.apply_gate(Gate("cx", (0, 1)))
+        assert state.measure_all() == "11"
+
+    def test_bell_state_correlations(self):
+        for seed in range(20):
+            state = StabilizerState(2, seed=seed)
+            circuit = QuantumCircuit(2)
+            circuit.h(0).cx(0, 1)
+            state.apply_circuit(circuit)
+            outcome = state.measure_all()
+            assert outcome in ("00", "11")
+
+    def test_sampling_matches_statevector(self, rng):
+        circuit = random_clifford_circuit(rng, 3, 15)
+        probabilities = Statevector.from_circuit(circuit).probability_dict()
+        counts = StabilizerState(3, seed=9).sample_counts(circuit, shots=600)
+        sampled = {key: value / 600 for key, value in counts.items()}
+        # Every sampled outcome must have non-zero true probability.
+        for key in sampled:
+            assert key in probabilities
+        for key, probability in probabilities.items():
+            assert abs(sampled.get(key, 0.0) - probability) < 0.15
+
+    def test_non_clifford_gate_rejected(self):
+        state = StabilizerState(1)
+        with pytest.raises(CliffordError):
+            state.apply_gate(Gate("rz", (0,), (0.3,)))

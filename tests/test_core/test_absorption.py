@@ -1,0 +1,268 @@
+"""Correctness tests for Clifford Absorption (CA-Pre / CA-Post)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.statevector import Statevector
+from repro.core.absorption import (
+    ObservableAbsorber,
+    absorb_observables,
+    absorb_probabilities,
+    build_probability_absorber,
+)
+from repro.core.extraction import CliffordExtractor
+from repro.exceptions import AbsorptionError
+from repro.paulis.pauli import PauliString
+from repro.paulis.sum import SparsePauliSum
+from repro.paulis.term import PauliTerm
+from repro.synthesis.trotter import synthesize_trotter_circuit
+
+from tests.conftest import random_pauli, random_pauli_terms
+
+
+def _original_expectation(terms, observable: PauliString) -> float:
+    original = synthesize_trotter_circuit(terms)
+    return Statevector.from_circuit(original).expectation_value(observable)
+
+
+def _absorbed_expectation_exact(result, absorbed) -> float:
+    """Expectation of the absorbed observable on the optimized circuit (exact)."""
+    state = Statevector.from_circuit(result.optimized_circuit)
+    return absorbed.sign * state.expectation_value(absorbed.updated)
+
+
+class TestObservableAbsorption:
+    def test_exact_expectation_matches_original(self, rng):
+        for _ in range(8):
+            num_qubits = int(rng.integers(2, 5))
+            terms = random_pauli_terms(rng, num_qubits, int(rng.integers(2, 6)))
+            observable = random_pauli(rng, num_qubits).bare()
+            result = CliffordExtractor().extract(terms)
+            absorbed = ObservableAbsorber(result.conjugation).absorb_pauli(observable)
+            assert _absorbed_expectation_exact(result, absorbed) == pytest.approx(
+                _original_expectation(terms, observable), abs=1e-9
+            )
+
+    def test_counts_based_expectation_matches_original(self, rng):
+        terms = random_pauli_terms(rng, 3, 4)
+        observable = PauliString.from_label("XZY")
+        result = CliffordExtractor().extract(terms)
+        absorbed = ObservableAbsorber(result.conjugation).absorb_pauli(observable)
+        # CA-Pre: append the measurement-basis rotation, then "measure" exactly.
+        measured_circuit = result.optimized_circuit.compose(absorbed.measurement_basis)
+        probabilities = Statevector.from_circuit(measured_circuit).probability_dict()
+        counts = {key: int(round(value * 10**6)) for key, value in probabilities.items()}
+        estimate = absorbed.expectation_from_counts(counts)
+        assert estimate == pytest.approx(_original_expectation(terms, observable), abs=1e-4)
+
+    def test_weighted_observable_sum(self, rng):
+        terms = random_pauli_terms(rng, 3, 4)
+        observable = SparsePauliSum.from_labels(["ZZI", "XIX", "IYZ"], [0.5, -1.25, 2.0])
+        result = CliffordExtractor().extract(terms)
+        absorbed_terms = absorb_observables(result, observable)
+        total = 0.0
+        state = Statevector.from_circuit(result.optimized_circuit)
+        for coefficient, absorbed in zip(observable.coefficients, absorbed_terms):
+            total += coefficient * absorbed.sign * state.expectation_value(absorbed.updated)
+        original = synthesize_trotter_circuit(terms)
+        expected = Statevector.from_circuit(original).expectation_value(observable)
+        assert total == pytest.approx(expected, abs=1e-9)
+
+    def test_absorbed_observable_is_pauli(self, rng):
+        terms = random_pauli_terms(rng, 4, 6)
+        result = CliffordExtractor().extract(terms)
+        absorber = ObservableAbsorber(result.conjugation)
+        for _ in range(10):
+            observable = random_pauli(rng, 4).bare()
+            absorbed = absorber.absorb_pauli(observable)
+            assert absorbed.sign in (1.0, -1.0)
+            assert absorbed.updated.sign == 1
+
+    def test_absorption_preserves_commutation(self, rng):
+        terms = random_pauli_terms(rng, 4, 6)
+        result = CliffordExtractor().extract(terms)
+        absorber = ObservableAbsorber(result.conjugation)
+        for _ in range(10):
+            first = random_pauli(rng, 4).bare()
+            second = random_pauli(rng, 4).bare()
+            assert first.commutes_with(second) == absorber.absorb_pauli(
+                first
+            ).updated.commutes_with(absorber.absorb_pauli(second).updated)
+
+    def test_measurement_basis_maps_observable_to_z(self, rng):
+        from repro.clifford.conjugation import conjugate_pauli_by_circuit
+
+        terms = random_pauli_terms(rng, 3, 3)
+        result = CliffordExtractor().extract(terms)
+        absorber = ObservableAbsorber(result.conjugation)
+        observable = PauliString.from_label("YXZ")
+        absorbed = absorber.absorb_pauli(observable)
+        rotated = conjugate_pauli_by_circuit(absorbed.updated, absorbed.measurement_basis)
+        assert all(letter in ("I", "Z") for letter in rotated.letters())
+
+    def test_size_mismatch_rejected(self, rng):
+        terms = random_pauli_terms(rng, 3, 3)
+        result = CliffordExtractor().extract(terms)
+        with pytest.raises(AbsorptionError):
+            ObservableAbsorber(result.conjugation).absorb_pauli(PauliString.from_label("XX"))
+
+    def test_empty_counts_rejected(self, rng):
+        terms = random_pauli_terms(rng, 2, 2)
+        result = CliffordExtractor().extract(terms)
+        absorbed = ObservableAbsorber(result.conjugation).absorb_pauli(
+            PauliString.from_label("ZZ")
+        )
+        with pytest.raises(AbsorptionError):
+            absorbed.expectation_from_counts({})
+
+
+def _qaoa_terms(num_qubits: int, edges, gamma: float, beta: float) -> list[PauliTerm]:
+    terms = []
+    for first, second in edges:
+        terms.append(
+            PauliTerm(PauliString.from_sparse(num_qubits, [(first, "Z"), (second, "Z")]), gamma)
+        )
+    for qubit in range(num_qubits):
+        terms.append(PauliTerm(PauliString.single(num_qubits, qubit, "X"), beta))
+    return terms
+
+
+class TestProbabilityAbsorption:
+    def test_qaoa_distribution_recovered(self):
+        edges = [(0, 1), (1, 2), (0, 2), (2, 3)]
+        terms = _qaoa_terms(4, edges, gamma=0.83, beta=0.41)
+        result = CliffordExtractor().extract(terms)
+        absorber = absorb_probabilities(result)
+
+        original = synthesize_trotter_circuit(terms)
+        expected = Statevector.from_circuit(original).probability_dict()
+
+        measured_circuit = result.optimized_circuit.compose(absorber.pre_circuit())
+        measured = Statevector.from_circuit(measured_circuit).probability_dict()
+        recovered = absorber.map_probabilities(measured)
+
+        assert set(recovered) == set(expected)
+        for key, value in expected.items():
+            assert recovered[key] == pytest.approx(value, abs=1e-9)
+
+    def test_qaoa_counts_mapping(self):
+        edges = [(0, 1), (1, 2)]
+        terms = _qaoa_terms(3, edges, gamma=0.5, beta=0.3)
+        result = CliffordExtractor().extract(terms)
+        absorber = absorb_probabilities(result)
+        counts = {"101": 60, "110": 40}
+        remapped = absorber.map_counts(counts)
+        assert sum(remapped.values()) == 100
+
+    def test_hadamard_cnot_tail_decomposition(self):
+        """A hand-built H + CNOT tail decomposes exactly."""
+        tail = QuantumCircuit(3)
+        tail.h(0).h(1).h(2).cx(0, 1).cx(1, 2).cx(0, 2)
+        absorber = build_probability_absorber(tail)
+        assert sorted(absorber.hadamard_qubits) == [0, 1, 2]
+        # Verify on explicit states: for any input bitstring circuit X^x, the
+        # mapped distribution of [X^x, H layer] equals that of [X^x, tail].
+        for basis in range(8):
+            prep = QuantumCircuit(3)
+            for qubit in range(3):
+                if (basis >> qubit) & 1:
+                    prep.x(qubit)
+            expected = Statevector.from_circuit(prep.compose(tail)).probability_dict()
+            measured = Statevector.from_circuit(
+                prep.compose(absorber.pre_circuit())
+            ).probability_dict()
+            recovered = absorber.map_probabilities(measured)
+            for key, value in expected.items():
+                assert recovered.get(key, 0.0) == pytest.approx(value, abs=1e-9)
+
+    def test_tail_with_x_corrections(self):
+        """X gates in the tail become a non-zero affine shift."""
+        tail = QuantumCircuit(2)
+        tail.h(0).h(1).cx(0, 1).x(0)
+        absorber = build_probability_absorber(tail)
+        assert bool(np.any(absorber.shift))
+        prep = QuantumCircuit(2)
+        prep.x(1)
+        expected = Statevector.from_circuit(prep.compose(tail)).probability_dict()
+        measured = Statevector.from_circuit(prep.compose(absorber.pre_circuit())).probability_dict()
+        recovered = absorber.map_probabilities(measured)
+        for key, value in expected.items():
+            assert recovered.get(key, 0.0) == pytest.approx(value, abs=1e-9)
+
+    def test_cnot_only_tail(self):
+        tail = QuantumCircuit(3)
+        tail.cx(0, 1).cx(2, 0)
+        absorber = build_probability_absorber(tail)
+        assert absorber.hadamard_qubits == []
+        assert absorber.map_bitstring("001") == "011"
+
+    def test_unsupported_tail_rejected(self):
+        tail = QuantumCircuit(2)
+        tail.h(0).s(0).cx(0, 1)
+        with pytest.raises(AbsorptionError):
+            build_probability_absorber(tail)
+
+    def test_bitstring_length_checked(self):
+        tail = QuantumCircuit(2)
+        tail.cx(0, 1)
+        absorber = build_probability_absorber(tail)
+        with pytest.raises(AbsorptionError):
+            absorber.map_bitstring("0")
+
+    def test_larger_qaoa_instance(self):
+        edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]
+        terms = _qaoa_terms(5, edges, gamma=1.1, beta=0.7)
+        result = CliffordExtractor().extract(terms)
+        absorber = absorb_probabilities(result)
+        original = synthesize_trotter_circuit(terms)
+        expected = Statevector.from_circuit(original).probability_dict()
+        measured_circuit = result.optimized_circuit.compose(absorber.pre_circuit())
+        measured = Statevector.from_circuit(measured_circuit).probability_dict()
+        recovered = absorber.map_probabilities(measured)
+        for key, value in expected.items():
+            assert recovered.get(key, 0.0) == pytest.approx(value, abs=1e-9)
+
+
+class TestProposition1:
+    """For Z/I problem Hamiltonians with X mixers the tail is H-layer + CNOTs."""
+
+    def test_tail_contains_only_h_and_cx(self):
+        edges = [(0, 1), (1, 2), (0, 2)]
+        terms = _qaoa_terms(3, edges, gamma=0.9, beta=0.2)
+        result = CliffordExtractor().extract(terms)
+        names = {gate.name for gate in result.extracted_clifford}
+        assert names <= {"h", "cx"}
+
+    def test_multi_layer_qaoa_still_absorbable(self):
+        edges = [(0, 1), (1, 2)]
+        layer = _qaoa_terms(3, edges, gamma=0.4, beta=0.3)
+        two_layers = layer + _qaoa_terms(3, edges, gamma=0.7, beta=0.1)
+        result = CliffordExtractor().extract(two_layers)
+        absorber = absorb_probabilities(result)
+        original = synthesize_trotter_circuit(two_layers)
+        expected = Statevector.from_circuit(original).probability_dict()
+        measured_circuit = result.optimized_circuit.compose(absorber.pre_circuit())
+        measured = Statevector.from_circuit(measured_circuit).probability_dict()
+        recovered = absorber.map_probabilities(measured)
+        for key, value in expected.items():
+            assert recovered.get(key, 0.0) == pytest.approx(value, abs=1e-9)
+
+    def test_multi_body_z_problem_hamiltonian(self):
+        """LABS-style problem terms (3- and 4-body Z strings) still absorb."""
+        num_qubits = 4
+        terms = [
+            PauliTerm(PauliString.from_label("ZZZI"), 0.5),
+            PauliTerm(PauliString.from_label("IZZZ"), 0.4),
+            PauliTerm(PauliString.from_label("ZZZZ"), 0.3),
+            PauliTerm(PauliString.from_label("ZIZI"), 0.2),
+        ] + [PauliTerm(PauliString.single(num_qubits, q, "X"), 0.7) for q in range(num_qubits)]
+        result = CliffordExtractor().extract(terms)
+        absorber = absorb_probabilities(result)
+        original = synthesize_trotter_circuit(terms)
+        expected = Statevector.from_circuit(original).probability_dict()
+        measured_circuit = result.optimized_circuit.compose(absorber.pre_circuit())
+        measured = Statevector.from_circuit(measured_circuit).probability_dict()
+        recovered = absorber.map_probabilities(measured)
+        for key, value in expected.items():
+            assert recovered.get(key, 0.0) == pytest.approx(value, abs=1e-9)

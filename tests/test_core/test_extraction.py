@@ -1,0 +1,227 @@
+"""Correctness tests for Clifford Extraction (Algorithm 2).
+
+The central invariant: the original Pauli-rotation circuit is unitarily
+equivalent to the optimized circuit followed by the extracted Clifford tail.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.statevector import circuit_unitary, circuits_equivalent
+from repro.core.commuting import convert_commute_sets, count_commuting_blocks
+from repro.core.extraction import CliffordExtractor
+from repro.core.tree_synthesis import chain_tree, synthesize_tree
+from repro.exceptions import SynthesisError
+from repro.paulis.pauli import PauliString
+from repro.paulis.term import PauliTerm
+from repro.synthesis.trotter import synthesize_trotter_circuit
+
+from tests.conftest import random_pauli_terms
+
+
+def _roundtrip_equivalent(terms) -> bool:
+    """original == optimized followed by extracted tail (up to global phase)."""
+    extractor = CliffordExtractor()
+    result = extractor.extract(terms)
+    original = synthesize_trotter_circuit(terms)
+    reconstructed = result.optimized_circuit.compose(result.extracted_clifford)
+    return circuits_equivalent(original, reconstructed)
+
+
+class TestCommutingBlocks:
+    def test_all_commuting_single_block(self):
+        terms = [PauliTerm.from_label(label, 0.1) for label in ["ZZI", "IZZ", "ZIZ"]]
+        assert count_commuting_blocks(terms) == 1
+
+    def test_anticommuting_split(self):
+        terms = [PauliTerm.from_label(label, 0.1) for label in ["ZI", "XI", "ZI"]]
+        assert count_commuting_blocks(terms) == 3
+
+    def test_blocks_preserve_terms(self, rng):
+        terms = random_pauli_terms(rng, 4, 12)
+        blocks = convert_commute_sets(terms)
+        flattened = [term for block in blocks for term in block]
+        assert flattened == terms
+
+    def test_block_members_mutually_commute(self, rng):
+        terms = random_pauli_terms(rng, 5, 20)
+        for block in convert_commute_sets(terms):
+            for i, first in enumerate(block):
+                for second in block[i + 1 :]:
+                    assert first.pauli.commutes_with(second.pauli)
+
+    def test_empty_input(self):
+        assert convert_commute_sets([]) == []
+
+
+class TestTreeSynthesis:
+    def test_chain_tree(self):
+        gates, root = chain_tree([2, 5, 7])
+        assert root == 7
+        assert [g.qubits for g in gates] == [(2, 5), (5, 7)]
+
+    def test_empty_support_rejected(self):
+        with pytest.raises(SynthesisError):
+            synthesize_tree([], lambda depth: None)
+
+    def test_single_qubit_support(self):
+        gates, root = synthesize_tree([3], lambda depth: None)
+        assert gates == []
+        assert root == 3
+
+    def test_no_lookahead_falls_back_to_chain(self):
+        gates, root = synthesize_tree([0, 1, 2], lambda depth: None)
+        assert root == 2
+        assert len(gates) == 2
+
+    def test_tree_is_spanning(self, rng):
+        """The tree must contain exactly |support| - 1 CNOTs and reach the root."""
+        guide = PauliString.from_label("ZXIYZXZ")
+        support = list(range(7))
+        gates, root = synthesize_tree(support, lambda d: guide if d == 0 else None)
+        assert len(gates) == len(support) - 1
+        assert root in support
+
+    def test_paper_figure7_example(self):
+        """Reproduce the worked example of Fig. 7(b): P2' weight 6 -> 3."""
+        current = PauliString.from_label("YZXXYZZ")
+        following = PauliString.from_label("ZZZIXYX")  # P2' after basis extraction
+        support = current.support
+        assert len(support) == 7
+        gates, root = synthesize_tree(
+            support, lambda depth: following if depth == 0 else None
+        )
+        from repro.core.extraction import _conjugate_through_gates
+
+        optimized = _conjugate_through_gates(following, gates)
+        assert optimized.to_label(include_sign=False) == "IIIIXYX"
+        assert optimized.weight == 3
+
+    def test_all_z_guide_reduces_to_weight_one(self):
+        guide = PauliString.from_label("ZZZZZ")
+        gates, _ = synthesize_tree(list(range(5)), lambda d: guide if d == 0 else None)
+        from repro.core.extraction import _conjugate_through_gates
+
+        assert _conjugate_through_gates(guide, gates).weight == 1
+
+    def test_all_x_guide_reduces_to_half(self):
+        guide = PauliString.from_label("XXXX")
+        gates, _ = synthesize_tree(list(range(4)), lambda d: guide if d == 0 else None)
+        from repro.core.extraction import _conjugate_through_gates
+
+        assert _conjugate_through_gates(guide, gates).weight == 2
+
+
+class TestExtractionEquivalence:
+    @pytest.mark.parametrize("labels", [
+        ["ZZ", "XX"],
+        ["ZZZZ", "YYXX"],
+        ["XYZ", "ZZI", "IXX"],
+        ["ZIZ", "IZZ", "XII", "IXI", "IIX"],
+    ])
+    def test_fixed_programs(self, labels):
+        terms = [PauliTerm.from_label(label, 0.37 * (i + 1)) for i, label in enumerate(labels)]
+        assert _roundtrip_equivalent(terms)
+
+    def test_random_programs(self, rng):
+        for _ in range(12):
+            num_qubits = int(rng.integers(2, 5))
+            terms = random_pauli_terms(rng, num_qubits, int(rng.integers(2, 8)))
+            assert _roundtrip_equivalent(terms)
+
+    def test_random_programs_without_reordering(self, rng):
+        extractor = CliffordExtractor(reorder_within_blocks=False)
+        for _ in range(6):
+            terms = random_pauli_terms(rng, 3, 6)
+            result = extractor.extract(terms)
+            original = synthesize_trotter_circuit(terms)
+            reconstructed = result.optimized_circuit.compose(result.extracted_clifford)
+            assert circuits_equivalent(original, reconstructed)
+
+    def test_random_programs_non_recursive(self, rng):
+        extractor = CliffordExtractor(recursive_tree=False)
+        for _ in range(6):
+            terms = random_pauli_terms(rng, 3, 6)
+            result = extractor.extract(terms)
+            original = synthesize_trotter_circuit(terms)
+            reconstructed = result.optimized_circuit.compose(result.extracted_clifford)
+            assert circuits_equivalent(original, reconstructed)
+
+    def test_single_term_program(self):
+        terms = [PauliTerm.from_label("XYZX", 0.81)]
+        assert _roundtrip_equivalent(terms)
+
+    def test_identity_terms_are_skipped(self):
+        terms = [
+            PauliTerm.from_label("ZZ", 0.4),
+            PauliTerm.from_label("II", 0.9),
+            PauliTerm.from_label("XX", 0.2),
+        ]
+        result = CliffordExtractor().extract(terms)
+        assert result.rotation_count == 2
+
+    def test_negative_sign_terms(self):
+        terms = [
+            PauliTerm(PauliString.from_label("-ZZ"), 0.4),
+            PauliTerm.from_label("XX", 0.7),
+        ]
+        assert _roundtrip_equivalent(terms)
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(SynthesisError):
+            CliffordExtractor().extract([])
+
+    def test_mixed_qubit_counts_rejected(self):
+        terms = [PauliTerm.from_label("X", 0.1), PauliTerm.from_label("XX", 0.1)]
+        with pytest.raises(SynthesisError):
+            CliffordExtractor().extract(terms)
+
+
+class TestExtractionStructure:
+    def test_rotation_count_matches_terms(self, rng):
+        terms = random_pauli_terms(rng, 4, 10)
+        result = CliffordExtractor().extract(terms)
+        assert result.rotation_count == 10
+        assert result.optimized_circuit.count_ops()["rz"] == 10
+
+    def test_extracted_tail_is_clifford(self, rng):
+        terms = random_pauli_terms(rng, 4, 8)
+        result = CliffordExtractor().extract(terms)
+        assert all(gate.is_clifford for gate in result.extracted_clifford)
+
+    def test_optimized_cx_at_most_native(self, rng):
+        """Extraction alone should not exceed half the native CNOT count by much."""
+        terms = random_pauli_terms(rng, 5, 12)
+        result = CliffordExtractor().extract(terms)
+        native = synthesize_trotter_circuit(terms)
+        assert result.optimized_circuit.cx_count() <= native.cx_count()
+
+    def test_paper_figure2_example(self):
+        """e^{i ZZZZ t1} e^{i YYXX t2}: 12 native CNOTs reduced (8 after CE alone)."""
+        terms = [PauliTerm.from_label("ZZZZ", 0.3), PauliTerm.from_label("YYXX", 0.5)]
+        native = synthesize_trotter_circuit(terms)
+        assert native.cx_count() == 12
+        result = CliffordExtractor().extract(terms)
+        # The second rotation collapses to a two-qubit Pauli: 3 + 1 tree CNOTs.
+        assert result.optimized_circuit.cx_count() <= 8
+        assert _roundtrip_equivalent(terms)
+
+    def test_conjugation_matches_tail(self, rng):
+        """The stored tableau equals conjugation by the inverse of the tail."""
+        from repro.clifford.conjugation import conjugate_pauli_by_circuit
+        from tests.conftest import random_pauli
+
+        terms = random_pauli_terms(rng, 3, 5)
+        result = CliffordExtractor().extract(terms)
+        tail_inverse = result.extracted_clifford.inverse()
+        for _ in range(10):
+            pauli = random_pauli(rng, 3)
+            via_tableau = result.conjugation.conjugate(pauli)
+            via_circuit = conjugate_pauli_by_circuit(pauli, tail_inverse)
+            assert via_tableau == via_circuit
+
+    def test_elapsed_time_recorded(self, rng):
+        terms = random_pauli_terms(rng, 3, 4)
+        result = CliffordExtractor().extract(terms)
+        assert result.elapsed_seconds > 0

@@ -1,0 +1,115 @@
+"""End-to-end tests of the QuCLEAR framework object."""
+
+import pytest
+
+from repro.circuits.statevector import Statevector, circuits_equivalent
+from repro.core.framework import QuCLEAR
+from repro.paulis.pauli import PauliString
+from repro.paulis.sum import SparsePauliSum
+from repro.paulis.term import PauliTerm
+from repro.synthesis.trotter import rotation_terms_from_hamiltonian, synthesize_trotter_circuit
+
+from tests.conftest import random_pauli_terms
+
+
+class TestCompile:
+    def test_compile_equivalence_with_local_opt(self, rng):
+        for _ in range(6):
+            terms = random_pauli_terms(rng, 3, 6)
+            result = QuCLEAR().compile(terms)
+            original = synthesize_trotter_circuit(terms)
+            reconstructed = result.circuit.compose(result.extracted_clifford)
+            assert circuits_equivalent(original, reconstructed)
+
+    def test_local_opt_never_increases_cx(self, rng):
+        terms = random_pauli_terms(rng, 4, 8)
+        with_opt = QuCLEAR(local_optimize=True).compile(terms)
+        without_opt = QuCLEAR(local_optimize=False).compile(terms)
+        assert with_opt.cx_count() <= without_opt.cx_count()
+
+    def test_compile_beats_native_on_chemistry_like_terms(self, rng):
+        # High-weight Pauli strings: extraction should roughly halve the CNOTs.
+        labels = ["XXYZ", "YZXX", "ZZZZ", "XYXY", "ZXYZ", "YYXX"]
+        terms = [PauliTerm.from_label(label, 0.1 * (i + 1)) for i, label in enumerate(labels)]
+        result = QuCLEAR().compile(terms)
+        native = synthesize_trotter_circuit(terms)
+        assert result.cx_count() < native.cx_count()
+
+    def test_metrics_keys(self, rng):
+        terms = random_pauli_terms(rng, 3, 3)
+        metrics = QuCLEAR().compile(terms).metrics()
+        assert set(metrics) == {
+            "cx_count",
+            "entangling_depth",
+            "single_qubit_count",
+            "compile_seconds",
+        }
+
+    def test_compile_hamiltonian(self):
+        hamiltonian = SparsePauliSum.from_labels(["ZZI", "IZZ", "XII"], [0.5, 0.5, 0.3])
+        result = QuCLEAR().compile_hamiltonian(hamiltonian, time_step=0.7)
+        terms = rotation_terms_from_hamiltonian(hamiltonian, time=0.7)
+        original = synthesize_trotter_circuit(terms)
+        reconstructed = result.circuit.compose(result.extracted_clifford)
+        assert circuits_equivalent(original, reconstructed)
+
+    def test_compile_accepts_sparse_pauli_sum(self):
+        observable = SparsePauliSum.from_labels(["ZZ", "XX"], [0.3, 0.4])
+        terms = [PauliTerm(t.pauli, t.coefficient) for t in observable]
+        result = QuCLEAR().compile(terms)
+        assert result.metadata["rotation_count"] == 2
+
+    def test_compile_time_recorded(self, rng):
+        terms = random_pauli_terms(rng, 3, 3)
+        assert QuCLEAR().compile(terms).compile_seconds > 0
+
+
+class TestHybridWorkflows:
+    def test_observable_workflow(self, rng):
+        terms = random_pauli_terms(rng, 3, 5)
+        observable = PauliString.from_label("ZXY")
+        result = QuCLEAR().compile(terms)
+        absorbed = result.absorb_observables([observable])[0]
+        optimized_value = absorbed.sign * Statevector.from_circuit(
+            result.circuit
+        ).expectation_value(absorbed.updated)
+        original_value = Statevector.from_circuit(
+            synthesize_trotter_circuit(terms)
+        ).expectation_value(observable)
+        assert optimized_value == pytest.approx(original_value, abs=1e-9)
+
+    def test_probability_workflow(self):
+        num_qubits = 4
+        terms = []
+        for first, second in [(0, 1), (1, 2), (2, 3), (3, 0)]:
+            terms.append(
+                PauliTerm(
+                    PauliString.from_sparse(num_qubits, [(first, "Z"), (second, "Z")]), 0.6
+                )
+            )
+        for qubit in range(num_qubits):
+            terms.append(PauliTerm(PauliString.single(num_qubits, qubit, "X"), 0.9))
+        result = QuCLEAR().compile(terms)
+        absorber = result.probability_absorber()
+        original = Statevector.from_circuit(synthesize_trotter_circuit(terms)).probability_dict()
+        measured = Statevector.from_circuit(
+            result.circuit.compose(absorber.pre_circuit())
+        ).probability_dict()
+        recovered = absorber.map_probabilities(measured)
+        for key, value in original.items():
+            assert recovered.get(key, 0.0) == pytest.approx(value, abs=1e-9)
+
+    def test_ablation_flags_change_behaviour(self, rng):
+        """All feature combinations still produce correct circuits."""
+        terms = random_pauli_terms(rng, 3, 6)
+        original = synthesize_trotter_circuit(terms)
+        for reorder in (False, True):
+            for recursive in (False, True):
+                compiler = QuCLEAR(
+                    reorder_within_blocks=reorder,
+                    recursive_tree=recursive,
+                    local_optimize=False,
+                )
+                result = compiler.compile(terms)
+                reconstructed = result.circuit.compose(result.extracted_clifford)
+                assert circuits_equivalent(original, reconstructed)

@@ -1,0 +1,143 @@
+"""GF(2) linear algebra and CNOT-network synthesis tests."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.exceptions import SynthesisError
+from repro.linear.cnot_synthesis import (
+    cnot_network_matrix,
+    synthesize_cnot_network,
+    synthesize_cnot_network_pmh,
+)
+from repro.linear.gf2 import (
+    gf2_gauss_elim,
+    gf2_inverse,
+    gf2_is_invertible,
+    gf2_matvec,
+    gf2_rank,
+    gf2_solve,
+)
+
+
+def random_invertible_matrix(rng: np.random.Generator, size: int) -> np.ndarray:
+    while True:
+        candidate = rng.integers(0, 2, size=(size, size)).astype(bool)
+        if gf2_is_invertible(candidate):
+            return candidate
+
+
+def random_cnot_circuit(rng: np.random.Generator, size: int, gates: int) -> QuantumCircuit:
+    circuit = QuantumCircuit(size)
+    for _ in range(gates):
+        control, target = rng.choice(size, size=2, replace=False)
+        circuit.cx(int(control), int(target))
+    return circuit
+
+
+class TestGf2:
+    def test_rank_identity(self):
+        assert gf2_rank(np.eye(4, dtype=bool)) == 4
+
+    def test_rank_singular(self):
+        matrix = np.array([[1, 1], [1, 1]], dtype=bool)
+        assert gf2_rank(matrix) == 1
+
+    def test_gauss_elim_pivots(self):
+        matrix = np.array([[0, 1], [1, 0]], dtype=bool)
+        _, pivots = gf2_gauss_elim(matrix)
+        assert pivots == [0, 1]
+
+    def test_is_invertible(self):
+        assert gf2_is_invertible(np.eye(3, dtype=bool))
+        assert not gf2_is_invertible(np.zeros((3, 3), dtype=bool))
+        assert not gf2_is_invertible(np.ones((2, 3), dtype=bool))
+
+    def test_inverse_roundtrip(self, rng):
+        for size in [1, 2, 4, 6]:
+            matrix = random_invertible_matrix(rng, size)
+            inverse = gf2_inverse(matrix)
+            product = (matrix.astype(int) @ inverse.astype(int)) % 2
+            assert np.array_equal(product, np.eye(size, dtype=int))
+
+    def test_inverse_of_singular_raises(self):
+        with pytest.raises(SynthesisError):
+            gf2_inverse(np.zeros((2, 2), dtype=bool))
+
+    def test_solve(self, rng):
+        for _ in range(10):
+            matrix = random_invertible_matrix(rng, 5)
+            solution = rng.integers(0, 2, size=5).astype(bool)
+            rhs = gf2_matvec(matrix, solution)
+            recovered = gf2_solve(matrix, rhs)
+            assert np.array_equal(gf2_matvec(matrix, recovered), rhs)
+
+    def test_solve_inconsistent(self):
+        matrix = np.array([[1, 0], [1, 0]], dtype=bool)
+        rhs = np.array([1, 0], dtype=bool)
+        with pytest.raises(SynthesisError):
+            gf2_solve(matrix, rhs)
+
+    def test_matvec(self):
+        matrix = np.array([[1, 1], [0, 1]], dtype=bool)
+        vector = np.array([1, 1], dtype=bool)
+        assert np.array_equal(gf2_matvec(matrix, vector), np.array([False, True]))
+
+
+class TestCnotSynthesis:
+    def test_network_matrix_of_single_cx(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        matrix = cnot_network_matrix(circuit)
+        expected = np.array([[1, 0], [1, 1]], dtype=bool)
+        assert np.array_equal(matrix, expected)
+
+    def test_network_matrix_of_swap(self):
+        circuit = QuantumCircuit(2)
+        circuit.swap(0, 1)
+        matrix = cnot_network_matrix(circuit)
+        assert np.array_equal(matrix, np.array([[0, 1], [1, 0]], dtype=bool))
+
+    def test_network_matrix_rejects_hadamard(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        with pytest.raises(SynthesisError):
+            cnot_network_matrix(circuit)
+
+    def test_network_matrix_ignores_diagonal_gates(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1).rz(0.3, 1).cz(0, 1)
+        matrix = cnot_network_matrix(circuit)
+        assert np.array_equal(matrix, np.array([[1, 0], [1, 1]], dtype=bool))
+
+    def test_gaussian_synthesis_roundtrip(self, rng):
+        for size in [2, 3, 5, 8]:
+            matrix = random_invertible_matrix(rng, size)
+            circuit = synthesize_cnot_network(matrix)
+            assert np.array_equal(cnot_network_matrix(circuit), matrix)
+
+    def test_pmh_synthesis_roundtrip(self, rng):
+        for size in [2, 4, 6, 10]:
+            matrix = random_invertible_matrix(rng, size)
+            circuit = synthesize_cnot_network_pmh(matrix)
+            assert np.array_equal(cnot_network_matrix(circuit), matrix)
+
+    def test_synthesis_of_circuit_roundtrip(self, rng):
+        for _ in range(10):
+            original = random_cnot_circuit(rng, 5, 15)
+            matrix = cnot_network_matrix(original)
+            resynthesized = synthesize_cnot_network(matrix)
+            assert np.array_equal(cnot_network_matrix(resynthesized), matrix)
+
+    def test_singular_matrix_rejected(self):
+        with pytest.raises(SynthesisError):
+            synthesize_cnot_network(np.zeros((3, 3), dtype=bool))
+
+    def test_identity_needs_no_gates(self):
+        circuit = synthesize_cnot_network(np.eye(4, dtype=bool))
+        assert len(circuit) == 0
+
+    def test_pmh_not_worse_than_quadratic(self, rng):
+        matrix = random_invertible_matrix(rng, 16)
+        circuit = synthesize_cnot_network_pmh(matrix)
+        assert circuit.cx_count() <= 16 * 16

@@ -1,0 +1,158 @@
+"""Unit tests for the symplectic PauliString representation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PauliError
+from repro.paulis.pauli import PauliString
+
+from tests.conftest import random_pauli
+
+
+class TestLabelRoundTrip:
+    def test_simple_labels(self):
+        for label in ["I", "X", "Y", "Z", "XX", "XYZ", "IZYX", "ZZZZZ"]:
+            pauli = PauliString.from_label(label)
+            assert pauli.to_label() == label
+
+    def test_negative_sign(self):
+        pauli = PauliString.from_label("-XY")
+        assert pauli.to_label() == "-XY"
+        assert pauli.sign == -1
+
+    def test_imaginary_prefix(self):
+        pauli = PauliString.from_label("+iZ")
+        assert pauli.sign == 1j
+        assert pauli.to_label() == "+iZ"
+
+    def test_sign_argument(self):
+        pauli = PauliString.from_label("XZ", sign=-1)
+        assert pauli.sign == -1
+
+    def test_invalid_character(self):
+        with pytest.raises(PauliError):
+            PauliString.from_label("XQ")
+
+    def test_empty_label(self):
+        with pytest.raises(PauliError):
+            PauliString.from_label("")
+
+    def test_random_roundtrip(self, rng):
+        for _ in range(50):
+            pauli = random_pauli(rng, int(rng.integers(1, 8)))
+            again = PauliString.from_label(pauli.to_label())
+            assert again == pauli
+
+    def test_label_qubit_order(self):
+        # Leftmost character is the highest qubit.
+        pauli = PauliString.from_label("XYZ")
+        assert pauli.letter(0) == "Z"
+        assert pauli.letter(1) == "Y"
+        assert pauli.letter(2) == "X"
+
+
+class TestConstructors:
+    def test_identity(self):
+        pauli = PauliString.identity(4)
+        assert pauli.is_identity()
+        assert pauli.weight == 0
+        assert pauli.to_label() == "IIII"
+
+    def test_from_sparse(self):
+        pauli = PauliString.from_sparse(4, [(0, "X"), (2, "Z")])
+        assert pauli.to_label() == "IZIX"
+
+    def test_from_sparse_duplicate_qubit(self):
+        with pytest.raises(PauliError):
+            PauliString.from_sparse(3, [(1, "X"), (1, "Z")])
+
+    def test_from_sparse_out_of_range(self):
+        with pytest.raises(PauliError):
+            PauliString.from_sparse(3, [(5, "X")])
+
+    def test_single(self):
+        pauli = PauliString.single(3, 1, "Y")
+        assert pauli.to_label() == "IYI"
+
+
+class TestProperties:
+    def test_weight_and_support(self):
+        pauli = PauliString.from_label("XIZY")
+        assert pauli.weight == 3
+        assert pauli.support == [0, 1, 3]
+
+    def test_is_hermitian(self):
+        assert PauliString.from_label("XYZ").is_hermitian()
+        assert PauliString.from_label("-XYZ").is_hermitian()
+        assert not PauliString.from_label("+iX").is_hermitian()
+
+    def test_bare_strips_sign(self):
+        pauli = PauliString.from_label("-YZ")
+        assert pauli.bare().to_label() == "YZ"
+
+    def test_letters(self):
+        assert PauliString.from_label("XZ").letters() == ["Z", "X"]
+
+
+class TestAlgebra:
+    def test_compose_matches_matrices(self, rng):
+        for _ in range(40):
+            num_qubits = int(rng.integers(1, 5))
+            first = random_pauli(rng, num_qubits)
+            second = random_pauli(rng, num_qubits)
+            product = first @ second
+            expected = first.to_matrix() @ second.to_matrix()
+            assert np.allclose(product.to_matrix(), expected)
+
+    def test_commutes_with_matches_matrices(self, rng):
+        for _ in range(40):
+            num_qubits = int(rng.integers(1, 5))
+            first = random_pauli(rng, num_qubits)
+            second = random_pauli(rng, num_qubits)
+            commutator = (
+                first.to_matrix() @ second.to_matrix()
+                - second.to_matrix() @ first.to_matrix()
+            )
+            assert first.commutes_with(second) == np.allclose(commutator, 0)
+
+    def test_adjoint_matches_matrices(self, rng):
+        for _ in range(20):
+            pauli = random_pauli(rng, int(rng.integers(1, 5)))
+            assert np.allclose(pauli.adjoint().to_matrix(), pauli.to_matrix().conj().T)
+
+    def test_negate(self):
+        pauli = PauliString.from_label("XZ")
+        assert pauli.negate().sign == -1
+
+    def test_compose_incompatible_sizes(self):
+        with pytest.raises(PauliError):
+            PauliString.from_label("X") @ PauliString.from_label("XX")
+
+    def test_restricted_and_expanded(self):
+        pauli = PauliString.from_label("XIZY")
+        restricted = pauli.restricted([0, 3])
+        assert restricted.to_label() == "XY"
+        expanded = restricted.expanded(4, [0, 3])
+        assert expanded.to_label(include_sign=False) == "XIIY"
+
+    def test_equals_up_to_phase(self):
+        assert PauliString.from_label("XZ").equals_up_to_phase(PauliString.from_label("-XZ"))
+        assert not PauliString.from_label("XZ").equals_up_to_phase(PauliString.from_label("ZX"))
+
+    def test_hash_consistency(self):
+        first = PauliString.from_label("XYZ")
+        second = PauliString.from_label("XYZ")
+        assert hash(first) == hash(second)
+        assert len({first, second}) == 1
+
+
+class TestMatrix:
+    def test_single_qubit_matrices(self):
+        assert np.allclose(
+            PauliString.from_label("Y").to_matrix(), np.array([[0, -1j], [1j, 0]])
+        )
+
+    def test_tensor_order(self):
+        # "XZ" means X on qubit 1, Z on qubit 0, so matrix = X (x) Z in kron order.
+        expected = np.kron(np.array([[0, 1], [1, 0]]), np.array([[1, 0], [0, -1]]))
+        assert np.allclose(PauliString.from_label("XZ").to_matrix(), expected)

@@ -1,0 +1,146 @@
+"""Tests for the direct Pauli-rotation and Trotter-circuit synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.statevector import circuit_unitary
+from repro.exceptions import SynthesisError
+from repro.paulis.pauli import PauliString
+from repro.paulis.sum import SparsePauliSum
+from repro.paulis.term import PauliTerm
+from repro.synthesis.pauli_rotation import (
+    basis_change_gates,
+    cnot_balanced_tree_gates,
+    cnot_chain_gates,
+    synthesize_pauli_rotation,
+)
+from repro.synthesis.trotter import (
+    count_native_gates,
+    rotation_terms_from_hamiltonian,
+    synthesize_trotter_circuit,
+)
+
+from tests.conftest import pauli_rotation_matrix, random_pauli_terms
+
+
+def _matrices_close_up_to_phase(first: np.ndarray, second: np.ndarray) -> bool:
+    product = second.conj().T @ first
+    phase = product[0, 0]
+    if abs(abs(phase) - 1.0) > 1e-8:
+        return False
+    return np.allclose(product, phase * np.eye(product.shape[0]), atol=1e-8)
+
+
+class TestBuildingBlocks:
+    def test_basis_change_identity_free(self):
+        gates = basis_change_gates(PauliString.from_label("ZIZ"))
+        assert gates == []
+
+    def test_basis_change_x_and_y(self):
+        gates = basis_change_gates(PauliString.from_label("XY"))
+        names = [(g.name, g.qubits[0]) for g in gates]
+        assert ("h", 1) in names
+        assert ("sdg", 0) in names and ("h", 0) in names
+
+    def test_chain_structure(self):
+        gates, root = cnot_chain_gates([0, 2, 3])
+        assert root == 3
+        assert [g.qubits for g in gates] == [(0, 2), (2, 3)]
+
+    def test_chain_empty_support(self):
+        with pytest.raises(SynthesisError):
+            cnot_chain_gates([])
+
+    def test_balanced_tree_gate_count(self):
+        gates, root = cnot_balanced_tree_gates(list(range(8)))
+        assert len(gates) == 7
+        assert root in range(8)
+
+    def test_balanced_tree_shallower_than_chain(self):
+        from repro.circuits.circuit import QuantumCircuit
+
+        support = list(range(16))
+        chain_gates, _ = cnot_chain_gates(support)
+        tree_gates, _ = cnot_balanced_tree_gates(support)
+        chain = QuantumCircuit(16, chain_gates)
+        tree = QuantumCircuit(16, tree_gates)
+        assert tree.entangling_depth() < chain.entangling_depth()
+
+
+class TestPauliRotation:
+    @pytest.mark.parametrize("label", ["Z", "X", "Y", "ZZ", "XX", "XY", "ZYX", "IXZI"])
+    def test_rotation_matches_exact_matrix(self, label):
+        term = PauliTerm.from_label(label, 0.731)
+        circuit = synthesize_pauli_rotation(term)
+        assert _matrices_close_up_to_phase(circuit_unitary(circuit), pauli_rotation_matrix(term))
+
+    def test_negative_sign_flips_angle(self):
+        positive = PauliTerm(PauliString.from_label("ZZ"), 0.5)
+        negative = PauliTerm(PauliString.from_label("-ZZ"), -0.5)
+        assert _matrices_close_up_to_phase(
+            circuit_unitary(synthesize_pauli_rotation(positive)),
+            circuit_unitary(synthesize_pauli_rotation(negative)),
+        )
+
+    def test_identity_term_gives_empty_circuit(self):
+        term = PauliTerm(PauliString.identity(3), 0.4)
+        assert len(synthesize_pauli_rotation(term)) == 0
+
+    def test_balanced_tree_variant_equivalent(self, rng):
+        for term in random_pauli_terms(rng, 4, 5):
+            chain = synthesize_pauli_rotation(term, tree="chain")
+            balanced = synthesize_pauli_rotation(term, tree="balanced")
+            assert _matrices_close_up_to_phase(
+                circuit_unitary(chain), circuit_unitary(balanced)
+            )
+
+    def test_unknown_tree_style(self):
+        with pytest.raises(SynthesisError):
+            synthesize_pauli_rotation(PauliTerm.from_label("Z", 0.1), tree="bogus")
+
+    def test_cnot_count_is_two_weight_minus_two(self):
+        term = PauliTerm.from_label("XYZX", 0.3)
+        circuit = synthesize_pauli_rotation(term)
+        assert circuit.cx_count() == 2 * (term.pauli.weight - 1)
+
+    def test_non_hermitian_rejected(self):
+        with pytest.raises(SynthesisError):
+            synthesize_pauli_rotation(PauliTerm(PauliString.from_label("+iX"), 0.3))
+
+
+class TestTrotter:
+    def test_trotter_matches_product_of_rotations(self, rng):
+        terms = random_pauli_terms(rng, 3, 4)
+        circuit = synthesize_trotter_circuit(terms)
+        expected = np.eye(8, dtype=complex)
+        for term in terms:
+            expected = pauli_rotation_matrix(term) @ expected
+        assert _matrices_close_up_to_phase(circuit_unitary(circuit), expected)
+
+    def test_empty_terms_rejected(self):
+        with pytest.raises(SynthesisError):
+            synthesize_trotter_circuit([])
+
+    def test_mismatched_sizes_rejected(self):
+        terms = [PauliTerm.from_label("X", 0.1), PauliTerm.from_label("XX", 0.1)]
+        with pytest.raises(SynthesisError):
+            synthesize_trotter_circuit(terms)
+
+    def test_rotation_terms_from_hamiltonian(self):
+        hamiltonian = SparsePauliSum.from_labels(["ZZ", "XI"], [0.5, -0.25])
+        rotations = rotation_terms_from_hamiltonian(hamiltonian, time=2.0)
+        assert len(rotations) == 2
+        assert rotations[0].coefficient == pytest.approx(2.0)
+        assert rotations[1].coefficient == pytest.approx(-1.0)
+
+    def test_rotation_terms_repetitions(self):
+        hamiltonian = SparsePauliSum.from_labels(["Z"], [1.0])
+        rotations = rotation_terms_from_hamiltonian(hamiltonian, time=1.0, repetitions=4)
+        assert len(rotations) == 4
+        assert rotations[0].coefficient == pytest.approx(0.5)
+
+    def test_count_native_gates_keys(self):
+        terms = [PauliTerm.from_label("ZZ", 0.3)]
+        counts = count_native_gates(terms)
+        assert counts["cx"] == 2
+        assert set(counts) == {"cx", "single_qubit", "total", "entangling_depth"}

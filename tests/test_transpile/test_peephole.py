@@ -1,0 +1,119 @@
+"""Tests for the peephole optimizer (the Qiskit-O3 stand-in)."""
+
+import math
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gate import Gate
+from repro.circuits.statevector import circuits_equivalent
+from repro.transpile.peephole import gates_commute, peephole_optimize
+
+from tests.conftest import random_clifford_circuit, random_pauli_terms
+
+
+class TestGatesCommute:
+    def test_disjoint_qubits(self):
+        assert gates_commute(Gate("h", (0,)), Gate("x", (1,)))
+
+    def test_diagonal_gates(self):
+        assert gates_commute(Gate("rz", (0,), (0.3,)), Gate("cz", (0, 1)))
+
+    def test_cx_with_rz_on_control(self):
+        assert gates_commute(Gate("cx", (0, 1)), Gate("rz", (0,), (0.4,)))
+
+    def test_cx_with_x_on_target(self):
+        assert gates_commute(Gate("cx", (0, 1)), Gate("x", (1,)))
+
+    def test_cx_with_h_on_control_does_not_commute(self):
+        assert not gates_commute(Gate("cx", (0, 1)), Gate("h", (0,)))
+
+    def test_cx_sharing_control(self):
+        assert gates_commute(Gate("cx", (0, 1)), Gate("cx", (0, 2)))
+
+    def test_cx_sharing_target(self):
+        assert gates_commute(Gate("cx", (0, 2)), Gate("cx", (1, 2)))
+
+    def test_cx_chained_do_not_commute(self):
+        assert not gates_commute(Gate("cx", (0, 1)), Gate("cx", (1, 2)))
+
+
+class TestPeephole:
+    def test_adjacent_hadamards_cancel(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0).h(0)
+        assert len(peephole_optimize(circuit)) == 0
+
+    def test_adjacent_cnots_cancel(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1).cx(0, 1)
+        assert len(peephole_optimize(circuit)) == 0
+
+    def test_s_sdg_cancel(self):
+        circuit = QuantumCircuit(1)
+        circuit.s(0).sdg(0)
+        assert len(peephole_optimize(circuit)) == 0
+
+    def test_cnot_cancellation_through_commuting_rz(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1).rz(0.5, 0).cx(0, 1)
+        optimized = peephole_optimize(circuit)
+        assert optimized.cx_count() == 0
+        assert optimized.count_ops()["rz"] == 1
+
+    def test_cnot_not_cancelled_through_blocking_gate(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1).h(1).cx(0, 1)
+        optimized = peephole_optimize(circuit)
+        assert optimized.cx_count() == 2
+
+    def test_rotation_merging(self):
+        circuit = QuantumCircuit(1)
+        circuit.rz(0.3, 0).rz(0.4, 0)
+        optimized = peephole_optimize(circuit)
+        assert len(optimized) == 1
+        assert optimized.gates[0].params[0] == pytest.approx(0.7)
+
+    def test_opposite_rotations_cancel(self):
+        circuit = QuantumCircuit(1)
+        circuit.rz(0.3, 0).rz(-0.3, 0)
+        assert len(peephole_optimize(circuit)) == 0
+
+    def test_rotation_merging_through_commuting_cx_control(self):
+        circuit = QuantumCircuit(2)
+        circuit.rz(0.2, 0).cx(0, 1).rz(0.5, 0)
+        optimized = peephole_optimize(circuit)
+        assert optimized.count_ops()["rz"] == 1
+
+    def test_identity_gates_removed(self):
+        circuit = QuantumCircuit(1)
+        circuit.i(0).h(0).i(0)
+        assert len(peephole_optimize(circuit)) == 1
+
+    def test_preserves_unitary_on_random_clifford(self, rng):
+        for _ in range(10):
+            circuit = random_clifford_circuit(rng, 3, 20)
+            optimized = peephole_optimize(circuit)
+            assert circuits_equivalent(circuit, optimized)
+            assert len(optimized) <= len(circuit)
+
+    def test_preserves_unitary_on_trotter_circuits(self, rng):
+        from repro.synthesis.trotter import synthesize_trotter_circuit
+
+        for _ in range(5):
+            terms = random_pauli_terms(rng, 3, 5)
+            circuit = synthesize_trotter_circuit(terms)
+            optimized = peephole_optimize(circuit)
+            assert circuits_equivalent(circuit, optimized)
+
+    def test_trotter_adjacent_identical_blocks_shrink(self):
+        from repro.paulis.term import PauliTerm
+        from repro.synthesis.trotter import synthesize_trotter_circuit
+
+        terms = [PauliTerm.from_label("ZZZ", 0.3), PauliTerm.from_label("ZZZ", 0.5)]
+        circuit = synthesize_trotter_circuit(terms)
+        optimized = peephole_optimize(circuit)
+        # The mirrored trees between the two identical blocks cancel entirely
+        # and the two rotations merge.
+        assert optimized.cx_count() == 4
+        assert optimized.count_ops()["rz"] == 1

@@ -1,0 +1,161 @@
+"""Tests for coupling maps and the SWAP-insertion router."""
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.exceptions import RoutingError
+from repro.transpile.coupling import CouplingMap, bfs_distance
+from repro.transpile.routing import route_circuit
+
+from tests.conftest import random_pauli_terms
+
+
+class TestCouplingMap:
+    def test_fully_connected(self):
+        coupling = CouplingMap.fully_connected(4)
+        assert len(coupling.edges) == 6
+        assert coupling.are_connected(0, 3)
+
+    def test_line(self):
+        coupling = CouplingMap.line(5)
+        assert coupling.distance(0, 4) == 4
+        assert coupling.neighbors(2) == [1, 3]
+
+    def test_ring(self):
+        coupling = CouplingMap.ring(6)
+        assert coupling.distance(0, 3) == 3
+        assert coupling.distance(0, 5) == 1
+
+    def test_grid(self):
+        coupling = CouplingMap.grid(3, 3)
+        assert coupling.num_qubits == 9
+        assert coupling.are_connected(0, 1)
+        assert coupling.are_connected(0, 3)
+        assert not coupling.are_connected(0, 4)
+
+    def test_sycamore_size(self):
+        coupling = CouplingMap.sycamore()
+        assert coupling.num_qubits == 64
+        assert coupling.is_connected_graph()
+
+    def test_manhattan_size_and_sparsity(self):
+        coupling = CouplingMap.ibm_manhattan()
+        assert coupling.num_qubits == 65
+        assert coupling.is_connected_graph()
+        # Heavy-hex lattices have maximum degree 3.
+        assert max(len(coupling.neighbors(q)) for q in range(65)) <= 3
+
+    def test_invalid_edge(self):
+        with pytest.raises(RoutingError):
+            CouplingMap(2, [(0, 5)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(RoutingError):
+            CouplingMap(2, [(1, 1)])
+
+    def test_shortest_path(self):
+        coupling = CouplingMap.line(4)
+        assert coupling.shortest_path(0, 3) == [0, 1, 2, 3]
+
+    def test_bfs_distance(self):
+        distances = bfs_distance([(0, 1), (1, 2)], 4, 0)
+        assert distances == [0, 1, 2, -1]
+
+
+class TestRouting:
+    def _bell_pair_far_apart(self):
+        circuit = QuantumCircuit(4)
+        circuit.h(0).cx(0, 3)
+        return circuit
+
+    def test_already_mapped_circuit_unchanged(self):
+        coupling = CouplingMap.line(3)
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1).cx(1, 2)
+        result = route_circuit(circuit, coupling, initial_layout="trivial")
+        assert result.swap_count == 0
+        assert result.circuit.cx_count() == 2
+
+    def test_swaps_inserted_on_line(self):
+        coupling = CouplingMap.line(4)
+        result = route_circuit(self._bell_pair_far_apart(), coupling, initial_layout="trivial")
+        assert result.swap_count >= 1
+        # Every two-qubit gate must respect the coupling graph.
+        for gate in result.circuit:
+            if gate.num_qubits == 2:
+                assert coupling.are_connected(*gate.qubits)
+
+    def test_greedy_layout_reduces_swaps(self):
+        coupling = CouplingMap.line(4)
+        trivial = route_circuit(self._bell_pair_far_apart(), coupling, initial_layout="trivial")
+        greedy = route_circuit(self._bell_pair_far_apart(), coupling, initial_layout="greedy")
+        assert greedy.swap_count <= trivial.swap_count
+
+    def test_decompose_swaps(self):
+        coupling = CouplingMap.line(4)
+        result = route_circuit(
+            self._bell_pair_far_apart(), coupling, initial_layout="trivial", decompose_swaps=True
+        )
+        assert "swap" not in result.circuit.count_ops()
+
+    def test_explicit_layout(self):
+        coupling = CouplingMap.line(4)
+        layout = {0: 1, 1: 0, 2: 2, 3: 3}
+        result = route_circuit(self._bell_pair_far_apart(), coupling, initial_layout=layout)
+        assert result.initial_layout == layout
+
+    def test_duplicate_layout_rejected(self):
+        coupling = CouplingMap.line(3)
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        with pytest.raises(RoutingError):
+            route_circuit(circuit, coupling, initial_layout={0: 1, 1: 1})
+
+    def test_too_many_qubits_rejected(self):
+        coupling = CouplingMap.line(2)
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 2)
+        with pytest.raises(RoutingError):
+            route_circuit(circuit, coupling)
+
+    def test_unknown_strategy_rejected(self):
+        coupling = CouplingMap.line(2)
+        circuit = QuantumCircuit(2)
+        with pytest.raises(RoutingError):
+            route_circuit(circuit, coupling, initial_layout="bogus")
+
+    def test_routed_respects_coupling_for_trotter(self, rng):
+        from repro.synthesis.trotter import synthesize_trotter_circuit
+
+        coupling = CouplingMap.grid(2, 3)
+        terms = random_pauli_terms(rng, 5, 6)
+        circuit = synthesize_trotter_circuit(terms)
+        result = route_circuit(circuit, coupling)
+        for gate in result.circuit:
+            if gate.num_qubits == 2:
+                assert coupling.are_connected(*gate.qubits)
+
+    def test_routing_preserves_semantics_with_trivial_layout(self):
+        """Routed circuit equals original up to the tracked final permutation."""
+        from repro.circuits.statevector import Statevector
+
+        coupling = CouplingMap.line(3)
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 2).x(1)
+        result = route_circuit(circuit, coupling, initial_layout="trivial")
+        original_probabilities = Statevector.from_circuit(circuit).probability_dict()
+        routed_probabilities = Statevector.from_circuit(result.circuit).probability_dict()
+
+        def unpermute(bitstring: str) -> str:
+            bits_physical = {2 - i: bit for i, bit in enumerate(bitstring)}
+            logical_bits = {
+                logical: bits_physical[physical]
+                for logical, physical in result.final_layout.items()
+            }
+            return "".join(logical_bits[q] for q in sorted(logical_bits, reverse=True))
+
+        remapped = {}
+        for key, value in routed_probabilities.items():
+            remapped[unpermute(key)] = remapped.get(unpermute(key), 0.0) + value
+        for key, value in original_probabilities.items():
+            assert remapped.get(key, 0.0) == pytest.approx(value, abs=1e-9)

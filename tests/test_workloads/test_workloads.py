@@ -1,0 +1,266 @@
+"""Tests for the benchmark workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.paulis.pauli import PauliString
+from repro.workloads.fermion import (
+    ComplexPauliSum,
+    FermionicOperator,
+    anti_hermitian_excitation,
+    jordan_wigner,
+)
+from repro.workloads.molecules import (
+    MOLECULE_SPECIFICATIONS,
+    molecular_hamiltonian,
+    synthetic_electronic_hamiltonian,
+)
+from repro.workloads.qaoa import (
+    cut_value,
+    labs_energy,
+    labs_hamiltonian,
+    labs_qaoa_terms,
+    maxcut_hamiltonian,
+    maxcut_qaoa_terms,
+    random_graph,
+    regular_graph,
+)
+from repro.workloads.registry import benchmark_names, get_benchmark, list_benchmarks
+from repro.workloads.uccsd import uccsd_ansatz_terms, uccsd_excitations
+
+
+class TestJordanWigner:
+    def test_single_annihilation_operator(self):
+        result = jordan_wigner(FermionicOperator.annihilation(0), 2)
+        labels = {pauli.to_label(include_sign=False) for pauli, _ in result.items()}
+        assert labels == {"IX", "IY"}
+
+    def test_creation_has_z_string(self):
+        result = jordan_wigner(FermionicOperator.creation(2), 3)
+        for pauli, _ in result.items():
+            assert pauli.letter(0) == "Z"
+            assert pauli.letter(1) == "Z"
+            assert pauli.letter(2) in ("X", "Y")
+
+    def test_number_operator_matches_matrix(self):
+        """a†_0 a_0 = (I - Z_0) / 2."""
+        operator = FermionicOperator.creation(0) * FermionicOperator.annihilation(0)
+        result = jordan_wigner(operator, 1)
+        matrix = sum(
+            coefficient * pauli.to_matrix() for pauli, coefficient in result.items()
+        )
+        assert np.allclose(matrix, np.array([[0, 0], [0, 1]], dtype=complex))
+
+    def test_anticommutation_relation(self):
+        """{a_0, a†_0} = 1 under the JW encoding."""
+        a = jordan_wigner(FermionicOperator.annihilation(0), 2)
+        adag = jordan_wigner(FermionicOperator.creation(0), 2)
+        anticommutator = a * adag + adag * a
+        items = anticommutator.items()
+        assert len(items) == 1
+        pauli, coefficient = items[0]
+        assert pauli.is_identity()
+        assert coefficient == pytest.approx(1.0)
+
+    def test_excitation_is_anti_hermitian(self):
+        generator = anti_hermitian_excitation([2], [0], 3)
+        matrix = sum(c * p.to_matrix() for p, c in generator.items())
+        assert np.allclose(matrix, -matrix.conj().T)
+
+    def test_excitation_with_complex_amplitude(self):
+        generator = anti_hermitian_excitation([2], [0], 3, amplitude=0.3 + 0.4j)
+        matrix = sum(c * p.to_matrix() for p, c in generator.items())
+        assert np.allclose(matrix, -matrix.conj().T)
+        assert len(generator.items()) == 4
+
+    def test_mode_out_of_range(self):
+        with pytest.raises(WorkloadError):
+            jordan_wigner(FermionicOperator.annihilation(5), 3)
+
+    def test_complex_sum_to_hermitian_rejects_imaginary(self):
+        accumulator = ComplexPauliSum(1)
+        accumulator.add_pauli(PauliString.from_label("X"), 1j)
+        with pytest.raises(WorkloadError):
+            accumulator.to_hermitian_sum()
+
+
+class TestUccsd:
+    def test_excitation_counts(self):
+        assert len(uccsd_excitations(2, 4)) == 3
+        assert len(uccsd_excitations(2, 6)) == 8
+
+    def test_term_counts_match_paper(self):
+        assert len(uccsd_ansatz_terms(2, 4)) == 24
+        assert len(uccsd_ansatz_terms(2, 6)) == 80
+
+    def test_real_amplitudes_halve_terms(self):
+        assert len(uccsd_ansatz_terms(2, 4, complex_amplitudes=False)) == 12
+
+    def test_terms_are_hermitian_paulis(self):
+        for term in uccsd_ansatz_terms(2, 4):
+            assert term.pauli.is_hermitian()
+            assert not term.pauli.is_identity()
+
+    def test_deterministic_for_fixed_seed(self):
+        first = uccsd_ansatz_terms(2, 4, seed=3)
+        second = uccsd_ansatz_terms(2, 4, seed=3)
+        assert [t.pauli.to_label() for t in first] == [t.pauli.to_label() for t in second]
+        assert [t.coefficient for t in first] == [t.coefficient for t in second]
+
+    def test_invalid_specifications(self):
+        with pytest.raises(WorkloadError):
+            uccsd_excitations(3, 6)
+        with pytest.raises(WorkloadError):
+            uccsd_excitations(2, 5)
+        with pytest.raises(WorkloadError):
+            uccsd_excitations(6, 4)
+
+    def test_wrong_parameter_count(self):
+        with pytest.raises(WorkloadError):
+            uccsd_ansatz_terms(2, 4, parameters=[0.1])
+
+
+class TestMolecules:
+    @pytest.mark.parametrize("molecule", sorted(MOLECULE_SPECIFICATIONS))
+    def test_published_sizes(self, molecule):
+        num_qubits, num_terms = MOLECULE_SPECIFICATIONS[molecule]
+        hamiltonian = molecular_hamiltonian(molecule)
+        assert hamiltonian.num_qubits == num_qubits
+        assert len(hamiltonian) == num_terms
+
+    def test_terms_are_unique(self):
+        hamiltonian = molecular_hamiltonian("LiH")
+        labels = hamiltonian.labels()
+        assert len(labels) == len(set(labels))
+
+    def test_deterministic(self):
+        assert molecular_hamiltonian("H2O").labels() == molecular_hamiltonian("H2O").labels()
+
+    def test_unknown_molecule(self):
+        with pytest.raises(WorkloadError):
+            molecular_hamiltonian("caffeine")
+
+    def test_synthetic_hamiltonian_custom_size(self):
+        hamiltonian = synthetic_electronic_hamiltonian(5, 40)
+        assert hamiltonian.num_qubits == 5
+        assert len(hamiltonian) == 40
+
+    def test_hamiltonian_is_hermitian_structure(self):
+        for term in molecular_hamiltonian("LiH"):
+            assert term.pauli.is_hermitian()
+
+
+class TestQaoa:
+    def test_regular_graph_properties(self):
+        graph = regular_graph(10, 4, seed=1)
+        assert graph.number_of_nodes() == 10
+        assert all(degree == 4 for _, degree in graph.degree)
+
+    def test_random_graph_edge_count(self):
+        graph = random_graph(10, 12, seed=1)
+        assert graph.number_of_edges() == 12
+
+    def test_invalid_graph_specifications(self):
+        with pytest.raises(WorkloadError):
+            regular_graph(5, 5)
+        with pytest.raises(WorkloadError):
+            random_graph(4, 100)
+
+    def test_maxcut_terms_structure(self):
+        graph = regular_graph(8, 4, seed=2)
+        terms = maxcut_qaoa_terms(graph)
+        assert len(terms) == graph.number_of_edges() + 8
+        problem = terms[: graph.number_of_edges()]
+        assert all(set(t.pauli.letters()) <= {"I", "Z"} for t in problem)
+        mixer = terms[graph.number_of_edges() :]
+        assert all(t.pauli.weight == 1 and "X" in t.pauli.letters() for t in mixer)
+
+    def test_maxcut_hamiltonian(self):
+        graph = regular_graph(6, 2, seed=3)
+        hamiltonian = maxcut_hamiltonian(graph)
+        assert len(hamiltonian) == graph.number_of_edges()
+
+    def test_cut_value(self):
+        graph = random_graph(3, 3, seed=5)
+        assert cut_value(graph, "000") == 0
+        assert cut_value(graph, "001") == sum(1 for e in graph.edges if 0 in e)
+
+    def test_labs_term_counts_match_paper(self):
+        assert len(labs_qaoa_terms(10)) == 80
+        assert len(labs_qaoa_terms(15)) == 267
+        assert len(labs_qaoa_terms(20)) == 635
+
+    def test_labs_hamiltonian_is_z_type(self):
+        for term in labs_hamiltonian(8):
+            assert set(term.pauli.letters()) <= {"I", "Z"}
+            assert term.pauli.weight in (2, 4)
+
+    def test_labs_energy_matches_hamiltonian(self):
+        """<z|H|z> + constant = sidelobe energy for every basis state."""
+        num_qubits = 5
+        hamiltonian = labs_hamiltonian(num_qubits)
+        # The dropped constant is sum_k (n - k) for the i == j diagonal terms
+        # plus the contributions where index collisions cancel all spins.
+        for value in range(2**num_qubits):
+            bitstring = format(value, f"0{num_qubits}b")
+            spins = {q: 1 if bitstring[num_qubits - 1 - q] == "0" else -1 for q in range(num_qubits)}
+            classical = sum(
+                term.coefficient
+                * np.prod([spins[q] for q in term.pauli.support])
+                for term in hamiltonian
+            )
+            offset = labs_energy(bitstring) - classical
+            if value == 0:
+                constant = offset
+            assert offset == pytest.approx(constant)
+
+    def test_multi_layer_qaoa(self):
+        graph = regular_graph(6, 2, seed=3)
+        single = maxcut_qaoa_terms(graph, layers=1)
+        double = maxcut_qaoa_terms(graph, layers=2)
+        assert len(double) == 2 * len(single)
+
+
+class TestRegistry:
+    def test_nineteen_benchmarks(self):
+        assert len(list_benchmarks()) == 19
+
+    def test_lookup_by_name(self):
+        benchmark = get_benchmark("LABS-(n10)")
+        assert benchmark.num_qubits == 10
+        assert benchmark.measurement == "probabilities"
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(WorkloadError):
+            get_benchmark("nope")
+
+    def test_category_filter(self):
+        assert len(list_benchmarks("UCCSD")) == 6
+        assert len(list_benchmarks("QAOA MaxCut")) == 7
+
+    def test_small_benchmarks_resolve(self):
+        from repro.workloads.registry import SMALL_BENCHMARKS
+
+        for name in SMALL_BENCHMARKS:
+            benchmark = get_benchmark(name)
+            terms = benchmark.terms()
+            assert terms
+            assert terms[0].num_qubits == benchmark.num_qubits
+
+    def test_pauli_counts_match_paper_for_qaoa(self):
+        for name in ["LABS-(n10)", "LABS-(n15)", "MaxCut-(n15, r4)", "MaxCut-(n20, r8)"]:
+            benchmark = get_benchmark(name)
+            assert len(benchmark.terms()) == benchmark.paper_num_paulis
+
+    def test_chemistry_benchmark_has_observables(self):
+        benchmark = get_benchmark("LiH")
+        observables = benchmark.observables()
+        assert observables.num_qubits == 6
+
+    def test_qaoa_benchmark_has_no_observables(self):
+        with pytest.raises(WorkloadError):
+            get_benchmark("MaxCut-(n15, r4)").observables()
+
+    def test_names_listing(self):
+        assert "UCC-(2,4)" in benchmark_names()
