@@ -7,7 +7,7 @@ confirming that the framework is effective on its own.
 
 import pytest
 
-from repro.core.framework import QuCLEAR
+from repro.compiler.presets import quclear_pipeline
 from repro.workloads.registry import get_benchmark
 
 from benchmarks.conftest import selected_benchmarks
@@ -18,8 +18,10 @@ from benchmarks.conftest import selected_benchmarks
 def test_fig9_local_optimization(benchmark, name, local_optimize):
     terms = get_benchmark(name).terms()
 
+    pipeline = quclear_pipeline(local_optimize=local_optimize)
+
     def run():
-        return QuCLEAR(local_optimize=local_optimize).compile(terms).circuit
+        return pipeline.run(terms).circuit
 
     circuit = benchmark.pedantic(run, rounds=1, iterations=1)
     benchmark.extra_info.update(

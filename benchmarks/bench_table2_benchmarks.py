@@ -8,7 +8,7 @@ regenerates the table.
 
 import pytest
 
-from repro.synthesis.trotter import synthesize_trotter_circuit
+import repro
 from repro.workloads.registry import get_benchmark
 
 from benchmarks.conftest import selected_benchmarks
@@ -20,7 +20,7 @@ def test_table2_native_workload(benchmark, name):
 
     def build():
         terms = spec.terms()
-        circuit = synthesize_trotter_circuit(terms)
+        circuit = repro.compile(terms, level=0).circuit
         return terms, circuit
 
     terms, circuit = benchmark.pedantic(build, rounds=1, iterations=1)

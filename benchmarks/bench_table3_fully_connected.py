@@ -20,8 +20,7 @@ should match; see EXPERIMENTS.md for the full paper-vs-measured record.
 
 import pytest
 
-from repro.baselines.registry import BASELINE_COMPILERS
-from repro.core.framework import QuCLEAR
+from repro.compiler.registry import get_registry
 from repro.workloads.registry import get_benchmark
 
 from benchmarks.conftest import selected_benchmarks
@@ -56,18 +55,20 @@ def test_table3_compile(benchmark, name, compiler):
     spec = get_benchmark(name)
     terms = spec.terms()
 
-    def run():
-        if compiler == "QuCLEAR":
-            return QuCLEAR().compile(terms).circuit
-        return BASELINE_COMPILERS[compiler](terms).circuit
+    registry = get_registry()
 
-    circuit = benchmark.pedantic(run, rounds=1, iterations=1)
+    def run():
+        # the registry resolves the display name "QuCLEAR" to "quclear"
+        return registry.compile(compiler, terms)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
     benchmark.extra_info.update(
         {
             "benchmark": name,
             "compiler": compiler,
-            "measured_cx": circuit.cx_count(),
-            "measured_entangling_depth": circuit.entangling_depth(),
+            "measured_cx": result.cx_count(),
+            "measured_entangling_depth": result.entangling_depth(),
             "paper_cx": PAPER_CNOT_COUNTS.get(name, {}).get(compiler),
+            "pass_timings": result.metadata["pass_timings"],
         }
     )

@@ -88,3 +88,26 @@ def test_table4_state_absorption(benchmark, qaoa_extraction, count):
             "paper_seconds_maxcut_n20_r12": PAPER_STATE_SECONDS.get(count),
         }
     )
+
+
+def test_table4_compile_pass_timings(benchmark):
+    """Where the end-to-end compile time goes, per pipeline pass.
+
+    Complements the absorption-runtime rows of Table IV: the pipeline records
+    per-pass wall-clock timings in ``metadata["pass_timings"]``, so the
+    runtime story covers extraction, local optimization and absorption
+    preparation in one place.
+    """
+    import repro
+
+    terms = get_benchmark(_OBSERVABLE_BENCHMARK).terms()
+
+    result = benchmark.pedantic(lambda: repro.compile(terms, level=3), rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "mode": "pass_timings",
+            "benchmark": _OBSERVABLE_BENCHMARK,
+            "compile_seconds": result.compile_seconds,
+            **{f"seconds_{name}": value for name, value in result.metadata["pass_timings"].items()},
+        }
+    )

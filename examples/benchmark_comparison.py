@@ -1,7 +1,8 @@
 """Compiler comparison on a few Table II benchmarks (a mini Table III).
 
-Runs QuCLEAR and the re-implemented baselines on a handful of benchmarks and
-prints CNOT count, entangling depth and compile time per compiler.
+Runs every pipeline in the unified compiler registry on a handful of
+benchmarks and prints CNOT count, entangling depth and compile time per
+compiler, plus QuCLEAR's per-pass timing breakdown.
 
 Run with:  python examples/benchmark_comparison.py [benchmark ...]
 """
@@ -9,7 +10,7 @@ Run with:  python examples/benchmark_comparison.py [benchmark ...]
 import sys
 
 from repro.evaluation.comparison import compare_on_benchmark
-from repro.evaluation.reporting import format_table
+from repro.evaluation.reporting import format_pass_timings, format_table
 
 DEFAULT_BENCHMARKS = ["UCC-(2,4)", "UCC-(2,6)", "LiH", "LABS-(n10)", "MaxCut-(n15, r4)"]
 
@@ -32,6 +33,10 @@ def main(benchmarks: list[str]) -> None:
         print(f"{name}: fewest CNOTs -> {best}")
     print()
     print(format_table(rows))
+
+    # Where did QuCLEAR's compile time go on the last benchmark?
+    print(f"\nQuCLEAR pass timings on {benchmarks[-1]}:")
+    print(format_pass_timings(comparison.pass_timings["QuCLEAR"]))
 
 
 if __name__ == "__main__":

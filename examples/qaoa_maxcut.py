@@ -11,7 +11,8 @@ Run with:  python examples/qaoa_maxcut.py
 
 from collections import Counter
 
-from repro import QuantumCircuit, QuCLEAR, Statevector
+import repro
+from repro import QuantumCircuit, Statevector
 from repro.synthesis.trotter import synthesize_trotter_circuit
 from repro.workloads.qaoa import cut_value, maxcut_qaoa_terms, regular_graph
 
@@ -31,7 +32,7 @@ def main() -> None:
     terms = maxcut_qaoa_terms(graph, gamma=0.72, beta=0.39)
     preparation = _plus_state_preparation(graph.number_of_nodes())
 
-    result = QuCLEAR().compile(terms)
+    result = repro.compile(terms, level=3)
     native = preparation.compose(synthesize_trotter_circuit(terms))
     print(f"MaxCut QAOA on an 8-node 4-regular graph ({graph.number_of_edges()} edges)")
     print(f"  native CNOTs  : {native.cx_count()}")

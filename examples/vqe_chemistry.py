@@ -4,7 +4,8 @@ The workflow mirrors how QuCLEAR is meant to be used inside a VQE loop
 (Sec. VI-A of the paper):
 
 1. build the UCCSD ansatz as a Pauli-rotation program,
-2. compile it with QuCLEAR — the Clifford tail is extracted, not executed,
+2. compile it with ``repro.compile`` (the QuCLEAR preset) — the Clifford
+   tail is extracted, not executed,
 3. absorb the tail into every Hamiltonian term (CA-Pre),
 4. estimate each term from measurement histograms of the *optimized* circuit
    (CA-Post), and
@@ -14,7 +15,8 @@ The workflow mirrors how QuCLEAR is meant to be used inside a VQE loop
 Run with:  python examples/vqe_chemistry.py
 """
 
-from repro import QuCLEAR, Statevector
+import repro
+from repro import Statevector
 from repro.synthesis.trotter import synthesize_trotter_circuit
 from repro.workloads.molecules import synthetic_electronic_hamiltonian
 from repro.workloads.uccsd import uccsd_ansatz_terms
@@ -27,7 +29,7 @@ def main() -> None:
     ansatz_terms = uccsd_ansatz_terms(num_electrons, num_spin_orbitals, seed=11)
     hamiltonian = synthetic_electronic_hamiltonian(num_spin_orbitals, num_terms=20, seed=3)
 
-    result = QuCLEAR().compile(ansatz_terms)
+    result = repro.compile(ansatz_terms, level=3)
     native = synthesize_trotter_circuit(ansatz_terms)
     print(f"UCCSD-({num_electrons},{num_spin_orbitals}) ansatz: {len(ansatz_terms)} Pauli rotations")
     print(f"  native CNOTs    : {native.cx_count()}")

@@ -16,7 +16,6 @@ import numpy as np
 
 from repro.core.absorption import ObservableAbsorber, absorb_probabilities
 from repro.core.extraction import CliffordExtractor
-from repro.core.framework import QuCLEAR
 from repro.evaluation.breakdown import feature_breakdown, local_optimization_ablation
 from repro.evaluation.comparison import compare_on_benchmark
 from repro.evaluation.mapping import compare_mapped_compilers
@@ -89,6 +88,18 @@ def table4() -> None:
     print()
 
 
+def table4_pass_timings() -> None:
+    print("## Table IV addendum — QuCLEAR per-pass compile-time breakdown (measured, seconds)\n")
+    import repro
+    from repro.evaluation.reporting import format_pass_timings
+
+    result = repro.compile(get_benchmark("UCC-(4,8)").terms(), level=3)
+    print("```")
+    print(format_pass_timings(result.metadata["pass_timings"]))
+    print("```")
+    print()
+
+
 def fig9() -> None:
     print("## Fig. 9 — with / without local optimization (measured CNOTs)\n")
     print("| benchmark | without local opt | with local opt |")
@@ -135,6 +146,7 @@ if __name__ == "__main__":
     table2()
     table3()
     table4()
+    table4_pass_timings()
     fig9()
     fig10()
     fig11()

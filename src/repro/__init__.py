@@ -1,10 +1,14 @@
 """Reproduction of *QuCLEAR: Clifford Extraction and Absorption for Quantum
 Circuit Optimization* (HPCA 2025).
 
-The public API re-exports the pieces a downstream user needs most often:
+The public API centers on the composable pass-pipeline compiler:
 
-* :class:`QuCLEAR` — the end-to-end compiler (Clifford Extraction + local
-  optimization + Clifford Absorption helpers).
+* :func:`repro.compile` — the one-call entry point: pick a preset
+  ``level`` (0..3, 3 = the full QuCLEAR flow), an optional device
+  :class:`~repro.compiler.Target`, or any registered pipeline.
+* :mod:`repro.compiler` — the pass/pipeline machinery: :class:`Pipeline`,
+  :class:`Target`, the :class:`CompilerRegistry` (QuCLEAR *and* every
+  baseline under one roof), and the individual passes.
 * :class:`PauliString`, :class:`PauliTerm`, :class:`SparsePauliSum` — the
   Pauli-string program representation.
 * :class:`QuantumCircuit`, :class:`Statevector` — the circuit substrate.
@@ -13,11 +17,22 @@ The public API re-exports the pieces a downstream user needs most often:
 
 Quick start::
 
-    from repro import QuCLEAR, PauliTerm
+    import repro
+    from repro import PauliTerm
 
     terms = [PauliTerm.from_label("ZZZZ", 0.3), PauliTerm.from_label("YYXX", 0.5)]
-    result = QuCLEAR().compile(terms)
+    result = repro.compile(terms, level=3)
     print(result.cx_count(), "CNOTs instead of", 12)
+    print(result.metadata["pass_timings"])     # per-pass wall-clock breakdown
+
+    # Device-aware compilation (routes to the coupling map):
+    routed = repro.compile(terms, target="sycamore")
+
+    # Any registered compiler, one unified result type:
+    baseline = repro.compile(terms, pipeline="qiskit-like")
+
+The legacy ``QuCLEAR`` object remains available as a deprecated facade over
+the preset pipeline.
 """
 
 from repro.circuits import Gate, QuantumCircuit, Statevector
@@ -33,8 +48,16 @@ from repro.core import (
     absorb_probabilities,
 )
 from repro.paulis import PauliString, PauliTerm, SparsePauliSum
+from repro.compiler import (
+    CompilerRegistry,
+    Pipeline,
+    Target,
+    compile,
+    get_registry,
+    preset_pipeline,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Gate",
@@ -53,5 +76,11 @@ __all__ = [
     "PauliString",
     "PauliTerm",
     "SparsePauliSum",
+    "CompilerRegistry",
+    "Pipeline",
+    "Target",
+    "compile",
+    "get_registry",
+    "preset_pipeline",
     "__version__",
 ]

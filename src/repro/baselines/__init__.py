@@ -20,7 +20,7 @@ method (see DESIGN.md for the substitution rationale):
   QuCLEAR's absorption step).
 """
 
-from repro.baselines.result import BaselineResult
+from repro.baselines.result import BaselineResult, CompilationResult
 from repro.baselines.naive import compile_naive, compile_qiskit_like
 from repro.baselines.paulihedral import compile_paulihedral_like
 from repro.baselines.tket import compile_tket_like
@@ -29,6 +29,7 @@ from repro.baselines.registry import BASELINE_COMPILERS, compile_with
 
 __all__ = [
     "BaselineResult",
+    "CompilationResult",
     "compile_naive",
     "compile_qiskit_like",
     "compile_paulihedral_like",

@@ -5,29 +5,29 @@ from __future__ import annotations
 import time
 from typing import Sequence
 
-from repro.baselines.result import BaselineResult
+from repro.compiler.result import CompilationResult
 from repro.paulis.term import PauliTerm
 from repro.synthesis.trotter import synthesize_trotter_circuit
 from repro.transpile.peephole import peephole_optimize
 
 
-def compile_naive(terms: Sequence[PauliTerm]) -> BaselineResult:
+def compile_naive(terms: Sequence[PauliTerm]) -> CompilationResult:
     """One V-shaped block per Pauli rotation, no optimization at all."""
     start = time.perf_counter()
     circuit = synthesize_trotter_circuit(list(terms))
-    return BaselineResult(
+    return CompilationResult(
         name="naive",
         circuit=circuit,
         compile_seconds=time.perf_counter() - start,
     )
 
 
-def compile_qiskit_like(terms: Sequence[PauliTerm]) -> BaselineResult:
+def compile_qiskit_like(terms: Sequence[PauliTerm]) -> CompilationResult:
     """Direct synthesis followed by peephole local rewriting (Qiskit O3 stand-in)."""
     start = time.perf_counter()
     circuit = synthesize_trotter_circuit(list(terms))
     optimized = peephole_optimize(circuit)
-    return BaselineResult(
+    return CompilationResult(
         name="qiskit-like",
         circuit=optimized,
         compile_seconds=time.perf_counter() - start,

@@ -20,7 +20,7 @@ from __future__ import annotations
 import time
 from typing import Sequence
 
-from repro.baselines.result import BaselineResult
+from repro.compiler.result import CompilationResult
 from repro.circuits.circuit import QuantumCircuit
 from repro.core.commuting import convert_commute_sets
 from repro.paulis.pauli import PauliString
@@ -89,7 +89,7 @@ def _synthesize_gadget(term: PauliTerm, order: list[int], num_qubits: int) -> Qu
     return circuit
 
 
-def compile_paulihedral_like(terms: Sequence[PauliTerm]) -> BaselineResult:
+def compile_paulihedral_like(terms: Sequence[PauliTerm]) -> CompilationResult:
     """Block-wise gate-cancellation baseline."""
     term_list = list(terms)
     start = time.perf_counter()
@@ -106,7 +106,7 @@ def compile_paulihedral_like(terms: Sequence[PauliTerm]) -> BaselineResult:
         circuit = circuit.compose(_synthesize_gadget(term, order, num_qubits))
         previous_term = term
     optimized = peephole_optimize(circuit)
-    return BaselineResult(
+    return CompilationResult(
         name="paulihedral-like",
         circuit=optimized,
         compile_seconds=time.perf_counter() - start,

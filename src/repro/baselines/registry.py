@@ -1,7 +1,16 @@
-"""Name-indexed access to every baseline compiler."""
+"""Name-indexed access to every baseline compiler.
+
+.. deprecated::
+    The per-module dict and :func:`compile_with` predate the unified
+    :class:`repro.compiler.registry.CompilerRegistry`, which also knows the
+    QuCLEAR pipelines.  ``compile_with`` now delegates to that registry and
+    emits a :class:`DeprecationWarning`; ``BASELINE_COMPILERS`` is kept for
+    code that iterates the raw baseline functions.
+"""
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Sequence
 
 from repro.baselines.naive import compile_naive, compile_qiskit_like
@@ -9,11 +18,11 @@ from repro.baselines.paulihedral import compile_paulihedral_like
 from repro.baselines.result import BaselineResult
 from repro.baselines.rustiq import compile_rustiq_like
 from repro.baselines.tket import compile_tket_like
-from repro.exceptions import WorkloadError
+from repro.exceptions import CompilerError, SynthesisError, WorkloadError
 from repro.paulis.term import PauliTerm
 
-#: every baseline compiler used by the evaluation harness, keyed by the short
-#: name that appears in the benchmark output tables
+#: every baseline compiler function, keyed by the short name that appears in
+#: the benchmark output tables (deprecated — prefer the CompilerRegistry)
 BASELINE_COMPILERS: dict[str, Callable[[Sequence[PauliTerm]], BaselineResult]] = {
     "naive": compile_naive,
     "qiskit-like": compile_qiskit_like,
@@ -24,11 +33,28 @@ BASELINE_COMPILERS: dict[str, Callable[[Sequence[PauliTerm]], BaselineResult]] =
 
 
 def compile_with(name: str, terms: Sequence[PauliTerm]) -> BaselineResult:
-    """Run the baseline compiler called ``name`` on ``terms``."""
-    try:
-        compiler = BASELINE_COMPILERS[name]
-    except KeyError as error:
+    """Run the baseline compiler called ``name`` on ``terms``.
+
+    Deprecated: delegates to ``repro.compiler.get_registry().compile(...)``.
+    """
+    warnings.warn(
+        "compile_with(name, terms) is deprecated; use "
+        "repro.compiler.get_registry().compile(name, terms) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.compiler.registry import get_registry
+
+    # keep the historical contract: only the five baselines are accepted here,
+    # and an empty program raises the same SynthesisError the functions did
+    if name not in BASELINE_COMPILERS:
         raise WorkloadError(
             f"unknown baseline {name!r}; available: {sorted(BASELINE_COMPILERS)}"
-        ) from error
-    return compiler(terms)
+        )
+    term_list = list(terms)
+    if not term_list:
+        raise SynthesisError("cannot synthesize a circuit from zero Pauli terms")
+    try:
+        return get_registry().compile(name, term_list)
+    except CompilerError as error:  # defensive: no known pipeline error remains
+        raise WorkloadError(str(error)) from error

@@ -1,31 +1,17 @@
-"""Common result container for baseline compilers."""
+"""Result container for baseline compilers.
+
+.. deprecated::
+    ``BaselineResult`` has been merged into the unified
+    :class:`repro.compiler.result.CompilationResult`; every baseline now
+    returns that type directly.  The name is kept as an alias so existing
+    imports and ``isinstance`` checks keep working.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from repro.compiler.result import CompilationResult
 
-from repro.circuits.circuit import QuantumCircuit
+#: deprecated alias — baselines return the unified result type
+BaselineResult = CompilationResult
 
-
-@dataclass
-class BaselineResult:
-    """Output of a baseline compiler run."""
-
-    name: str
-    circuit: QuantumCircuit
-    compile_seconds: float
-    metadata: dict = field(default_factory=dict)
-
-    def cx_count(self) -> int:
-        return self.circuit.cx_count()
-
-    def entangling_depth(self) -> int:
-        return self.circuit.entangling_depth()
-
-    def metrics(self) -> dict[str, float]:
-        return {
-            "cx_count": self.circuit.cx_count(),
-            "entangling_depth": self.circuit.entangling_depth(),
-            "single_qubit_count": self.circuit.single_qubit_count(),
-            "compile_seconds": self.compile_seconds,
-        }
+__all__ = ["BaselineResult", "CompilationResult"]

@@ -14,13 +14,13 @@ from __future__ import annotations
 import time
 from typing import Sequence
 
-from repro.baselines.result import BaselineResult
+from repro.compiler.result import CompilationResult
 from repro.core.extraction import CliffordExtractor
 from repro.paulis.term import PauliTerm
 from repro.transpile.peephole import peephole_optimize
 
 
-def compile_rustiq_like(terms: Sequence[PauliTerm]) -> BaselineResult:
+def compile_rustiq_like(terms: Sequence[PauliTerm]) -> CompilationResult:
     """Greedy Pauli-network synthesis with the residual Clifford emitted at the end."""
     term_list = list(terms)
     start = time.perf_counter()
@@ -34,7 +34,7 @@ def compile_rustiq_like(terms: Sequence[PauliTerm]) -> BaselineResult:
     # the circuit (QuCLEAR's advantage is precisely that it does not).
     full_circuit = extraction.optimized_circuit.compose(extraction.extracted_clifford)
     optimized = peephole_optimize(full_circuit)
-    return BaselineResult(
+    return CompilationResult(
         name="rustiq-like",
         circuit=optimized,
         compile_seconds=time.perf_counter() - start,

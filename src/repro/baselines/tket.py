@@ -15,14 +15,14 @@ import time
 from typing import Sequence
 
 from repro.baselines.paulihedral import _order_block
-from repro.baselines.result import BaselineResult
+from repro.compiler.result import CompilationResult
 from repro.core.commuting import convert_commute_sets
 from repro.paulis.term import PauliTerm
 from repro.synthesis.trotter import synthesize_trotter_circuit
 from repro.transpile.peephole import peephole_optimize
 
 
-def compile_tket_like(terms: Sequence[PauliTerm]) -> BaselineResult:
+def compile_tket_like(terms: Sequence[PauliTerm]) -> CompilationResult:
     """Phase-gadget synthesis with balanced trees and local rewriting."""
     term_list = list(terms)
     start = time.perf_counter()
@@ -30,7 +30,7 @@ def compile_tket_like(terms: Sequence[PauliTerm]) -> BaselineResult:
     ordered = [term for block in blocks for term in block]
     circuit = synthesize_trotter_circuit(ordered, tree="balanced")
     optimized = peephole_optimize(circuit)
-    return BaselineResult(
+    return CompilationResult(
         name="tket-like",
         circuit=optimized,
         compile_seconds=time.perf_counter() - start,

@@ -1,0 +1,52 @@
+"""The one-call compiler entry point: :func:`repro.compile`."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.compiler.pipeline import Pipeline, ensure_device_routing
+from repro.compiler.presets import MAX_OPTIMIZATION_LEVEL, preset_pipeline
+from repro.compiler.registry import get_registry
+from repro.compiler.result import CompilationResult
+from repro.compiler.target import Target, as_target
+from repro.exceptions import CompilerError
+from repro.paulis.sum import SparsePauliSum
+from repro.paulis.term import PauliTerm
+from repro.transpile.coupling import CouplingMap
+
+
+def compile(
+    terms: Sequence[PauliTerm] | SparsePauliSum,
+    target: Target | CouplingMap | str | None = None,
+    level: int = MAX_OPTIMIZATION_LEVEL,
+    pipeline: Pipeline | str | None = None,
+) -> CompilationResult:
+    """Compile a Pauli-rotation program.
+
+    Parameters
+    ----------
+    terms:
+        The program: a sequence of :class:`~repro.paulis.term.PauliTerm`
+        rotations (or a :class:`~repro.paulis.sum.SparsePauliSum`).
+    target:
+        Optional device to compile for — a :class:`Target`, a
+        :class:`~repro.transpile.coupling.CouplingMap`, or a known device
+        name (``"sycamore"``, ``"ibm-manhattan"``).  ``None`` compiles for an
+        all-to-all device.
+    level:
+        Preset optimization level 0..3 (3 = the full QuCLEAR flow).
+    pipeline:
+        Explicit pipeline to run instead of a preset: a
+        :class:`~repro.compiler.pipeline.Pipeline` instance or the name of a
+        registered compiler (``"quclear"``, ``"qiskit-like"``, ...).
+    """
+    if pipeline is None:
+        resolved = preset_pipeline(level)
+    elif isinstance(pipeline, Pipeline):
+        resolved = pipeline
+    elif isinstance(pipeline, str):
+        resolved = get_registry().get(pipeline)
+    else:
+        raise CompilerError(f"cannot interpret {pipeline!r} as a pipeline")
+    device = as_target(target)
+    return ensure_device_routing(resolved, device).run(terms, target=device)

@@ -1,0 +1,77 @@
+"""Mutable state shared by the passes of one pipeline run.
+
+A pipeline run threads two objects through its passes:
+
+* :class:`Program` — the compilation artifact itself (Pauli terms in, circuit
+  out), mutated in place by each pass;
+* :class:`PassContext` — everything *about* the run: the :class:`Target`
+  being compiled for, the :class:`PropertySet` of analysis results, and the
+  per-pass wall-clock timings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.paulis.term import PauliTerm
+
+if TYPE_CHECKING:
+    from repro.compiler.target import Target
+    from repro.core.extraction import ExtractionResult
+    from repro.transpile.routing import RoutingResult
+
+
+class PropertySet(dict):
+    """A dictionary of properties produced and consumed by passes.
+
+    Missing keys read as ``None`` (so passes can probe for optional upstream
+    analysis without try/except), and properties survive the whole pipeline
+    run — they are attached to the final
+    :class:`~repro.compiler.result.CompilationResult`.
+    """
+
+    def __missing__(self, key: str) -> None:
+        return None
+
+
+@dataclass
+class Program:
+    """The compilation artifact as it flows through a pipeline.
+
+    Synthesis passes turn :attr:`terms` into :attr:`circuit`; later passes
+    rewrite the circuit in place.  Extraction-style passes additionally set
+    :attr:`extracted_clifford` / :attr:`extraction`.
+    """
+
+    terms: list[PauliTerm]
+    blocks: list[list[PauliTerm]] | None = None
+    circuit: QuantumCircuit | None = None
+    extracted_clifford: QuantumCircuit | None = None
+    extraction: "ExtractionResult | None" = None
+    routing: "RoutingResult | None" = None
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def num_qubits(self) -> int:
+        if self.circuit is not None:
+            return self.circuit.num_qubits
+        return self.terms[0].num_qubits if self.terms else 0
+
+
+@dataclass
+class PassContext:
+    """Per-run context handed to every pass."""
+
+    target: "Target | None" = None
+    properties: PropertySet = field(default_factory=PropertySet)
+    pass_timings: dict[str, float] = field(default_factory=dict)
+
+    def record_timing(self, pass_name: str, seconds: float) -> None:
+        """Accumulate wall-clock seconds for ``pass_name`` (repeats add up)."""
+        self.pass_timings[pass_name] = self.pass_timings.get(pass_name, 0.0) + seconds
+
+    def get(self, key: str, default: Any = None) -> Any:
+        value = self.properties[key]
+        return default if value is None else value

@@ -1,0 +1,122 @@
+"""The unified compiler registry.
+
+One name-indexed catalogue of every compiler pipeline — the QuCLEAR presets
+*and* the re-implemented baselines — all returning the same
+:class:`~repro.compiler.result.CompilationResult`.  Lookups are
+case-insensitive, so the evaluation harness's display name ``"QuCLEAR"``
+resolves to the ``"quclear"`` pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+from repro.compiler.passes import FunctionCompilerPass
+from repro.compiler.pipeline import Pipeline, ensure_device_routing
+from repro.compiler.presets import preset_pipeline
+from repro.compiler.result import CompilationResult
+from repro.compiler.target import Target, as_target
+from repro.exceptions import CompilerError
+from repro.paulis.term import PauliTerm
+
+
+class CompilerRegistry:
+    """Name-indexed access to every registered compiler pipeline."""
+
+    def __init__(self) -> None:
+        self._pipelines: dict[str, Pipeline] = {}
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _normalize(name: str) -> str:
+        return name.strip().lower()
+
+    def register(self, name: str, pipeline: Pipeline, overwrite: bool = False) -> Pipeline:
+        """Register ``pipeline`` under ``name`` (case-insensitive)."""
+        key = self._normalize(name)
+        if key in self._pipelines and not overwrite:
+            raise CompilerError(f"compiler {name!r} is already registered")
+        self._pipelines[key] = pipeline
+        return pipeline
+
+    def get(self, name: str) -> Pipeline:
+        try:
+            return self._pipelines[self._normalize(name)]
+        except KeyError as error:
+            raise CompilerError(
+                f"unknown compiler {name!r}; available: {self.names()}"
+            ) from error
+
+    def names(self) -> list[str]:
+        return sorted(self._pipelines)
+
+    def compile(
+        self,
+        name: str,
+        terms: Sequence[PauliTerm],
+        target: Target | None = None,
+    ) -> CompilationResult:
+        """Run the pipeline registered under ``name`` on ``terms``.
+
+        As with :func:`repro.compile`, a routing stage is appended when a
+        constrained ``target`` is given to a pipeline that has none, so the
+        returned circuit always fits the device.
+        """
+        device = as_target(target)
+        pipeline = ensure_device_routing(self.get(name), device)
+        return pipeline.run(terms, target=device)
+
+    # ------------------------------------------------------------------ #
+    def __contains__(self, name: str) -> bool:
+        return self._normalize(name) in self._pipelines
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._pipelines)
+
+    def __repr__(self) -> str:
+        return f"CompilerRegistry({self.names()})"
+
+
+def _baseline_pipeline(fn: Callable, pass_name: str, pipeline_name: str) -> Pipeline:
+    return Pipeline([FunctionCompilerPass(fn, pass_name)], name=pipeline_name)
+
+
+def _build_default_registry() -> CompilerRegistry:
+    # Imported inside the function to break the import cycle: the baselines
+    # package itself imports repro.compiler.result, so these modules must not
+    # load before this module's own imports have finished.
+    from repro.baselines.naive import compile_naive, compile_qiskit_like
+    from repro.baselines.paulihedral import compile_paulihedral_like
+    from repro.baselines.rustiq import compile_rustiq_like
+    from repro.baselines.tket import compile_tket_like
+
+    registry = CompilerRegistry()
+    registry.register("quclear", preset_pipeline(3).then(name="quclear"))
+    registry.register("naive", _baseline_pipeline(compile_naive, "NaiveSynthesis", "naive"))
+    registry.register(
+        "qiskit-like",
+        _baseline_pipeline(compile_qiskit_like, "QiskitLikeSynthesis", "qiskit-like"),
+    )
+    registry.register(
+        "paulihedral-like",
+        _baseline_pipeline(compile_paulihedral_like, "PaulihedralSynthesis", "paulihedral-like"),
+    )
+    registry.register(
+        "tket-like", _baseline_pipeline(compile_tket_like, "TketSynthesis", "tket-like")
+    )
+    registry.register(
+        "rustiq-like", _baseline_pipeline(compile_rustiq_like, "RustiqSynthesis", "rustiq-like")
+    )
+    return registry
+
+
+#: the process-wide default registry used by :func:`repro.compile`
+DEFAULT_REGISTRY = _build_default_registry()
+
+
+def get_registry() -> CompilerRegistry:
+    """The default process-wide :class:`CompilerRegistry`."""
+    return DEFAULT_REGISTRY

@@ -7,7 +7,9 @@
 * :mod:`repro.core.extraction` — the Clifford Extraction pass (Algorithm 2).
 * :mod:`repro.core.absorption` — Clifford Absorption for observable and
   probability measurements (CA-Pre / CA-Post).
-* :mod:`repro.core.framework` — the end-to-end :class:`QuCLEAR` compiler.
+* :mod:`repro.core.framework` — the deprecated :class:`QuCLEAR` facade over
+  the :mod:`repro.compiler` pass pipeline (new code should use
+  :func:`repro.compile`).
 """
 
 from repro.core.commuting import convert_commute_sets

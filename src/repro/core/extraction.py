@@ -110,8 +110,17 @@ class CliffordExtractor:
         self.max_lookahead = max_lookahead
 
     # ------------------------------------------------------------------ #
-    def extract(self, terms: Sequence[PauliTerm]) -> ExtractionResult:
-        """Run Clifford Extraction over a Pauli-rotation program."""
+    def extract(
+        self,
+        terms: Sequence[PauliTerm],
+        blocks: list[list[PauliTerm]] | None = None,
+    ) -> ExtractionResult:
+        """Run Clifford Extraction over a Pauli-rotation program.
+
+        ``blocks`` may carry the commuting-block partition of ``terms`` when a
+        pipeline already computed it (the ``GroupCommuting`` pass); when
+        ``None`` the partition is computed here.
+        """
         term_list = list(terms)
         if not term_list:
             raise SynthesisError("cannot extract from an empty Pauli program")
@@ -126,7 +135,8 @@ class CliffordExtractor:
         left_halves = QuantumCircuit(num_qubits)
         rotation_count = 0
 
-        blocks = convert_commute_sets(term_list)
+        if blocks is None:
+            blocks = convert_commute_sets(term_list)
         for block_index, block in enumerate(blocks):
             block = list(block)
             for position in range(len(block)):

@@ -1,86 +1,35 @@
-"""The end-to-end QuCLEAR compiler (Fig. 6 of the paper).
+"""The legacy end-to-end QuCLEAR compiler object (Fig. 6 of the paper).
 
-The framework chains the Clifford Extraction module, an optional local
-(peephole) optimization pass standing in for Qiskit optimization level 3, and
-the Clifford Absorption pre/post modules.  It exposes one ``compile`` call for
-circuit optimization plus helpers that carry out the full hybrid
-quantum-classical workflow used by the examples and the evaluation harness.
+.. deprecated::
+    The hard-coded chain that used to live here is now the composable
+    pass pipeline of :mod:`repro.compiler`.  :class:`QuCLEAR` remains as a
+    thin facade over the preset pipeline so existing code keeps working —
+    new code should call :func:`repro.compile` or use the
+    :class:`~repro.compiler.registry.CompilerRegistry` directly.
+
+The unified :class:`~repro.compiler.result.CompilationResult` is re-exported
+here under its historical import path.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+import warnings
+from typing import Sequence
 
-from repro.circuits.circuit import QuantumCircuit
-from repro.core.absorption import (
-    AbsorbedObservable,
-    ObservableAbsorber,
-    ProbabilityAbsorber,
-    build_probability_absorber,
-)
-from repro.core.extraction import CliffordExtractor, ExtractionResult
-from repro.paulis.pauli import PauliString
+from repro.compiler.result import CompilationResult
+from repro.core.extraction import CliffordExtractor
+from repro.exceptions import SynthesisError
 from repro.paulis.sum import SparsePauliSum
 from repro.paulis.term import PauliTerm
-from repro.transpile.peephole import peephole_optimize
 
-
-@dataclass
-class CompilationResult:
-    """Everything produced by one QuCLEAR compilation."""
-
-    #: the circuit to execute on quantum hardware
-    circuit: QuantumCircuit
-    #: the Clifford tail that Clifford Absorption handles classically
-    extracted_clifford: QuantumCircuit
-    #: the underlying extraction result (conjugation tableau, metadata, ...)
-    extraction: ExtractionResult
-    #: wall-clock compile time in seconds (extraction + local optimization)
-    compile_seconds: float
-    metadata: dict = field(default_factory=dict)
-
-    # ------------------------------------------------------------------ #
-    @property
-    def num_qubits(self) -> int:
-        return self.circuit.num_qubits
-
-    def cx_count(self) -> int:
-        return self.circuit.cx_count()
-
-    def entangling_depth(self) -> int:
-        return self.circuit.entangling_depth()
-
-    def metrics(self) -> dict[str, float]:
-        """The metrics reported in the paper's Table III."""
-        return {
-            "cx_count": self.circuit.cx_count(),
-            "entangling_depth": self.circuit.entangling_depth(),
-            "single_qubit_count": self.circuit.single_qubit_count(),
-            "compile_seconds": self.compile_seconds,
-        }
-
-    # ------------------------------------------------------------------ #
-    def observable_absorber(self) -> ObservableAbsorber:
-        """CA module for observable (expectation-value) workloads."""
-        return ObservableAbsorber(self.extraction.conjugation)
-
-    def absorb_observables(
-        self, observables: Iterable[PauliString] | SparsePauliSum
-    ) -> list[AbsorbedObservable]:
-        absorber = self.observable_absorber()
-        if isinstance(observables, SparsePauliSum):
-            return [absorber.absorb_pauli(term.pauli) for term in observables]
-        return absorber.absorb_all(observables)
-
-    def probability_absorber(self) -> ProbabilityAbsorber:
-        """CA module for probability-distribution (QAOA) workloads."""
-        return build_probability_absorber(self.extracted_clifford)
+__all__ = ["CompilationResult", "QuCLEAR"]
 
 
 class QuCLEAR:
-    """The QuCLEAR compilation framework.
+    """Deprecated facade over the QuCLEAR preset pipeline.
+
+    Equivalent to ``repro.compile(terms, level=3)`` (minus the device-routing
+    and absorption-preparation passes, which were never part of this object).
 
     Parameters
     ----------
@@ -105,7 +54,15 @@ class QuCLEAR:
         local_optimize: bool = True,
         max_lookahead: int | None = None,
     ):
+        warnings.warn(
+            "QuCLEAR(...) is deprecated; use repro.compile(terms, level=3) or "
+            "repro.compiler.quclear_pipeline(...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.local_optimize = local_optimize
+        # the extractor stays the single source of truth, as it was before the
+        # pipeline refactor: code that mutates (or swaps) it still takes effect
         self.extractor = CliffordExtractor(
             reorder_within_blocks=reorder_within_blocks,
             recursive_tree=recursive_tree,
@@ -113,29 +70,30 @@ class QuCLEAR:
             max_lookahead=max_lookahead,
         )
 
+    @property
+    def pipeline(self):
+        """The equivalent :class:`~repro.compiler.pipeline.Pipeline`, built
+        from the current state of :attr:`extractor`."""
+        from repro.compiler.passes import CliffordExtraction, GroupCommuting, Peephole
+        from repro.compiler.pipeline import Pipeline
+
+        passes = [GroupCommuting(), CliffordExtraction(extractor=self.extractor)]
+        if self.local_optimize:
+            passes.append(Peephole())
+        return Pipeline(passes, name="quclear")
+
     # ------------------------------------------------------------------ #
     def compile(
         self, terms: Sequence[PauliTerm] | SparsePauliSum
     ) -> CompilationResult:
         """Compile a Pauli-rotation program (CE module plus local optimization)."""
         term_list = list(terms)
-        start = time.perf_counter()
-        extraction = self.extractor.extract(term_list)
-        circuit = extraction.optimized_circuit
-        if self.local_optimize:
-            circuit = peephole_optimize(circuit)
-        elapsed = time.perf_counter() - start
-        return CompilationResult(
-            circuit=circuit,
-            extracted_clifford=extraction.extracted_clifford,
-            extraction=extraction,
-            compile_seconds=elapsed,
-            metadata={
-                "local_optimize": self.local_optimize,
-                "rotation_count": extraction.rotation_count,
-                "num_blocks": extraction.metadata.get("num_blocks"),
-            },
-        )
+        if not term_list:
+            # historical behavior: the extractor raised SynthesisError here
+            raise SynthesisError("cannot extract from an empty Pauli program")
+        result = self.pipeline.run(term_list)
+        result.metadata["local_optimize"] = self.local_optimize
+        return result
 
     def compile_hamiltonian(
         self, hamiltonian: SparsePauliSum, time_step: float = 1.0, repetitions: int = 1

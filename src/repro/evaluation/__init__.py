@@ -7,7 +7,7 @@ from repro.evaluation.comparison import (
 )
 from repro.evaluation.mapping import compare_mapped_compilers
 from repro.evaluation.breakdown import feature_breakdown
-from repro.evaluation.reporting import format_table
+from repro.evaluation.reporting import format_pass_timings, format_table
 
 __all__ = [
     "CompilerComparison",
@@ -15,5 +15,6 @@ __all__ = [
     "compare_on_benchmark",
     "compare_mapped_compilers",
     "feature_breakdown",
+    "format_pass_timings",
     "format_table",
 ]

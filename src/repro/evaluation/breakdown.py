@@ -1,14 +1,14 @@
 """Per-feature CNOT-reduction breakdown (the paper's Fig. 10) and the
-with/without-local-optimization ablation (Fig. 9)."""
+with/without-local-optimization ablation (Fig. 9), expressed as pipelines."""
 
 from __future__ import annotations
 
 from typing import Sequence
 
-from repro.baselines.naive import compile_naive
-from repro.core.absorption import AbsorptionError, build_probability_absorber
-from repro.core.extraction import CliffordExtractor
-from repro.core.framework import QuCLEAR
+from repro.compiler.passes import AbsorptionPrep, CliffordExtraction, GroupCommuting
+from repro.compiler.pipeline import Pipeline
+from repro.compiler.presets import quclear_pipeline
+from repro.compiler.registry import get_registry
 from repro.paulis.term import PauliTerm
 from repro.transpile.peephole import peephole_optimize
 
@@ -27,20 +27,22 @@ def feature_breakdown(terms: Sequence[PauliTerm]) -> dict[str, int]:
     * ``local_optimization`` — the peephole pass on top of everything.
     """
     term_list = list(terms)
-    native = compile_naive(term_list).circuit
+    native = get_registry().compile("naive", term_list)
 
-    no_reorder = CliffordExtractor(reorder_within_blocks=False).extract(term_list)
-    with_reorder = CliffordExtractor(reorder_within_blocks=True).extract(term_list)
+    no_reorder = Pipeline(
+        [GroupCommuting(), CliffordExtraction(reorder_within_blocks=False)],
+        name="extract-no-reorder",
+    ).run(term_list)
+    with_reorder = Pipeline(
+        [GroupCommuting(), CliffordExtraction(reorder_within_blocks=True)],
+        name="extract-reorder",
+    ).run(term_list)
 
     # Before absorption the extracted tail still has to run on hardware.
-    tree_only_cx = (
-        no_reorder.optimized_circuit.cx_count() + no_reorder.extracted_clifford.cx_count()
-    )
-    commutation_cx = (
-        with_reorder.optimized_circuit.cx_count() + with_reorder.extracted_clifford.cx_count()
-    )
-    absorbed_cx = with_reorder.optimized_circuit.cx_count()
-    local_cx = peephole_optimize(with_reorder.optimized_circuit).cx_count()
+    tree_only_cx = no_reorder.cx_count() + no_reorder.extracted_clifford.cx_count()
+    commutation_cx = with_reorder.cx_count() + with_reorder.extracted_clifford.cx_count()
+    absorbed_cx = with_reorder.cx_count()
+    local_cx = peephole_optimize(with_reorder.circuit).cx_count()
 
     return {
         "native": native.cx_count(),
@@ -54,8 +56,8 @@ def feature_breakdown(terms: Sequence[PauliTerm]) -> dict[str, int]:
 def local_optimization_ablation(terms: Sequence[PauliTerm]) -> dict[str, dict[str, float]]:
     """QuCLEAR with and without the local-optimization pass (Fig. 9)."""
     term_list = list(terms)
-    with_local = QuCLEAR(local_optimize=True).compile(term_list)
-    without_local = QuCLEAR(local_optimize=False).compile(term_list)
+    with_local = quclear_pipeline(local_optimize=True).run(term_list)
+    without_local = quclear_pipeline(local_optimize=False).run(term_list)
     return {
         "with_local_optimization": with_local.metrics(),
         "without_local_optimization": without_local.metrics(),
@@ -65,9 +67,8 @@ def local_optimization_ablation(terms: Sequence[PauliTerm]) -> dict[str, dict[st
 def absorption_style(terms: Sequence[PauliTerm]) -> str:
     """Which CA mode applies to a workload: 'probabilities' when the tail
     reduces to a Hadamard layer plus CNOT network, otherwise 'observables'."""
-    extraction = CliffordExtractor().extract(list(terms))
-    try:
-        build_probability_absorber(extraction.extracted_clifford)
-    except AbsorptionError:
-        return "observables"
-    return "probabilities"
+    result = Pipeline(
+        [GroupCommuting(), CliffordExtraction(), AbsorptionPrep()],
+        name="absorption-style",
+    ).run(list(terms))
+    return result.properties["absorption_style"]

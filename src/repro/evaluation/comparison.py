@@ -1,13 +1,20 @@
-"""Compiler comparison on fully connected devices (the paper's Table III)."""
+"""Compiler comparison on fully connected devices (the paper's Table III).
+
+Every compiler is looked up in the unified
+:class:`~repro.compiler.registry.CompilerRegistry` (lookups are
+case-insensitive, so the display name ``"QuCLEAR"`` resolves to the
+``"quclear"`` pipeline) and all of them return the same
+:class:`~repro.compiler.result.CompilationResult`, so the harness never
+branches on the compiler kind.
+"""
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.baselines.registry import BASELINE_COMPILERS
-from repro.core.framework import QuCLEAR
+from repro.compiler.presets import quclear_preset
+from repro.compiler.registry import get_registry
 from repro.paulis.term import PauliTerm
 from repro.workloads.registry import Benchmark, get_benchmark
 
@@ -23,6 +30,8 @@ class CompilerComparison:
     num_qubits: int
     num_paulis: int
     results: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: per-compiler pass-level wall-clock breakdown (pass name -> seconds)
+    pass_timings: dict[str, dict[str, float]] = field(default_factory=dict)
 
     def cx_counts(self) -> dict[str, int]:
         return {name: int(metrics["cx_count"]) for name, metrics in self.results.items()}
@@ -38,10 +47,18 @@ class CompilerComparison:
     def best_compiler(self, metric: str = "cx_count") -> str:
         return min(self.results, key=lambda name: self.results[name][metric])
 
+    def _result_key(self, name: str) -> str:
+        """Resolve ``name`` against the results case-insensitively, matching
+        the registry's lookup semantics."""
+        for key in self.results:
+            if key.lower() == name.lower():
+                return key
+        raise KeyError(name)
+
     def reduction_vs(self, baseline: str, metric: str = "cx_count") -> float:
         """Relative reduction of QuCLEAR versus ``baseline`` (1.0 = 100 %)."""
-        quclear = self.results["QuCLEAR"][metric]
-        other = self.results[baseline][metric]
+        quclear = self.results[self._result_key("QuCLEAR")][metric]
+        other = self.results[self._result_key(baseline)][metric]
         if other == 0:
             return 0.0
         return 1.0 - quclear / other
@@ -55,26 +72,21 @@ def compare_compilers(
 ) -> CompilerComparison:
     """Compile ``terms`` with every requested compiler and collect the metrics."""
     term_list = list(terms)
+    registry = get_registry()
     comparison = CompilerComparison(
         workload=workload,
         num_qubits=term_list[0].num_qubits,
         num_paulis=len(term_list),
     )
     for name in compilers:
-        start = time.perf_counter()
-        if name == "QuCLEAR":
-            result = QuCLEAR(**(quclear_kwargs or {})).compile(term_list)
-            circuit = result.circuit
+        if quclear_kwargs is not None and name.lower() == "quclear":
+            # same preset shape as the registry's "quclear" pipeline, so the
+            # compile-time measurement stays comparable across both branches
+            result = quclear_preset(**quclear_kwargs).run(term_list)
         else:
-            baseline = BASELINE_COMPILERS[name](term_list)
-            circuit = baseline.circuit
-        elapsed = time.perf_counter() - start
-        comparison.results[name] = {
-            "cx_count": circuit.cx_count(),
-            "entangling_depth": circuit.entangling_depth(),
-            "single_qubit_count": circuit.single_qubit_count(),
-            "compile_seconds": elapsed,
-        }
+            result = registry.compile(name, term_list)
+        comparison.results[name] = result.metrics()
+        comparison.pass_timings[name] = result.pass_timings
     return comparison
 
 

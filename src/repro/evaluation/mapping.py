@@ -1,17 +1,21 @@
-"""Device-mapping comparison (the paper's Fig. 11)."""
+"""Device-mapping comparison (the paper's Fig. 11).
+
+Each compiler's registered pipeline is extended with a routing stage (unless
+it already routes, like the QuCLEAR preset) and run against a
+:class:`~repro.compiler.target.Target` built from the coupling map, so the
+whole comparison flows through the unified pipeline API.
+"""
 
 from __future__ import annotations
 
-import time
 from typing import Sequence
 
-from repro.baselines.registry import BASELINE_COMPILERS
-from repro.core.framework import QuCLEAR
+from repro.compiler.pipeline import with_routing
+from repro.compiler.registry import get_registry
+from repro.compiler.target import Target
 from repro.evaluation.comparison import CompilerComparison
 from repro.paulis.term import PauliTerm
 from repro.transpile.coupling import CouplingMap
-from repro.transpile.peephole import peephole_optimize
-from repro.transpile.routing import route_circuit
 from repro.workloads.registry import Benchmark, get_benchmark
 
 #: compilers compared on limited-connectivity devices (Rustiq is excluded in
@@ -34,25 +38,19 @@ def compare_mapped_compilers(
         terms = list(benchmark)
         workload = "custom"
 
+    target = Target.from_coupling(coupling)
+    registry = get_registry()
     comparison = CompilerComparison(
         workload=f"{workload}@{coupling.name}",
         num_qubits=terms[0].num_qubits,
         num_paulis=len(terms),
     )
     for name in compilers:
-        start = time.perf_counter()
-        if name == "QuCLEAR":
-            logical = QuCLEAR().compile(terms).circuit
-        else:
-            logical = BASELINE_COMPILERS[name](terms).circuit
-        routed = route_circuit(logical, coupling, decompose_swaps=True)
-        mapped = peephole_optimize(routed.circuit)
-        elapsed = time.perf_counter() - start
+        pipeline = with_routing(registry.get(name))
+        result = pipeline.run(terms, target=target)
         comparison.results[name] = {
-            "cx_count": mapped.cx_count(),
-            "entangling_depth": mapped.entangling_depth(),
-            "single_qubit_count": mapped.single_qubit_count(),
-            "swap_count": routed.swap_count,
-            "compile_seconds": elapsed,
+            **result.metrics(),
+            "swap_count": result.metadata.get("swap_count", 0),
         }
+        comparison.pass_timings[name] = result.pass_timings
     return comparison

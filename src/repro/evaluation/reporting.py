@@ -33,3 +33,25 @@ def _render(value: object) -> str:
     if isinstance(value, float):
         return f"{value:.4g}"
     return str(value)
+
+
+def format_pass_timings(pass_timings: Mapping[str, float]) -> str:
+    """Render a pipeline's per-pass wall-clock breakdown as an aligned table.
+
+    Accepts the ``metadata["pass_timings"]`` mapping of a
+    :class:`~repro.compiler.result.CompilationResult` (pass name -> seconds,
+    in run order) and appends each pass's share of the total.
+    """
+    if not pass_timings:
+        return "(no pass timings)"
+    total = sum(pass_timings.values())
+    rows = [
+        {
+            "pass": name,
+            "seconds": seconds,
+            "share": f"{100.0 * seconds / total:.1f}%" if total > 0 else "-",
+        }
+        for name, seconds in pass_timings.items()
+    ]
+    rows.append({"pass": "total", "seconds": total, "share": "100.0%" if total > 0 else "-"})
+    return format_table(rows, columns=["pass", "seconds", "share"])

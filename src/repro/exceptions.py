@@ -31,3 +31,7 @@ class RoutingError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised for invalid workload / benchmark specifications."""
+
+
+class CompilerError(ReproError):
+    """Raised for invalid pass-pipeline construction or execution."""

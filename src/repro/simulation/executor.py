@@ -2,10 +2,15 @@
 
 The executor owns the full workflow of Fig. 6 of the paper:
 
-* compile the Pauli-rotation program (Clifford Extraction + local passes),
+* compile the Pauli-rotation program through a compiler pipeline,
 * CA-Pre: append the measurement bases / Hadamard layer,
 * execute the optimized circuit on a backend,
 * CA-Post: recover expectation values or the original output distribution.
+
+The compiler is any :class:`~repro.compiler.pipeline.Pipeline` (or the name
+of one registered in the :class:`~repro.compiler.registry.CompilerRegistry`);
+it must perform Clifford Extraction for the absorption steps to apply, so the
+default is the full QuCLEAR preset.
 """
 
 from __future__ import annotations
@@ -14,7 +19,10 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.core.framework import CompilationResult, QuCLEAR
+from repro.compiler.pipeline import Pipeline
+from repro.compiler.presets import preset_pipeline
+from repro.compiler.registry import get_registry
+from repro.compiler.result import CompilationResult
 from repro.core.measurement_grouping import group_observables
 from repro.paulis.pauli import PauliString
 from repro.paulis.sum import SparsePauliSum
@@ -42,19 +50,43 @@ class DistributionEstimate:
 
 
 class HybridExecutor:
-    """Runs compiled programs on a backend and post-processes classically."""
+    """Runs compiled programs on a backend and post-processes classically.
+
+    Parameters
+    ----------
+    backend:
+        Where circuits execute; defaults to the seeded statevector sampler.
+    compiler:
+        A :class:`Pipeline`, a registered pipeline name (``"quclear"``), a
+        preset level as an ``int``, or any legacy object exposing
+        ``.compile(terms)``.  Defaults to the full QuCLEAR preset.
+    shots:
+        Shots per circuit execution.
+    group_measurements:
+        Group qubitwise-commuting observables into shared executions.
+    """
 
     def __init__(
         self,
         backend: Backend | None = None,
-        compiler: QuCLEAR | None = None,
+        compiler: "Pipeline | str | int | object | None" = None,
         shots: int = 8192,
         group_measurements: bool = True,
     ):
         self.backend = backend if backend is not None else StatevectorBackend(seed=0)
-        self.compiler = compiler if compiler is not None else QuCLEAR()
+        if compiler is None:
+            compiler = preset_pipeline(3)
+        elif isinstance(compiler, str):
+            compiler = get_registry().get(compiler)
+        elif isinstance(compiler, int):
+            compiler = preset_pipeline(compiler)
+        self.compiler = compiler
         self.shots = int(shots)
         self.group_measurements = group_measurements
+
+    # ------------------------------------------------------------------ #
+    def _compile(self, terms: Sequence[PauliTerm]) -> CompilationResult:
+        return self.compiler.compile(terms)
 
     # ------------------------------------------------------------------ #
     def estimate_expectation(
@@ -64,7 +96,7 @@ class HybridExecutor:
         state_preparation: QuantumCircuit | None = None,
     ) -> ExpectationEstimate:
         """Estimate ``<psi| H |psi>`` where ``|psi>`` is prepared by the program."""
-        result = self.compiler.compile(terms)
+        result = self._compile(terms)
         absorbed = result.absorb_observables(observable)
         weights = observable.coefficients
 
@@ -100,7 +132,7 @@ class HybridExecutor:
         state_preparation: QuantumCircuit | None = None,
     ) -> DistributionEstimate:
         """Sample the program's output distribution in the computational basis."""
-        result = self.compiler.compile(terms)
+        result = self._compile(terms)
         absorber = result.probability_absorber()
         prefix = state_preparation if state_preparation is not None else QuantumCircuit(result.num_qubits)
         circuit = prefix.compose(result.circuit).compose(absorber.pre_circuit())

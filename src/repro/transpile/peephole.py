@@ -23,12 +23,27 @@ _SELF_INVERSE = {"h", "x", "y", "z", "cx", "cz", "swap"}
 _INVERSE_PAIRS = {("s", "sdg"), ("sdg", "s"), ("sx", "sxdg"), ("sxdg", "sx")}
 _ROTATIONS = {"rz", "rx", "ry", "rzz"}
 
+#: gates acting on an *unordered* qubit pair: ``cz(0, 1)`` and ``cz(1, 0)``
+#: are the same operation, so pair matching must ignore the listed order
+_SYMMETRIC_GATES = {"cz", "swap", "rzz"}
+
 #: two full turns are an identity for rotation gates
 _TWO_PI = 2.0 * math.pi
 
 
+def _same_qubits(first: Gate, second: Gate) -> bool:
+    """Whether the two gates act on the same qubits, honouring symmetric gates."""
+    if first.qubits == second.qubits:
+        return True
+    return (
+        first.name == second.name
+        and first.name in _SYMMETRIC_GATES
+        and set(first.qubits) == set(second.qubits)
+    )
+
+
 def _is_inverse_pair(first: Gate, second: Gate) -> bool:
-    if first.qubits != second.qubits:
+    if not _same_qubits(first, second):
         return False
     if first.name == second.name and first.name in _SELF_INVERSE:
         return True
@@ -101,7 +116,7 @@ def _merge_rotations_pass(gates: list[Gate]) -> tuple[list[Gate], bool]:
             if removed[later]:
                 continue
             other = gates[later]
-            if other.name == gate.name and other.qubits == gate.qubits:
+            if other.name == gate.name and _same_qubits(gate, other):
                 angle += merged.get(later, other.params[0])
                 removed[later] = True
                 changed = True

@@ -1,0 +1,96 @@
+"""Backward-compatibility shims: the legacy QuCLEAR / compile_with APIs must
+keep working (with a DeprecationWarning) and agree with the new pipeline API."""
+
+import warnings
+
+import pytest
+
+import repro
+from repro.baselines.registry import BASELINE_COMPILERS, compile_with
+from repro.compiler import get_registry, quclear_pipeline
+from repro.core.framework import CompilationResult, QuCLEAR
+from repro.workloads.registry import get_benchmark
+
+from tests.conftest import random_pauli_terms
+
+
+def _legacy_quclear(**kwargs):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return QuCLEAR(**kwargs)
+
+
+class TestDeprecationWarnings:
+    def test_quclear_constructor_warns(self):
+        with pytest.warns(DeprecationWarning, match="repro.compile"):
+            QuCLEAR()
+
+    def test_compile_with_warns(self, rng):
+        terms = random_pauli_terms(rng, 3, 3)
+        with pytest.warns(DeprecationWarning, match="get_registry"):
+            compile_with("naive", terms)
+
+
+class TestOldNewAgreement:
+    def test_facade_matches_level3_metrics(self, rng):
+        for _ in range(3):
+            terms = random_pauli_terms(rng, 4, 8)
+            old = _legacy_quclear().compile(terms)
+            new = repro.compile(terms, level=3)
+            assert old.cx_count() == new.cx_count()
+            assert old.entangling_depth() == new.entangling_depth()
+            assert old.circuit.single_qubit_count() == new.circuit.single_qubit_count()
+
+    @pytest.mark.parametrize("workload", ["UCC-(2,4)", "MaxCut-(n15, r4)"])
+    def test_facade_matches_level3_on_benchmarks(self, workload):
+        terms = get_benchmark(workload).terms()
+        old = _legacy_quclear().compile(terms)
+        new = repro.compile(terms, level=3)
+        assert old.cx_count() == new.cx_count()
+        assert old.entangling_depth() == new.entangling_depth()
+
+    def test_facade_flags_match_pipeline_flags(self, rng):
+        terms = random_pauli_terms(rng, 3, 6)
+        old = _legacy_quclear(reorder_within_blocks=False, local_optimize=False).compile(terms)
+        new = quclear_pipeline(reorder_within_blocks=False, local_optimize=False).run(terms)
+        assert old.cx_count() == new.cx_count()
+        assert old.entangling_depth() == new.entangling_depth()
+
+    @pytest.mark.parametrize("name", sorted(BASELINE_COMPILERS))
+    def test_compile_with_matches_registry(self, name, rng):
+        terms = random_pauli_terms(rng, 3, 5)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old = compile_with(name, terms)
+        new = get_registry().compile(name, terms)
+        assert old.metrics().keys() == new.metrics().keys()
+        assert old.cx_count() == new.cx_count()
+        assert old.entangling_depth() == new.entangling_depth()
+
+    @pytest.mark.parametrize("name", sorted(BASELINE_COMPILERS))
+    def test_baseline_functions_match_registry(self, name, rng):
+        terms = random_pauli_terms(rng, 3, 5)
+        direct = BASELINE_COMPILERS[name](terms)
+        registered = get_registry().compile(name, terms)
+        assert direct.cx_count() == registered.cx_count()
+        assert direct.entangling_depth() == registered.entangling_depth()
+
+    def test_facade_result_is_unified_type(self, rng):
+        terms = random_pauli_terms(rng, 3, 3)
+        result = _legacy_quclear().compile(terms)
+        assert isinstance(result, CompilationResult)
+        assert result.metadata["rotation_count"] >= 1
+        assert "pass_timings" in result.metadata
+
+    def test_baseline_result_alias_is_unified_type(self):
+        from repro.baselines.result import BaselineResult
+
+        assert BaselineResult is CompilationResult
+
+    def test_facade_absorption_helpers_still_work(self, rng):
+        from repro.paulis.pauli import PauliString
+
+        terms = random_pauli_terms(rng, 3, 4)
+        result = _legacy_quclear().compile(terms)
+        absorbed = result.absorb_observables([PauliString.from_label("ZXY")])
+        assert len(absorbed) == 1

@@ -1,0 +1,211 @@
+"""Unit tests for the pass-pipeline machinery: pass ordering, PropertySet
+propagation, per-pass timing, targets, and the compiler registry."""
+
+import pytest
+
+from repro.compiler import (
+    AbsorptionPrep,
+    CliffordExtraction,
+    CompilationResult,
+    CompilerRegistry,
+    GroupCommuting,
+    NaiveSynthesis,
+    Pass,
+    PassContext,
+    Peephole,
+    Pipeline,
+    Program,
+    PropertySet,
+    SabreRouting,
+    Target,
+    get_registry,
+)
+from repro.exceptions import CompilerError
+from repro.paulis.term import PauliTerm
+from repro.transpile.coupling import CouplingMap
+
+from tests.conftest import random_pauli_terms
+
+
+def _terms():
+    return [
+        PauliTerm.from_label("ZZZZ", 0.31),
+        PauliTerm.from_label("YYXX", 0.52),
+        PauliTerm.from_label("XYZX", 0.17),
+    ]
+
+
+class TestPipelineBasics:
+    def test_run_returns_unified_result(self):
+        result = Pipeline([NaiveSynthesis()], name="naive-test").run(_terms())
+        assert isinstance(result, CompilationResult)
+        assert result.name == "naive-test"
+        assert result.extracted_clifford is None
+        assert result.extraction is None
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(CompilerError):
+            Pipeline([], name="empty").run(_terms())
+
+    def test_non_pass_rejected(self):
+        with pytest.raises(CompilerError):
+            Pipeline([object()])  # type: ignore[list-item]
+
+    def test_pass_order_is_preserved(self):
+        pipeline = Pipeline([GroupCommuting(), CliffordExtraction(), Peephole()])
+        assert pipeline.pass_names() == ["GroupCommuting", "CliffordExtraction", "Peephole"]
+        result = pipeline.run(_terms())
+        assert result.metadata["passes"] == ["GroupCommuting", "CliffordExtraction", "Peephole"]
+
+    def test_optimization_pass_before_synthesis_fails(self):
+        with pytest.raises(CompilerError, match="synthesis pass"):
+            Pipeline([Peephole(), NaiveSynthesis()]).run(_terms())
+
+    def test_pipeline_without_synthesis_fails(self):
+        with pytest.raises(CompilerError, match="no circuit"):
+            Pipeline([GroupCommuting()]).run(_terms())
+
+    def test_then_appends_without_mutating(self):
+        base = Pipeline([NaiveSynthesis()], name="base")
+        extended = base.then(Peephole(), name="extended")
+        assert len(base) == 1
+        assert len(extended) == 2
+        assert extended.name == "extended"
+        assert extended.run(_terms()).cx_count() <= base.run(_terms()).cx_count()
+
+    def test_compile_alias(self):
+        pipeline = Pipeline([NaiveSynthesis()])
+        assert pipeline.compile(_terms()).cx_count() == pipeline.run(_terms()).cx_count()
+
+
+class TestPassTimings:
+    def test_every_pass_is_timed(self):
+        pipeline = Pipeline([GroupCommuting(), CliffordExtraction(), Peephole()])
+        result = pipeline.run(_terms())
+        timings = result.metadata["pass_timings"]
+        assert set(timings) == {"GroupCommuting", "CliffordExtraction", "Peephole"}
+        assert all(seconds >= 0.0 for seconds in timings.values())
+        assert result.pass_timings == timings
+
+    def test_total_at_least_sum_of_passes(self):
+        result = Pipeline([NaiveSynthesis(), Peephole()]).run(_terms())
+        assert result.compile_seconds >= sum(result.metadata["pass_timings"].values())
+
+    def test_repeated_pass_accumulates(self):
+        result = Pipeline([NaiveSynthesis(), Peephole(), Peephole()]).run(_terms())
+        # both Peephole runs fold into one entry
+        assert list(result.metadata["pass_timings"]) == ["NaiveSynthesis", "Peephole"]
+
+
+class TestPropertySet:
+    def test_missing_key_reads_none(self):
+        properties = PropertySet()
+        assert properties["nothing-here"] is None
+
+    def test_properties_propagate_between_passes(self):
+        class Reader(Pass):
+            seen = None
+
+            def run(self, program, context):
+                Reader.seen = context.properties["num_blocks"]
+
+        pipeline = Pipeline([GroupCommuting(), CliffordExtraction(), Reader()])
+        result = pipeline.run(_terms())
+        assert Reader.seen == result.metadata["num_blocks"]
+
+    def test_properties_surface_on_result(self):
+        result = Pipeline([GroupCommuting(), CliffordExtraction(), AbsorptionPrep()]).run(_terms())
+        assert result.properties["conjugation_tableau"] is not None
+        assert result.properties["absorption_style"] in ("observables", "probabilities")
+
+    def test_seed_properties(self):
+        class Echo(Pass):
+            def run(self, program, context):
+                program.metadata["echo"] = context.properties["seeded"]
+
+        result = Pipeline([NaiveSynthesis(), Echo()]).run(_terms(), properties={"seeded": 7})
+        assert result.metadata["echo"] == 7
+
+    def test_context_get_default(self):
+        context = PassContext()
+        assert context.get("missing", 3) == 3
+
+
+class TestTarget:
+    def test_fully_connected_target_skips_routing(self):
+        target = Target.fully_connected(4)
+        result = Pipeline([NaiveSynthesis(), SabreRouting()]).run(_terms(), target=target)
+        assert result.metadata["swap_count"] == 0
+        assert "routed" not in result.metadata
+
+    def test_routing_to_line_makes_gates_adjacent(self):
+        coupling = CouplingMap.line(4)
+        target = Target.from_coupling(coupling)
+        result = Pipeline([NaiveSynthesis(), SabreRouting(decompose_swaps=True)]).run(
+            _terms(), target=target
+        )
+        for gate in result.circuit:
+            if gate.num_qubits == 2:
+                assert coupling.are_connected(*gate.qubits)
+        assert result.metadata["routed"] is True
+
+    def test_target_coupling_size_mismatch(self):
+        with pytest.raises(CompilerError):
+            Target(num_qubits=3, coupling=CouplingMap.line(4))
+
+    def test_target_named(self):
+        assert Target.named("sycamore").num_qubits == 64
+        assert Target.named("ibm-manhattan").num_qubits == 65
+        with pytest.raises(CompilerError):
+            Target.named("quantum-toaster")
+
+    def test_circuit_larger_than_target(self):
+        target = Target.from_coupling(CouplingMap.line(2))
+        with pytest.raises(CompilerError):
+            Pipeline([NaiveSynthesis(), SabreRouting()]).run(_terms(), target=target)
+
+    def test_restricted_basis_gates_enforced(self):
+        # a target whose basis lacks the circuit's gates must be rejected
+        target = Target(
+            num_qubits=4,
+            coupling=CouplingMap.line(4),
+            basis_gates=frozenset({"cx"}),
+        )
+        with pytest.raises(CompilerError, match="outside target"):
+            Pipeline([NaiveSynthesis(), SabreRouting()]).run(_terms(), target=target)
+        assert not target.supports_gate("rz")
+
+
+class TestRegistry:
+    def test_default_registry_has_all_pipelines(self):
+        registry = get_registry()
+        assert len(registry) >= 6
+        for name in ("quclear", "naive", "qiskit-like", "paulihedral-like", "tket-like", "rustiq-like"):
+            assert name in registry
+
+    def test_every_pipeline_returns_unified_result(self, rng):
+        terms = random_pauli_terms(rng, 3, 4)
+        registry = get_registry()
+        for name in registry:
+            result = registry.compile(name, terms)
+            assert isinstance(result, CompilationResult)
+            assert result.name == name
+            assert "pass_timings" in result.metadata
+
+    def test_lookup_is_case_insensitive(self):
+        registry = get_registry()
+        assert registry.get("QuCLEAR") is registry.get("quclear")
+        assert "QuCLEAR" in registry
+
+    def test_unknown_name(self):
+        with pytest.raises(CompilerError):
+            get_registry().get("does-not-exist")
+
+    def test_duplicate_registration_rejected(self):
+        registry = CompilerRegistry()
+        pipeline = Pipeline([NaiveSynthesis()], name="mine")
+        registry.register("mine", pipeline)
+        with pytest.raises(CompilerError):
+            registry.register("mine", pipeline)
+        registry.register("mine", pipeline, overwrite=True)
+        assert registry.names() == ["mine"]

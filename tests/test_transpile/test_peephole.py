@@ -117,3 +117,45 @@ class TestPeephole:
         # and the two rotations merge.
         assert optimized.cx_count() == 4
         assert optimized.count_ops()["rz"] == 1
+
+
+class TestSymmetricGateMatching:
+    """rzz/cz/swap act on unordered qubit pairs: reversed listings must match."""
+
+    def test_reversed_cz_pair_cancels(self):
+        circuit = QuantumCircuit(2)
+        circuit.cz(0, 1).cz(1, 0)
+        assert len(peephole_optimize(circuit)) == 0
+
+    def test_reversed_swap_pair_cancels(self):
+        circuit = QuantumCircuit(2)
+        circuit.swap(0, 1).swap(1, 0)
+        assert len(peephole_optimize(circuit)) == 0
+
+    def test_reversed_rzz_rotations_merge(self):
+        circuit = QuantumCircuit(2)
+        circuit.rzz(0.3, 0, 1).rzz(0.4, 1, 0)
+        optimized = peephole_optimize(circuit)
+        assert len(optimized) == 1
+        assert optimized.gates[0].params[0] == pytest.approx(0.7)
+        assert circuits_equivalent(circuit, optimized)
+
+    def test_reversed_opposite_rzz_cancel(self):
+        circuit = QuantumCircuit(2)
+        circuit.rzz(0.3, 0, 1).rzz(-0.3, 1, 0)
+        assert len(peephole_optimize(circuit)) == 0
+
+    def test_reversed_cx_does_not_cancel(self):
+        # CX is direction-sensitive: cx(0,1) cx(1,0) is NOT the identity.
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1).cx(1, 0)
+        optimized = peephole_optimize(circuit)
+        assert optimized.cx_count() == 2
+        assert circuits_equivalent(circuit, optimized)
+
+    def test_symmetric_cancellation_preserves_unitary(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cz(1, 2).rz(0.2, 0).cz(2, 1).rzz(0.5, 0, 2).rzz(0.25, 2, 0)
+        optimized = peephole_optimize(circuit)
+        assert circuits_equivalent(circuit, optimized)
+        assert len(optimized) < len(circuit)
