@@ -1,0 +1,219 @@
+"""Conjugation-throughput benchmark: packed engine vs. the legacy loop path.
+
+For every Table II workload in the selected tier the script compiles the
+program with the full QuCLEAR preset, takes the extracted Clifford tail, and
+measures how fast the workload's Pauli terms conjugate through it:
+
+* ``legacy_terms_per_sec`` — the pre-vectorization reference path
+  (:func:`repro.clifford.conjugation.conjugate_pauli_by_circuit`, one Python
+  gate loop per Pauli string);
+* ``packed_terms_per_sec`` — gate streaming over the bit-packed table
+  (every gate applied to all terms at once);
+* ``tableau_terms_per_sec`` — the frozen-tableau engine
+  (:class:`~repro.clifford.engine.PackedConjugator`, cost independent of the
+  tail's gate count).
+
+It also times :func:`repro.compile_many` against a sequential compile loop
+over the tier's programs, and records each workload's per-pass compile-time
+breakdown.  Results are written as machine-readable JSON
+(``BENCH_throughput.json`` by default); ``scripts/check_bench_regression.py``
+diffs two such files and is what the CI ``bench`` job gates on.
+
+Run with:  PYTHONPATH=src python benchmarks/bench_throughput.py --tier small
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import platform
+import sys
+import time
+
+import numpy as np
+
+import repro
+from repro.clifford.conjugation import conjugate_pauli_by_circuit
+from repro.clifford.engine import PackedConjugator
+from repro.paulis.packed import PackedPauliTable
+from repro.workloads.registry import (
+    MEDIUM_BENCHMARKS,
+    SMALL_BENCHMARKS,
+    benchmark_names,
+    get_benchmark,
+)
+
+SCHEMA = "repro-bench-throughput/v1"
+
+
+def _tier_workloads(tier: str) -> list[str]:
+    if tier == "small":
+        return list(SMALL_BENCHMARKS)
+    if tier == "medium":
+        return list(MEDIUM_BENCHMARKS)
+    if tier == "full":
+        return benchmark_names()
+    raise SystemExit(f"unknown tier {tier!r} (expected small/medium/full)")
+
+
+def _timed(fn, min_time: float) -> tuple[float, int]:
+    """Run ``fn`` repeatedly until ``min_time`` seconds accumulate.
+
+    Returns (total seconds, iterations).  The first call is included so
+    one-shot costs (array packing) are amortized the same way for every
+    candidate.
+    """
+    iterations = 0
+    start = time.perf_counter()
+    while True:
+        fn()
+        iterations += 1
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_time:
+            return elapsed, iterations
+
+
+def bench_workload(name: str, min_time: float) -> dict:
+    spec = get_benchmark(name)
+    terms = spec.terms()
+    paulis = [term.pauli for term in terms]
+    result = repro.compile(terms, level=3)
+    tail = result.extracted_clifford
+    tableau = result.extraction.conjugation
+
+    def legacy():
+        for pauli in paulis:
+            conjugate_pauli_by_circuit(pauli, tail)
+
+    def packed():
+        table = PackedPauliTable.from_paulis(paulis)
+        table.apply_circuit(tail)
+
+    conjugator = PackedConjugator.from_tableau(tableau)
+
+    def frozen_tableau():
+        conjugator.conjugate_table(PackedPauliTable.from_paulis(paulis))
+
+    legacy_seconds, legacy_iters = _timed(legacy, min_time)
+    packed_seconds, packed_iters = _timed(packed, min_time)
+    tableau_seconds, tableau_iters = _timed(frozen_tableau, min_time)
+
+    legacy_rate = len(paulis) * legacy_iters / legacy_seconds
+    packed_rate = len(paulis) * packed_iters / packed_seconds
+    tableau_rate = len(paulis) * tableau_iters / tableau_seconds
+    return {
+        "num_qubits": spec.num_qubits,
+        "num_terms": len(terms),
+        "tail_gates": len(tail),
+        "legacy_terms_per_sec": legacy_rate,
+        "packed_terms_per_sec": packed_rate,
+        "tableau_terms_per_sec": tableau_rate,
+        "speedup": packed_rate / legacy_rate,
+        "tableau_speedup": tableau_rate / legacy_rate,
+        "compile_seconds": result.compile_seconds,
+        "pass_timings": result.metadata["pass_timings"],
+    }
+
+
+def bench_batch_compile(names: list[str]) -> dict:
+    programs = [get_benchmark(name).terms() for name in names]
+    start = time.perf_counter()
+    for program in programs:
+        repro.compile(program, level=3)
+    sequential_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    repro.compile_many(programs, level=3)
+    batch_seconds = time.perf_counter() - start
+    return {
+        "num_programs": len(programs),
+        "sequential_seconds": sequential_seconds,
+        "compile_many_seconds": batch_seconds,
+        "speedup": sequential_seconds / batch_seconds if batch_seconds > 0 else 0.0,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tier",
+        default=os.environ.get("REPRO_BENCH_TIER", "small"),
+        choices=["small", "medium", "full"],
+        help="workload tier (default: REPRO_BENCH_TIER or small)",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_throughput.json", help="where to write the JSON report"
+    )
+    parser.add_argument(
+        "--min-time",
+        type=float,
+        default=0.2,
+        help="minimum seconds of measurement per candidate (default 0.2)",
+    )
+    parser.add_argument(
+        "--workloads",
+        nargs="*",
+        default=None,
+        help="explicit workload names (overrides --tier)",
+    )
+    parser.add_argument(
+        "--skip-batch", action="store_true", help="skip the compile_many comparison"
+    )
+    args = parser.parse_args(argv)
+
+    names = args.workloads if args.workloads else _tier_workloads(args.tier)
+    workloads: dict[str, dict] = {}
+    for name in names:
+        print(f"[bench] {name} ...", flush=True)
+        entry = bench_workload(name, args.min_time)
+        workloads[name] = entry
+        print(
+            f"    legacy {entry['legacy_terms_per_sec']:>12.0f} terms/s | "
+            f"packed {entry['packed_terms_per_sec']:>12.0f} terms/s | "
+            f"speedup {entry['speedup']:6.1f}x | "
+            f"tableau {entry['tableau_speedup']:6.1f}x",
+            flush=True,
+        )
+
+    speedups = [entry["speedup"] for entry in workloads.values()]
+    report = {
+        "schema": SCHEMA,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "tier": args.tier if not args.workloads else "custom",
+        "environment": {
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "workloads": workloads,
+        "summary": {
+            "num_workloads": len(workloads),
+            "total_terms": sum(entry["num_terms"] for entry in workloads.values()),
+            "min_speedup": min(speedups),
+            "geomean_speedup": math.exp(sum(math.log(s) for s in speedups) / len(speedups)),
+        },
+    }
+    if not args.skip_batch:
+        print("[bench] compile_many vs sequential compile ...", flush=True)
+        report["batch_compile"] = bench_batch_compile(names)
+        print(
+            f"    sequential {report['batch_compile']['sequential_seconds']:.2f}s | "
+            f"compile_many {report['batch_compile']['compile_many_seconds']:.2f}s",
+            flush=True,
+        )
+
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"[bench] wrote {args.output}: geomean speedup "
+        f"{report['summary']['geomean_speedup']:.1f}x over the legacy loop "
+        f"(min {report['summary']['min_speedup']:.1f}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,7 +42,12 @@ def main() -> None:
     print("PASS" if circuits_equivalent(native.circuit, reconstructed) else "FAIL")
 
     # For expectation-value workloads the tail never has to run: it is folded
-    # into the measured observable instead.
+    # into the measured observable instead.  Absorption (and every Clifford
+    # conjugation underneath) runs on the bit-packed engine: all Pauli terms
+    # of an observable live in contiguous uint64 arrays (64 qubits per word)
+    # and conjugate through the tail as whole-matrix bitwise operations —
+    # see BENCH_throughput.json for the measured speedup over the legacy
+    # per-string loop.
     from repro import PauliString
 
     observable = PauliString.from_label("XXZZ")
@@ -52,6 +57,20 @@ def main() -> None:
         f"{'-' if absorbed.sign < 0 else ''}{absorbed.updated.to_label()} "
         "after absorbing the Clifford tail."
     )
+
+    # Batches of independent programs go through repro.compile_many: one
+    # resolved pipeline, a concurrent.futures worker pool, and a shared
+    # conjugation-tableau cache so identical Clifford tails are frozen once.
+    batch = repro.compile_many(
+        [
+            [PauliTerm.from_label("ZZII", 0.4), PauliTerm.from_label("XXYY", 0.7)],
+            [PauliTerm.from_label("IZZI", 0.2), PauliTerm.from_label("YXXY", 0.9)],
+        ],
+        level=3,
+    )
+    print("\ncompile_many over 2 programs:")
+    for index, item in enumerate(batch):
+        print(f"  program {index}: {item.cx_count()} CNOTs on hardware")
 
 
 if __name__ == "__main__":

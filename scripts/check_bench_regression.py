@@ -1,0 +1,119 @@
+"""Diff two throughput-benchmark JSON files and fail on regression.
+
+Used by the CI ``bench`` job (and runnable locally) to compare a fresh
+``BENCH_throughput.json`` against the committed baseline::
+
+    python scripts/check_bench_regression.py \
+        benchmarks/baselines/bench_throughput_baseline.json BENCH_throughput.json
+
+For every workload present in the baseline the checker enforces:
+
+* ``packed_terms_per_sec`` — absolute throughput floor.  The current value
+  must stay above ``baseline * (1 - tolerance)``; the committed baseline
+  stores deliberately conservative floors so cross-machine variance does not
+  false-alarm while a broken vectorization path (orders of magnitude slower)
+  still trips it.
+* ``speedup`` — the packed/legacy ratio measured on the *same* machine, so
+  it is machine-independent; this is the primary regression signal and the
+  paper-level acceptance gate (>= 5x).
+
+Exit status is 0 when every row passes, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: metric -> direction; "higher" means a drop below the floor is a regression
+METRICS = {
+    "packed_terms_per_sec": "higher",
+    "speedup": "higher",
+}
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path) as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"cannot read benchmark report {path!r}: {error}")
+    if "workloads" not in report:
+        raise SystemExit(f"{path!r} does not look like a throughput report (no 'workloads')")
+    return report
+
+
+def compare(baseline: dict, current: dict, tolerance: float) -> tuple[list[dict], bool]:
+    rows: list[dict] = []
+    ok = True
+    current_workloads = current["workloads"]
+    for name, base_entry in sorted(baseline["workloads"].items()):
+        cur_entry = current_workloads.get(name)
+        if cur_entry is None:
+            rows.append(
+                {"workload": name, "metric": "-", "baseline": None, "current": None,
+                 "ratio": None, "status": "MISSING"}
+            )
+            ok = False
+            continue
+        for metric in METRICS:
+            if metric not in base_entry:
+                continue
+            base_value = float(base_entry[metric])
+            cur_value = float(cur_entry.get(metric, 0.0))
+            ratio = cur_value / base_value if base_value else float("inf")
+            passed = cur_value >= base_value * (1.0 - tolerance)
+            rows.append(
+                {"workload": name, "metric": metric, "baseline": base_value,
+                 "current": cur_value, "ratio": ratio,
+                 "status": "ok" if passed else "REGRESSION"}
+            )
+            ok = ok and passed
+    return rows, ok
+
+
+def print_table(rows: list[dict], tolerance: float) -> None:
+    header = f"{'workload':<22} {'metric':<22} {'baseline':>12} {'current':>12} {'ratio':>7}  status"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        if row["baseline"] is None:
+            print(f"{row['workload']:<22} {'(not in current run)':<22} {'-':>12} {'-':>12} "
+                  f"{'-':>7}  {row['status']}")
+            continue
+        print(
+            f"{row['workload']:<22} {row['metric']:<22} {row['baseline']:>12.1f} "
+            f"{row['current']:>12.1f} {row['ratio']:>6.2f}x  {row['status']}"
+        )
+    print(f"\ntolerance: a metric may drop at most {tolerance:.0%} below its baseline floor")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline JSON (the floors)")
+    parser.add_argument("current", help="freshly measured JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional drop below the baseline floor (default 0.2)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    rows, ok = compare(baseline, current, args.tolerance)
+    if not rows:
+        print("no comparable workloads between the two reports", file=sys.stderr)
+        return 1
+    print_table(rows, args.tolerance)
+    if ok:
+        print("benchmark regression check: PASS")
+        return 0
+    print("benchmark regression check: FAIL", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,11 +6,16 @@ The public API centers on the composable pass-pipeline compiler:
 * :func:`repro.compile` — the one-call entry point: pick a preset
   ``level`` (0..3, 3 = the full QuCLEAR flow), an optional device
   :class:`~repro.compiler.Target`, or any registered pipeline.
+* :func:`repro.compile_many` — the batch entry point: shard independent
+  programs across a ``concurrent.futures`` worker pool with a shared
+  conjugation-tableau cache.
 * :mod:`repro.compiler` — the pass/pipeline machinery: :class:`Pipeline`,
   :class:`Target`, the :class:`CompilerRegistry` (QuCLEAR *and* every
   baseline under one roof), and the individual passes.
 * :class:`PauliString`, :class:`PauliTerm`, :class:`SparsePauliSum` — the
-  Pauli-string program representation.
+  Pauli-string program representation, thin views over the bit-packed
+  symplectic store (:class:`PackedPauliTable`, 64 qubits per ``uint64``
+  word) that the vectorized Clifford-conjugation engine operates on.
 * :class:`QuantumCircuit`, :class:`Statevector` — the circuit substrate.
 * :mod:`repro.workloads` — the benchmark workload generators of Table II.
 * :mod:`repro.baselines` — re-implementations of the comparison compilers.
@@ -36,7 +41,12 @@ the preset pipeline.
 """
 
 from repro.circuits import Gate, QuantumCircuit, Statevector
-from repro.clifford import CliffordTableau, StabilizerState
+from repro.clifford import (
+    CliffordTableau,
+    ConjugationCache,
+    PackedConjugator,
+    StabilizerState,
+)
 from repro.core import (
     CliffordExtractor,
     CompilationResult,
@@ -47,17 +57,18 @@ from repro.core import (
     absorb_observables,
     absorb_probabilities,
 )
-from repro.paulis import PauliString, PauliTerm, SparsePauliSum
+from repro.paulis import PackedPauliTable, PauliString, PauliTerm, SparsePauliSum
 from repro.compiler import (
     CompilerRegistry,
     Pipeline,
     Target,
     compile,
+    compile_many,
     get_registry,
     preset_pipeline,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Gate",
@@ -73,13 +84,17 @@ __all__ = [
     "QuCLEAR",
     "absorb_observables",
     "absorb_probabilities",
+    "PackedPauliTable",
     "PauliString",
     "PauliTerm",
     "SparsePauliSum",
+    "ConjugationCache",
+    "PackedConjugator",
     "CompilerRegistry",
     "Pipeline",
     "Target",
     "compile",
+    "compile_many",
     "get_registry",
     "preset_pipeline",
     "__version__",

@@ -1,18 +1,29 @@
 """Stabilizer / Clifford substrate.
 
 Provides the gate-wise Pauli conjugation rules, the Aaronson–Gottesman style
-:class:`CliffordTableau` used by Clifford Extraction and Absorption, and a
-CHP-style :class:`StabilizerState` simulator used to verify and sample
-Clifford circuits.
+:class:`CliffordTableau` used by Clifford Extraction and Absorption, the
+bit-packed vectorized conjugation engine (:class:`PackedConjugator`,
+:class:`ConjugationCache`), and a CHP-style :class:`StabilizerState`
+simulator used to verify and sample Clifford circuits.
 """
 
 from repro.clifford.conjugation import conjugate_pauli_by_gate, conjugate_pauli_by_circuit
+from repro.clifford.engine import (
+    ConjugationCache,
+    PackedConjugator,
+    conjugate_paulis_by_circuit,
+    conjugate_table_by_circuit,
+)
 from repro.clifford.tableau import CliffordTableau
 from repro.clifford.stabilizer import StabilizerState
 
 __all__ = [
     "conjugate_pauli_by_gate",
     "conjugate_pauli_by_circuit",
+    "conjugate_paulis_by_circuit",
+    "conjugate_table_by_circuit",
+    "ConjugationCache",
+    "PackedConjugator",
     "CliffordTableau",
     "StabilizerState",
 ]

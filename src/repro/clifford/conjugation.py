@@ -4,6 +4,12 @@ All functions implement the map ``P -> g P g†`` in the phase convention of
 :class:`repro.paulis.PauliString` (an explicit factor of ``i`` per ``Y``).  The
 array-level functions operate in place on batches of rows so the same code
 serves both single Pauli strings and whole Clifford tableaux.
+
+This module is the *reference* (per-qubit boolean) implementation: it defines
+the phase conventions that the bit-packed vectorized engine
+(:mod:`repro.paulis.packed`, :mod:`repro.clifford.engine`) must reproduce
+bit-for-bit, and it doubles as the "legacy loop" baseline that
+``benchmarks/bench_throughput.py`` measures the packed engine against.
 """
 
 from __future__ import annotations
@@ -12,7 +18,7 @@ import numpy as np
 
 from repro.circuits.gate import Gate
 from repro.circuits.circuit import QuantumCircuit
-from repro.exceptions import CliffordError
+from repro.exceptions import CliffordError, PauliError
 from repro.paulis.pauli import PauliString
 
 
@@ -117,6 +123,12 @@ def apply_gate_to_rows(
 
 def conjugate_pauli_by_gate(pauli: PauliString, gate: Gate) -> PauliString:
     """Return ``g P g†`` for a single Clifford gate ``g``."""
+    for qubit in gate.qubits:
+        if not 0 <= qubit < pauli.num_qubits:
+            raise PauliError(
+                f"gate {gate!r} addresses qubit {qubit} outside the Pauli's "
+                f"{pauli.num_qubits}-qubit register"
+            )
     x = pauli.x.reshape(1, -1).copy()
     z = pauli.z.reshape(1, -1).copy()
     phase = np.array([pauli.phase], dtype=np.int64)
@@ -130,6 +142,11 @@ def conjugate_pauli_by_circuit(pauli: PauliString, circuit: QuantumCircuit) -> P
     The gates are applied in circuit (time) order, which corresponds to the
     Heisenberg-picture evolution ``P -> g_k ... g_1 P g_1† ... g_k†``.
     """
+    if circuit.num_qubits != pauli.num_qubits:
+        raise PauliError(
+            f"circuit acts on {circuit.num_qubits} qubits but the Pauli has "
+            f"{pauli.num_qubits}; conjugation would silently mis-index"
+        )
     x = pauli.x.reshape(1, -1).copy()
     z = pauli.z.reshape(1, -1).copy()
     phase = np.array([pauli.phase], dtype=np.int64)

@@ -7,10 +7,12 @@ single-qubit generators under Heisenberg evolution::
     row 2q + 1 =  U Z_q U†
 
 Each row is a Pauli in the explicit-phase convention of
-:class:`repro.paulis.PauliString` (exponent of ``i`` modulo 4).  The tableau
-supports appending Clifford gates (the map then represents the grown circuit)
-and conjugating arbitrary Pauli strings in ``O(n * weight)`` time, which is
-the operation QuCLEAR's Clifford Extraction and Absorption modules rely on.
+:class:`repro.paulis.PauliString` (exponent of ``i`` modulo 4).  The rows
+live in a bit-packed :class:`~repro.paulis.packed.PackedPauliTable`, so
+appending a Clifford gate updates all ``2n`` rows with a couple of word-wide
+bitwise operations, and conjugating an arbitrary Pauli string walks only its
+support at ``uint64`` granularity.  Batch conjugation of many Paulis goes
+through :class:`repro.clifford.engine.PackedConjugator`.
 """
 
 from __future__ import annotations
@@ -19,8 +21,12 @@ import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gate import Gate
-from repro.clifford.conjugation import apply_gate_to_rows
 from repro.exceptions import CliffordError
+from repro.paulis.packed import (
+    PackedPauliTable,
+    apply_gate_to_words,
+    conjugate_row_through_generators,
+)
 from repro.paulis.pauli import PauliString
 
 
@@ -32,12 +38,13 @@ class CliffordTableau:
         if self.num_qubits < 1:
             raise CliffordError("a tableau needs at least one qubit")
         rows = 2 * self.num_qubits
-        self._x = np.zeros((rows, self.num_qubits), dtype=bool)
-        self._z = np.zeros((rows, self.num_qubits), dtype=bool)
-        self._phase = np.zeros(rows, dtype=np.int64)
+        self._rows = PackedPauliTable.zeros(rows, self.num_qubits)
+        one = np.uint64(1)
         for qubit in range(self.num_qubits):
-            self._x[2 * qubit, qubit] = True
-            self._z[2 * qubit + 1, qubit] = True
+            word = qubit >> 6
+            mask = one << np.uint64(qubit & 63)
+            self._rows.x_words[2 * qubit, word] = mask
+            self._rows.z_words[2 * qubit + 1, word] = mask
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -50,15 +57,13 @@ class CliffordTableau:
     def from_circuit(cls, circuit: QuantumCircuit) -> "CliffordTableau":
         """Tableau of a Clifford circuit (raises on non-Clifford gates)."""
         tableau = cls(circuit.num_qubits)
-        for gate in circuit:
-            tableau.append_gate(gate)
+        tableau.append_circuit(circuit)
         return tableau
 
     def copy(self) -> "CliffordTableau":
-        clone = CliffordTableau(self.num_qubits)
-        clone._x = self._x.copy()
-        clone._z = self._z.copy()
-        clone._phase = self._phase.copy()
+        clone = CliffordTableau.__new__(CliffordTableau)
+        clone.num_qubits = self.num_qubits
+        clone._rows = self._rows.copy()
         return clone
 
     # ------------------------------------------------------------------ #
@@ -68,35 +73,50 @@ class CliffordTableau:
         """Grow the circuit by one gate: the map becomes ``P -> g U P U† g†``."""
         if not gate.is_clifford:
             raise CliffordError(f"gate {gate.name!r} is not Clifford")
-        apply_gate_to_rows(self._x, self._z, self._phase, gate)
+        self._rows.apply_gate(gate)
 
     def append_circuit(self, circuit: QuantumCircuit) -> None:
         """Append every gate of ``circuit`` in time order."""
         if circuit.num_qubits != self.num_qubits:
             raise CliffordError("circuit and tableau qubit counts differ")
+        rows = self._rows
         for gate in circuit:
-            self.append_gate(gate)
+            if not gate.is_clifford:
+                raise CliffordError(f"gate {gate.name!r} is not Clifford")
+            apply_gate_to_words(rows.x_words, rows.z_words, rows.phases, gate)
+        np.mod(rows.phases, 4, out=rows.phases)
 
     # ------------------------------------------------------------------ #
     # Row access
     # ------------------------------------------------------------------ #
     def image_of_x(self, qubit: int) -> PauliString:
         """The image ``U X_qubit U†``."""
-        row = 2 * qubit
-        return PauliString(self._x[row], self._z[row], int(self._phase[row]))
+        return self._rows.row(2 * qubit)
 
     def image_of_z(self, qubit: int) -> PauliString:
         """The image ``U Z_qubit U†``."""
-        row = 2 * qubit + 1
-        return PauliString(self._x[row], self._z[row], int(self._phase[row]))
+        return self._rows.row(2 * qubit + 1)
+
+    def packed_rows(self) -> PackedPauliTable:
+        """The live packed generator-image rows (do not mutate)."""
+        return self._rows
+
+    def content_key(self) -> tuple:
+        """Hashable snapshot identity, used by the conjugation cache."""
+        return (
+            self.num_qubits,
+            self._rows.x_words.tobytes(),
+            self._rows.z_words.tobytes(),
+            (self._rows.phases % 4).tobytes(),
+        )
 
     def is_identity(self) -> bool:
         """True when the tableau represents conjugation by the identity (up to phase)."""
         reference = CliffordTableau(self.num_qubits)
         return (
-            bool(np.array_equal(self._x, reference._x))
-            and bool(np.array_equal(self._z, reference._z))
-            and bool(np.array_equal(self._phase % 4, reference._phase))
+            bool(np.array_equal(self._rows.x_words, reference._rows.x_words))
+            and bool(np.array_equal(self._rows.z_words, reference._rows.z_words))
+            and bool(np.array_equal(self._rows.phases % 4, reference._rows.phases))
         )
 
     # ------------------------------------------------------------------ #
@@ -108,42 +128,47 @@ class CliffordTableau:
             raise CliffordError("Pauli and tableau qubit counts differ")
         # P = i^phase * prod_q X_q^{x_q} Z_q^{z_q}; conjugation is a
         # homomorphism, so the image is the ordered product of row images.
-        result_x = np.zeros(self.num_qubits, dtype=bool)
-        result_z = np.zeros(self.num_qubits, dtype=bool)
-        result_phase = int(pauli.phase)
-        for qubit in range(self.num_qubits):
-            if pauli.x[qubit]:
-                row = 2 * qubit
-                result_phase += int(self._phase[row])
-                result_phase += 2 * int(np.count_nonzero(result_z & self._x[row]))
-                result_x ^= self._x[row]
-                result_z ^= self._z[row]
-            if pauli.z[qubit]:
-                row = 2 * qubit + 1
-                result_phase += int(self._phase[row])
-                result_phase += 2 * int(np.count_nonzero(result_z & self._x[row]))
-                result_x ^= self._x[row]
-                result_z ^= self._z[row]
-        return PauliString(result_x, result_z, result_phase % 4)
+        result_x, result_z, phase = conjugate_row_through_generators(
+            self._rows.x_words,
+            self._rows.z_words,
+            self._rows.phases,
+            self.num_qubits,
+            pauli.x_words,
+            pauli.z_words,
+            pauli.phase,
+        )
+        return PauliString.from_words(self.num_qubits, result_x, result_z, phase)
 
     def conjugate_many(self, paulis: list[PauliString]) -> list[PauliString]:
-        """Conjugate a list of Paulis (convenience wrapper)."""
-        return [self.conjugate(p) for p in paulis]
+        """Conjugate a batch of Paulis in one vectorized sweep."""
+        from repro.clifford.engine import PackedConjugator
+
+        if not paulis:
+            return []
+        return PackedConjugator.from_tableau(self).conjugate_paulis(paulis)
+
+    def conjugate_table(self, table: PackedPauliTable) -> PackedPauliTable:
+        """Conjugate a whole packed table through the tableau at once."""
+        from repro.clifford.engine import PackedConjugator
+
+        return PackedConjugator.from_tableau(self).conjugate_table(table)
 
     # ------------------------------------------------------------------ #
     # Structure queries used by Clifford Absorption
     # ------------------------------------------------------------------ #
     def x_block(self) -> np.ndarray:
         """The 2n x n boolean matrix of X components of every row."""
-        return self._x.copy()
+        x, _, _ = self._rows.to_bool_arrays()
+        return x
 
     def z_block(self) -> np.ndarray:
         """The 2n x n boolean matrix of Z components of every row."""
-        return self._z.copy()
+        _, z, _ = self._rows.to_bool_arrays()
+        return z
 
     def phases(self) -> np.ndarray:
         """Phase exponents (of ``i``) of every row."""
-        return self._phase.copy() % 4
+        return self._rows.phases.copy() % 4
 
     def __repr__(self) -> str:
         return f"CliffordTableau(num_qubits={self.num_qubits})"

@@ -42,7 +42,7 @@ from repro.compiler.presets import (
     quclear_preset,
 )
 from repro.compiler.registry import DEFAULT_REGISTRY, CompilerRegistry, get_registry
-from repro.compiler.api import compile
+from repro.compiler.api import compile, compile_many
 
 __all__ = [
     "CompilationResult",
@@ -71,5 +71,6 @@ __all__ = [
     "DEFAULT_REGISTRY",
     "get_registry",
     "compile",
+    "compile_many",
     "with_routing",
 ]

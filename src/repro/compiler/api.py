@@ -1,9 +1,12 @@
-"""The one-call compiler entry point: :func:`repro.compile`."""
+"""The compiler entry points: :func:`repro.compile` and :func:`repro.compile_many`."""
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Sequence
 
+from repro.clifford.engine import ConjugationCache
 from repro.compiler.pipeline import Pipeline, ensure_device_routing
 from repro.compiler.presets import MAX_OPTIMIZATION_LEVEL, preset_pipeline
 from repro.compiler.registry import get_registry
@@ -13,6 +16,21 @@ from repro.exceptions import CompilerError
 from repro.paulis.sum import SparsePauliSum
 from repro.paulis.term import PauliTerm
 from repro.transpile.coupling import CouplingMap
+
+#: executor strategies accepted by :func:`compile_many`
+_EXECUTORS = ("auto", "threads", "processes", "serial")
+
+
+def _resolve_pipeline(
+    pipeline: Pipeline | str | None, level: int
+) -> Pipeline:
+    if pipeline is None:
+        return preset_pipeline(level)
+    if isinstance(pipeline, Pipeline):
+        return pipeline
+    if isinstance(pipeline, str):
+        return get_registry().get(pipeline)
+    raise CompilerError(f"cannot interpret {pipeline!r} as a pipeline")
 
 
 def compile(
@@ -40,13 +58,107 @@ def compile(
         :class:`~repro.compiler.pipeline.Pipeline` instance or the name of a
         registered compiler (``"quclear"``, ``"qiskit-like"``, ...).
     """
-    if pipeline is None:
-        resolved = preset_pipeline(level)
-    elif isinstance(pipeline, Pipeline):
-        resolved = pipeline
-    elif isinstance(pipeline, str):
-        resolved = get_registry().get(pipeline)
-    else:
-        raise CompilerError(f"cannot interpret {pipeline!r} as a pipeline")
+    resolved = _resolve_pipeline(pipeline, level)
     device = as_target(target)
     return ensure_device_routing(resolved, device).run(terms, target=device)
+
+
+# ---------------------------------------------------------------------- #
+# Batch compilation
+# ---------------------------------------------------------------------- #
+def _run_one(
+    pipeline: Pipeline,
+    device: Target | None,
+    program: Sequence[PauliTerm] | SparsePauliSum,
+    cache: ConjugationCache | None,
+) -> CompilationResult:
+    properties = {"conjugation_cache": cache} if cache is not None else None
+    return pipeline.run(program, target=device, properties=properties)
+
+
+#: per-process conjugation cache for the ``executor="processes"`` path (a
+#: cache object cannot be shared across process boundaries)
+_PROCESS_CACHE: ConjugationCache | None = None
+
+
+def _process_worker(payload) -> CompilationResult:
+    global _PROCESS_CACHE
+    if _PROCESS_CACHE is None:
+        _PROCESS_CACHE = ConjugationCache()
+    pipeline, device, program = payload
+    result = _run_one(pipeline, device, program, _PROCESS_CACHE)
+    # Don't ship the whole per-process cache back with every result: the
+    # pickle payload would grow as O(results x cache size).  The result's
+    # lazy absorbers tolerate a missing cache (PropertySet reads None).
+    result.properties.pop("conjugation_cache", None)
+    return result
+
+
+def _default_worker_count(num_programs: int) -> int:
+    return max(1, min(num_programs, os.cpu_count() or 1, 32))
+
+
+def compile_many(
+    programs: Sequence[Sequence[PauliTerm] | SparsePauliSum],
+    target: Target | CouplingMap | str | None = None,
+    level: int = MAX_OPTIMIZATION_LEVEL,
+    pipeline: Pipeline | str | None = None,
+    max_workers: int | None = None,
+    executor: str = "auto",
+    conjugation_cache: ConjugationCache | None = None,
+) -> list[CompilationResult]:
+    """Compile a batch of independent Pauli-rotation programs.
+
+    Every program goes through the same resolved pipeline (preset ``level``,
+    explicit ``pipeline``, or registered name — identical semantics to
+    :func:`repro.compile`), sharded across a :mod:`concurrent.futures`
+    worker pool.  Results come back in input order.
+
+    A single :class:`~repro.clifford.engine.ConjugationCache` is shared by
+    all workers (and attached to each run's property set), so programs whose
+    extraction produces the same Clifford tail freeze the packed conjugation
+    map only once; pass ``conjugation_cache`` to share it across several
+    ``compile_many`` calls.
+
+    Parameters
+    ----------
+    programs:
+        The batch; each entry is what :func:`repro.compile` accepts as
+        ``terms``.
+    target, level, pipeline:
+        As in :func:`repro.compile`, applied to every program.
+    max_workers:
+        Worker-pool width; defaults to ``min(len(programs), cpu_count, 32)``.
+    executor:
+        ``"threads"`` (default for ``"auto"``), ``"processes"`` (isolates the
+        pure-Python synthesis work per core at pickling cost; the cache is
+        then per-process), or ``"serial"``.
+    """
+    if executor not in _EXECUTORS:
+        raise CompilerError(
+            f"executor must be one of {_EXECUTORS}, got {executor!r}"
+        )
+    program_list = list(programs)
+    if not program_list:
+        return []
+    resolved = _resolve_pipeline(pipeline, level)
+    device = as_target(target)
+    routed = ensure_device_routing(resolved, device)
+    cache = conjugation_cache if conjugation_cache is not None else ConjugationCache()
+
+    workers = max_workers if max_workers is not None else _default_worker_count(len(program_list))
+    if executor == "auto":
+        executor = "serial" if (len(program_list) == 1 or workers <= 1) else "threads"
+
+    if executor == "serial" or workers <= 1:
+        return [_run_one(routed, device, program, cache) for program in program_list]
+
+    if executor == "processes":
+        payloads = [(routed, device, program) for program in program_list]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_process_worker, payloads))
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(
+            pool.map(lambda program: _run_one(routed, device, program, cache), program_list)
+        )

@@ -209,7 +209,8 @@ class AbsorptionPrep(Pass):
         from repro.exceptions import AbsorptionError
 
         context.properties["observable_absorber"] = ObservableAbsorber(
-            program.extraction.conjugation
+            program.extraction.conjugation,
+            cache=context.properties["conjugation_cache"],
         )
         try:
             context.properties["probability_absorber"] = build_probability_absorber(

@@ -12,6 +12,7 @@ from __future__ import annotations
 import time
 from typing import Iterator, Sequence
 
+from repro.clifford.engine import ConjugationCache
 from repro.compiler.context import PassContext, Program, PropertySet
 from repro.compiler.passes import Pass
 from repro.compiler.result import CompilationResult
@@ -76,6 +77,12 @@ class Pipeline:
                     f"target {device.name!r} has {device.num_qubits}"
                 )
         context = PassContext(target=device, properties=PropertySet(properties or {}))
+        # Every run carries a conjugation cache so the absorption machinery
+        # (eager AbsorptionPrep or the result's lazy absorbers) freezes each
+        # Clifford tail's packed conjugator at most once; repro.compile_many
+        # injects a shared cache here to pool that work across programs.
+        if context.properties["conjugation_cache"] is None:
+            context.properties["conjugation_cache"] = ConjugationCache()
         program = Program(terms=term_list)
 
         start = time.perf_counter()

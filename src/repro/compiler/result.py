@@ -117,7 +117,9 @@ class CompilationResult:
             return cached
         from repro.core.absorption import ObservableAbsorber
 
-        absorber = ObservableAbsorber(extraction.conjugation)
+        absorber = ObservableAbsorber(
+            extraction.conjugation, cache=self.properties["conjugation_cache"]
+        )
         self.properties["observable_absorber"] = absorber
         return absorber
 
@@ -126,7 +128,7 @@ class CompilationResult:
     ) -> "list[AbsorbedObservable]":
         absorber = self.observable_absorber()
         if isinstance(observables, SparsePauliSum):
-            return [absorber.absorb_pauli(term.pauli) for term in observables]
+            return absorber.absorb_table(observables)
         return absorber.absorb_all(observables)
 
     def probability_absorber(self) -> "ProbabilityAbsorber":

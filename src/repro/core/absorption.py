@@ -26,13 +26,14 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
+from repro.clifford.engine import ConjugationCache, PackedConjugator
 from repro.clifford.tableau import CliffordTableau
 from repro.core.extraction import ExtractionResult
 from repro.exceptions import AbsorptionError
 from repro.linear.gf2 import gf2_is_invertible, gf2_matvec, gf2_solve
+from repro.paulis.packed import PackedPauliTable
 from repro.paulis.pauli import PauliString
 from repro.paulis.sum import SparsePauliSum
-from repro.paulis.term import PauliTerm
 
 
 # ---------------------------------------------------------------------- #
@@ -73,18 +74,30 @@ class AbsorbedObservable:
 
 
 class ObservableAbsorber:
-    """CA module for observable measurements."""
+    """CA module for observable measurements.
 
-    def __init__(self, conjugation: CliffordTableau):
+    Conjugation runs on the bit-packed engine: the tableau is frozen into a
+    :class:`~repro.clifford.engine.PackedConjugator` once (optionally shared
+    through a :class:`~repro.clifford.engine.ConjugationCache`), and the batch
+    entry points absorb *all* observables in one vectorized sweep.
+    """
+
+    def __init__(
+        self, conjugation: CliffordTableau, cache: ConjugationCache | None = None
+    ):
         self.conjugation = conjugation
         self.num_qubits = conjugation.num_qubits
+        if cache is not None:
+            self._conjugator = cache.get(conjugation)
+        else:
+            self._conjugator = PackedConjugator.from_tableau(conjugation)
 
     # ------------------------------------------------------------------ #
     def absorb_pauli(self, observable: PauliString) -> AbsorbedObservable:
         """Absorb the Clifford tail into a single Pauli observable."""
         if observable.num_qubits != self.num_qubits:
             raise AbsorptionError("observable and circuit qubit counts differ")
-        updated = self.conjugation.conjugate(observable)
+        updated = self._conjugator.conjugate(observable)
         sign = updated.sign
         if sign not in (1, -1):
             raise AbsorptionError("absorbed observable is not Hermitian")
@@ -96,12 +109,43 @@ class ObservableAbsorber:
             measurement_basis=self.measurement_basis_circuit(bare),
         )
 
+    def _absorb_table(
+        self, originals: list[PauliString], table: PackedPauliTable
+    ) -> list[AbsorbedObservable]:
+        """Vectorized core: conjugate every observable in one packed sweep."""
+        if table.num_qubits != self.num_qubits:
+            raise AbsorptionError("observable and circuit qubit counts differ")
+        conjugated = self._conjugator.conjugate_table(table)
+        if not conjugated.hermitian_mask().all():
+            raise AbsorptionError("absorbed observable is not Hermitian")
+        signs = np.where(conjugated.signs() == 0, 1.0, -1.0)
+        bare = conjugated.bare()
+        absorbed = []
+        for index, original in enumerate(originals):
+            updated = bare.row(index)
+            absorbed.append(
+                AbsorbedObservable(
+                    original=original.copy(),
+                    updated=updated,
+                    sign=float(signs[index]),
+                    measurement_basis=self.measurement_basis_circuit(updated),
+                )
+            )
+        return absorbed
+
     def absorb_all(self, observables: Iterable[PauliString]) -> list[AbsorbedObservable]:
-        return [self.absorb_pauli(observable) for observable in observables]
+        originals = list(observables)
+        if not originals:
+            return []
+        return self._absorb_table(originals, PackedPauliTable.from_paulis(originals))
+
+    def absorb_table(self, observable: SparsePauliSum) -> list[AbsorbedObservable]:
+        """Absorb a sum's terms straight from its packed store (no re-pack)."""
+        return self._absorb_table(observable.paulis, observable.packed_table)
 
     def absorb_sum(self, observable: SparsePauliSum) -> list[tuple[float, AbsorbedObservable]]:
         """Absorb every term of a weighted observable; returns (weight, absorbed)."""
-        return [(term.coefficient, self.absorb_pauli(term.pauli)) for term in observable]
+        return list(zip(observable.coefficients, self.absorb_table(observable)))
 
     # ------------------------------------------------------------------ #
     def measurement_basis_circuit(self, observable: PauliString) -> QuantumCircuit:
@@ -249,12 +293,14 @@ def build_probability_absorber(tail: QuantumCircuit) -> ProbabilityAbsorber:
 # Convenience entry points
 # ---------------------------------------------------------------------- #
 def absorb_observables(
-    result: ExtractionResult, observables: Iterable[PauliString] | SparsePauliSum
+    result: ExtractionResult,
+    observables: Iterable[PauliString] | SparsePauliSum,
+    cache: ConjugationCache | None = None,
 ) -> list[AbsorbedObservable]:
     """Absorb the extracted Clifford into a collection of Pauli observables."""
-    absorber = ObservableAbsorber(result.conjugation)
+    absorber = ObservableAbsorber(result.conjugation, cache=cache)
     if isinstance(observables, SparsePauliSum):
-        return [absorber.absorb_pauli(term.pauli) for term in observables]
+        return absorber.absorb_table(observables)
     return absorber.absorb_all(observables)
 
 

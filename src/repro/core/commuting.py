@@ -4,12 +4,19 @@ QuCLEAR only reorders Pauli strings *inside* a block of mutually commuting
 strings; the blocks themselves stay in program order.  This keeps the
 optimization free of any high-level knowledge about the benchmark (unlike
 Paulihedral, which also reorders blocks).
+
+The scan runs over the bit-packed symplectic form: the commutation test of
+one string against the whole current block is a single popcount expression
+over ``uint64`` words instead of a Python loop over block members.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
+from repro.paulis.packed import PackedPauliTable, popcount_rows
 from repro.paulis.term import PauliTerm
 
 
@@ -22,17 +29,21 @@ def convert_commute_sets(terms: Sequence[PauliTerm]) -> list[list[PauliTerm]]:
     copy of the input (order inside blocks is preserved here; reordering
     happens later during extraction).
     """
+    term_list = list(terms)
+    if not term_list:
+        return []
+    table = PackedPauliTable.from_paulis(t.pauli for t in term_list)
+    x_words, z_words = table.x_words, table.z_words
     blocks: list[list[PauliTerm]] = []
-    current: list[PauliTerm] = []
-    for term in terms:
-        if current and not all(
-            term.pauli.commutes_with(member.pauli) for member in current
-        ):
-            blocks.append(current)
-            current = []
-        current.append(term)
-    if current:
-        blocks.append(current)
+    start = 0
+    for index in range(1, len(term_list)):
+        overlap = popcount_rows(
+            (x_words[index] & z_words[start:index]) ^ (z_words[index] & x_words[start:index])
+        )
+        if bool(np.any(overlap & 1)):
+            blocks.append(term_list[start:index])
+            start = index
+    blocks.append(term_list[start:])
     return blocks
 
 

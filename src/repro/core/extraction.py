@@ -25,8 +25,8 @@ import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gate import Gate
-from repro.clifford.conjugation import apply_gate_to_rows
 from repro.clifford.tableau import CliffordTableau
+from repro.paulis.packed import apply_gate_to_words
 from repro.core.commuting import convert_commute_sets
 from repro.core.tree_synthesis import synthesize_tree
 from repro.exceptions import SynthesisError
@@ -69,13 +69,15 @@ class ExtractionResult:
 
 
 def _conjugate_through_gates(pauli: PauliString, gates: Sequence[Gate]) -> PauliString:
-    """Apply ``P -> g P g†`` for each gate in order (small helper, no copies of lists)."""
-    x = pauli.x.reshape(1, -1).copy()
-    z = pauli.z.reshape(1, -1).copy()
+    """Apply ``P -> g P g†`` for each gate in order, on the packed words."""
+    x_words = pauli.x_words.reshape(1, -1).copy()
+    z_words = pauli.z_words.reshape(1, -1).copy()
     phase = np.array([pauli.phase], dtype=np.int64)
     for gate in gates:
-        apply_gate_to_rows(x, z, phase, gate)
-    return PauliString(x[0], z[0], int(phase[0]))
+        apply_gate_to_words(x_words, z_words, phase, gate)
+    return PauliString.from_words(
+        pauli.num_qubits, x_words[0], z_words[0], int(phase[0]) % 4
+    )
 
 
 class CliffordExtractor:

@@ -2,7 +2,11 @@
 
 This sub-package provides the symplectic (x/z bit-vector) representation of
 Pauli strings used throughout the reproduction, together with weighted sums of
-Pauli strings (observables / Hamiltonians).
+Pauli strings (observables / Hamiltonians).  The bits are stored 64 qubits
+per ``uint64`` word (:mod:`repro.paulis.packed`); :class:`PauliString` and
+:class:`SparsePauliSum` are thin views over that packed store, and
+:class:`PackedPauliTable` exposes whole batches of Pauli strings to the
+vectorized Clifford conjugation engine.
 
 The string-label convention follows Qiskit: the *leftmost* character of a
 label acts on the *highest-index* qubit, so ``"XYZ"`` means ``X`` on qubit 2,
@@ -11,8 +15,16 @@ implementation) uses the same convention, which is why the worked example of
 Fig. 7 reads naturally with this ordering.
 """
 
+from repro.paulis.packed import PackedPauliTable, pack_bits, unpack_bits
 from repro.paulis.pauli import PauliString
 from repro.paulis.term import PauliTerm
 from repro.paulis.sum import SparsePauliSum
 
-__all__ = ["PauliString", "PauliTerm", "SparsePauliSum"]
+__all__ = [
+    "PackedPauliTable",
+    "pack_bits",
+    "unpack_bits",
+    "PauliString",
+    "PauliTerm",
+    "SparsePauliSum",
+]

@@ -11,9 +11,13 @@ factor of ``i`` folded into ``phase``.  Hermitian Pauli strings (products of
 ``I, X, Y, Z`` with a ``+1`` or ``-1`` sign) always satisfy
 ``(phase - n_Y) % 2 == 0``.
 
-The class is deliberately mutable-in-place for the hot paths used by the
-Clifford tableau (conjugation by Clifford gates); every public constructor
-returns an independent copy of its inputs.
+Since the bit-packed engine landed, a :class:`PauliString` is a thin view
+over packed ``uint64`` words (:mod:`repro.paulis.packed`): 64 qubits per
+word, with the Pauli algebra (composition, commutation, weight) computed
+directly on the words via ``np.bitwise_count``.  The ``x`` / ``z`` boolean
+vectors are unpacked lazily, cached, and returned read-only; code that needs
+mutable bit-vectors should operate on a
+:class:`~repro.paulis.packed.PackedPauliTable` instead.
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.exceptions import PauliError
+from repro.paulis.packed import pack_bits, unpack_bits, words_for_qubits
 
 _LABEL_TO_BITS = {"I": (0, 0), "X": (1, 0), "Y": (1, 1), "Z": (0, 1)}
 _BITS_TO_LABEL = {(0, 0): "I", (1, 0): "X", (1, 1): "Y", (0, 1): "Z"}
@@ -42,19 +47,49 @@ class PauliString:
     ----------
     x, z:
         Boolean arrays of length ``n``; qubit ``q`` carries
-        ``X**x[q] Z**z[q]``.
+        ``X**x[q] Z**z[q]``.  Packed into ``uint64`` words internally.
     phase:
         Integer exponent of ``i`` applied globally, stored modulo 4.
     """
 
-    __slots__ = ("x", "z", "phase")
+    __slots__ = ("_num_qubits", "_x_words", "_z_words", "phase", "_x_cache", "_z_cache")
 
     def __init__(self, x: Sequence[bool], z: Sequence[bool], phase: int = 0):
-        self.x = np.asarray(x, dtype=bool).copy()
-        self.z = np.asarray(z, dtype=bool).copy()
-        if self.x.ndim != 1 or self.z.ndim != 1 or self.x.shape != self.z.shape:
+        x_arr = np.asarray(x, dtype=bool)
+        z_arr = np.asarray(z, dtype=bool)
+        if x_arr.ndim != 1 or z_arr.ndim != 1 or x_arr.shape != z_arr.shape:
             raise PauliError("x and z must be 1-D boolean vectors of equal length")
+        self._num_qubits = int(x_arr.shape[0])
+        self._x_words = pack_bits(x_arr)
+        self._z_words = pack_bits(z_arr)
         self.phase = int(phase) % 4
+        self._x_cache = None
+        self._z_cache = None
+
+    @classmethod
+    def from_words(
+        cls, num_qubits: int, x_words: np.ndarray, z_words: np.ndarray, phase: int = 0
+    ) -> "PauliString":
+        """Wrap packed words directly (the engine's fast path).
+
+        The caller hands over ownership of the word arrays — they must not be
+        mutated afterwards.
+        """
+        self = cls.__new__(cls)
+        num_qubits = int(num_qubits)
+        words = words_for_qubits(num_qubits)
+        if x_words.shape != (words,) or z_words.shape != (words,):
+            raise PauliError(
+                f"expected {words} packed words for {num_qubits} qubits, "
+                f"got x{x_words.shape} z{z_words.shape}"
+            )
+        self._num_qubits = num_qubits
+        self._x_words = np.ascontiguousarray(x_words, dtype=np.uint64)
+        self._z_words = np.ascontiguousarray(z_words, dtype=np.uint64)
+        self.phase = int(phase) % 4
+        self._x_cache = None
+        self._z_cache = None
+        return self
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -62,7 +97,10 @@ class PauliString:
     @classmethod
     def identity(cls, num_qubits: int) -> "PauliString":
         """The identity operator on ``num_qubits`` qubits."""
-        return cls(np.zeros(num_qubits, dtype=bool), np.zeros(num_qubits, dtype=bool))
+        words = words_for_qubits(num_qubits)
+        return cls.from_words(
+            num_qubits, np.zeros(words, dtype=np.uint64), np.zeros(words, dtype=np.uint64)
+        )
 
     @classmethod
     def from_label(cls, label: str, sign: int = 1) -> "PauliString":
@@ -127,17 +165,48 @@ class PauliString:
         return cls.from_sparse(num_qubits, [(qubit, letter)], sign=sign)
 
     # ------------------------------------------------------------------ #
+    # Packed / boolean views
+    # ------------------------------------------------------------------ #
+    @property
+    def x_words(self) -> np.ndarray:
+        """Packed X components (``uint64`` words); treat as read-only."""
+        return self._x_words
+
+    @property
+    def z_words(self) -> np.ndarray:
+        """Packed Z components (``uint64`` words); treat as read-only."""
+        return self._z_words
+
+    @property
+    def x(self) -> np.ndarray:
+        """Boolean X components, unpacked lazily; read-only."""
+        if self._x_cache is None:
+            arr = unpack_bits(self._x_words, self._num_qubits)
+            arr.setflags(write=False)
+            self._x_cache = arr
+        return self._x_cache
+
+    @property
+    def z(self) -> np.ndarray:
+        """Boolean Z components, unpacked lazily; read-only."""
+        if self._z_cache is None:
+            arr = unpack_bits(self._z_words, self._num_qubits)
+            arr.setflags(write=False)
+            self._z_cache = arr
+        return self._z_cache
+
+    # ------------------------------------------------------------------ #
     # Basic properties
     # ------------------------------------------------------------------ #
     @property
     def num_qubits(self) -> int:
         """Number of qubits the operator acts on."""
-        return int(self.x.shape[0])
+        return self._num_qubits
 
     @property
     def num_y(self) -> int:
         """Number of qubits carrying a ``Y`` operator."""
-        return int(np.count_nonzero(self.x & self.z))
+        return int(np.bitwise_count(self._x_words & self._z_words).sum())
 
     @property
     def sign(self) -> complex:
@@ -147,7 +216,7 @@ class PauliString:
     @property
     def weight(self) -> int:
         """Number of non-identity single-qubit factors."""
-        return int(np.count_nonzero(self.x | self.z))
+        return int(np.bitwise_count(self._x_words | self._z_words).sum())
 
     @property
     def support(self) -> list[int]:
@@ -156,7 +225,7 @@ class PauliString:
 
     def is_identity(self) -> bool:
         """True when every qubit carries the identity (phase is ignored)."""
-        return not bool(np.any(self.x | self.z))
+        return not bool(np.any(self._x_words | self._z_words))
 
     def is_hermitian(self) -> bool:
         """True when the operator equals a real-signed ``I/X/Y/Z`` string."""
@@ -164,18 +233,28 @@ class PauliString:
 
     def letter(self, qubit: int) -> str:
         """The single-qubit Pauli letter acting on ``qubit``."""
-        return _BITS_TO_LABEL[(int(self.x[qubit]), int(self.z[qubit]))]
+        if qubit < 0:
+            qubit += self._num_qubits
+        if not 0 <= qubit < self._num_qubits:
+            raise IndexError(
+                f"qubit {qubit} out of range for a {self._num_qubits}-qubit Pauli"
+            )
+        word, bit = qubit >> 6, qubit & 63
+        bit_x = (int(self._x_words[word]) >> bit) & 1
+        bit_z = (int(self._z_words[word]) >> bit) & 1
+        return _BITS_TO_LABEL[(bit_x, bit_z)]
 
     def letters(self) -> list[str]:
         """Per-qubit Pauli letters indexed by qubit number."""
-        return [self.letter(q) for q in range(self.num_qubits)]
+        x, z = self.x, self.z
+        return [_BITS_TO_LABEL[(int(x[q]), int(z[q]))] for q in range(self._num_qubits)]
 
     # ------------------------------------------------------------------ #
     # Label / matrix conversion
     # ------------------------------------------------------------------ #
     def to_label(self, include_sign: bool = True) -> str:
         """Return the textual label, highest qubit first."""
-        body = "".join(self.letter(q) for q in range(self.num_qubits - 1, -1, -1))
+        body = "".join(reversed(self.letters()))
         if not include_sign:
             return body
         prefix = {1: "", -1: "-", 1j: "+i", -1j: "-i"}[complex(self.sign)]
@@ -183,27 +262,33 @@ class PauliString:
 
     def bare(self) -> "PauliString":
         """A copy with the phase reset so the label sign is ``+1``."""
-        copy = self.copy()
-        copy.phase = copy.num_y % 4
-        return copy
+        return PauliString.from_words(
+            self._num_qubits, self._x_words.copy(), self._z_words.copy(), self.num_y % 4
+        )
 
     def to_matrix(self) -> np.ndarray:
         """Dense matrix representation (intended for small qubit counts)."""
         matrix = np.array([[1.0 + 0j]])
-        for qubit in range(self.num_qubits - 1, -1, -1):
+        for qubit in range(self._num_qubits - 1, -1, -1):
             matrix = np.kron(matrix, _PAULI_MATRICES[self.letter(qubit)])
         return complex(self.sign) * matrix
 
     # ------------------------------------------------------------------ #
-    # Algebra
+    # Algebra (computed directly on the packed words)
     # ------------------------------------------------------------------ #
     def copy(self) -> "PauliString":
-        return PauliString(self.x, self.z, self.phase)
+        return PauliString.from_words(
+            self._num_qubits, self._x_words.copy(), self._z_words.copy(), self.phase
+        )
 
     def commutes_with(self, other: "PauliString") -> bool:
         """True when the two operators commute."""
         self._check_compatible(other)
-        overlap = np.count_nonzero((self.x & other.z) ^ (self.z & other.x))
+        overlap = int(
+            np.bitwise_count(
+                (self._x_words & other._z_words) ^ (self._z_words & other._x_words)
+            ).sum()
+        )
         return overlap % 2 == 0
 
     def compose(self, other: "PauliString") -> "PauliString":
@@ -211,9 +296,14 @@ class PauliString:
         self._check_compatible(other)
         # Moving other's X factors left past self's Z factors yields (-1) each
         # time an X crosses a Z on the same qubit.
-        crossings = int(np.count_nonzero(self.z & other.x))
+        crossings = int(np.bitwise_count(self._z_words & other._x_words).sum())
         phase = (self.phase + other.phase + 2 * crossings) % 4
-        return PauliString(self.x ^ other.x, self.z ^ other.z, phase)
+        return PauliString.from_words(
+            self._num_qubits,
+            self._x_words ^ other._x_words,
+            self._z_words ^ other._z_words,
+            phase,
+        )
 
     def __matmul__(self, other: "PauliString") -> "PauliString":
         return self.compose(other)
@@ -232,9 +322,11 @@ class PauliString:
         """Return the Hermitian adjoint."""
         # (i^p * B)^dagger = (-i)^p * B^dagger; B = prod X^x Z^z per qubit and
         # B^dagger = prod Z^z X^x = (-1)^{#(x&z)} B.
-        overlap = int(np.count_nonzero(self.x & self.z))
+        overlap = self.num_y
         phase = (-self.phase + 2 * overlap) % 4
-        return PauliString(self.x, self.z, phase)
+        return PauliString.from_words(
+            self._num_qubits, self._x_words.copy(), self._z_words.copy(), phase
+        )
 
     def restricted(self, qubits: Sequence[int]) -> "PauliString":
         """The Pauli restricted to ``qubits`` (in the given order), sign dropped."""
@@ -245,13 +337,14 @@ class PauliString:
 
     def expanded(self, num_qubits: int, qubits: Sequence[int]) -> "PauliString":
         """Embed this Pauli into ``num_qubits`` qubits at positions ``qubits``."""
-        if len(qubits) != self.num_qubits:
+        if len(qubits) != self._num_qubits:
             raise PauliError("qubit list length must match the Pauli size")
         x = np.zeros(num_qubits, dtype=bool)
         z = np.zeros(num_qubits, dtype=bool)
+        own_x, own_z = self.x, self.z
         for local, target in enumerate(qubits):
-            x[target] = self.x[local]
-            z[target] = self.z[local]
+            x[target] = own_x[local]
+            z[target] = own_z[local]
         return PauliString(x, z, self.phase)
 
     # ------------------------------------------------------------------ #
@@ -261,24 +354,30 @@ class PauliString:
         if not isinstance(other, PauliString):
             return NotImplemented
         return (
-            self.num_qubits == other.num_qubits
-            and bool(np.array_equal(self.x, other.x))
-            and bool(np.array_equal(self.z, other.z))
+            self._num_qubits == other._num_qubits
             and self.phase == other.phase
+            and bool(np.array_equal(self._x_words, other._x_words))
+            and bool(np.array_equal(self._z_words, other._z_words))
         )
 
     def equals_up_to_phase(self, other: "PauliString") -> bool:
         """True when the two operators differ only by a global phase."""
-        return bool(np.array_equal(self.x, other.x)) and bool(np.array_equal(self.z, other.z))
+        return (
+            self._num_qubits == other._num_qubits
+            and bool(np.array_equal(self._x_words, other._x_words))
+            and bool(np.array_equal(self._z_words, other._z_words))
+        )
 
     def __hash__(self) -> int:
-        return hash((self.x.tobytes(), self.z.tobytes(), self.phase))
+        return hash(
+            (self._num_qubits, self._x_words.tobytes(), self._z_words.tobytes(), self.phase)
+        )
 
     def __repr__(self) -> str:
         return f"PauliString({self.to_label()!r})"
 
     def _check_compatible(self, other: "PauliString") -> None:
-        if self.num_qubits != other.num_qubits:
+        if self._num_qubits != other._num_qubits:
             raise PauliError(
-                f"incompatible qubit counts: {self.num_qubits} vs {other.num_qubits}"
+                f"incompatible qubit counts: {self._num_qubits} vs {other._num_qubits}"
             )

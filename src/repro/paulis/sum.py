@@ -1,4 +1,11 @@
-"""Weighted sums of Pauli strings (Hamiltonians and observables)."""
+"""Weighted sums of Pauli strings (Hamiltonians and observables).
+
+A :class:`SparsePauliSum` is a thin view over a bit-packed
+:class:`~repro.paulis.packed.PackedPauliTable` plus a coefficient vector: the
+packed table is the canonical store (what the vectorized conjugation engine
+operates on), and :class:`~repro.paulis.term.PauliTerm` objects are
+materialized lazily when term-level access is requested.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +14,7 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.exceptions import PauliError
+from repro.paulis.packed import PackedPauliTable
 from repro.paulis.pauli import PauliString
 from repro.paulis.term import PauliTerm
 
@@ -21,13 +29,16 @@ class SparsePauliSum:
     """
 
     def __init__(self, terms: Iterable[PauliTerm]):
-        self._terms: list[PauliTerm] = [t.canonicalized() for t in terms]
-        if not self._terms:
+        term_list = [t.canonicalized() for t in terms]
+        if not term_list:
             raise PauliError("a SparsePauliSum needs at least one term")
-        sizes = {t.num_qubits for t in self._terms}
+        sizes = {t.num_qubits for t in term_list}
         if len(sizes) != 1:
             raise PauliError(f"inconsistent qubit counts in terms: {sorted(sizes)}")
         self._num_qubits = sizes.pop()
+        self._table = PackedPauliTable.from_paulis(t.pauli for t in term_list)
+        self._coefficients = np.array([t.coefficient for t in term_list], dtype=float)
+        self._terms_cache: list[PauliTerm] | None = term_list
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -45,6 +56,37 @@ class SparsePauliSum:
             for label, coeff in zip(labels, coefficients)
         )
 
+    @classmethod
+    def from_packed(
+        cls, table: PackedPauliTable, coefficients: Sequence[float] | np.ndarray
+    ) -> "SparsePauliSum":
+        """Wrap a packed table directly; terms materialize only on access.
+
+        Rows whose label sign is not ``+1`` have the sign folded into the
+        coefficient (the same canonical form the term constructor enforces);
+        non-Hermitian rows are rejected.
+        """
+        coefficients = np.asarray(coefficients, dtype=float)
+        if len(table) == 0 or coefficients.shape != (len(table),):
+            raise PauliError(
+                f"need one coefficient per table row: {len(table)} rows, "
+                f"{coefficients.shape} coefficients"
+            )
+        if not table.hermitian_mask().all():
+            raise PauliError("cannot build a real-weighted sum from non-Hermitian rows")
+        self = cls.__new__(cls)
+        self._num_qubits = table.num_qubits
+        sign_exponents = table.signs()  # 0 or 2 for Hermitian rows
+        if np.any(sign_exponents):
+            self._table = table.bare()
+            self._coefficients = coefficients * np.where(sign_exponents == 0, 1.0, -1.0)
+        else:
+            # already bare: adopt the table as-is (callers hand over ownership)
+            self._table = table
+            self._coefficients = coefficients.copy()
+        self._terms_cache = None
+        return self
+
     # ------------------------------------------------------------------ #
     # Accessors
     # ------------------------------------------------------------------ #
@@ -52,36 +94,54 @@ class SparsePauliSum:
     def num_qubits(self) -> int:
         return self._num_qubits
 
+    def _materialized(self) -> list[PauliTerm]:
+        if self._terms_cache is None:
+            self._terms_cache = [
+                PauliTerm(self._table.row(index), float(self._coefficients[index]))
+                for index in range(len(self._table))
+            ]
+        return self._terms_cache
+
     @property
     def terms(self) -> list[PauliTerm]:
-        return list(self._terms)
+        return list(self._materialized())
 
     @property
     def paulis(self) -> list[PauliString]:
-        return [t.pauli for t in self._terms]
+        return [t.pauli for t in self._materialized()]
 
     @property
     def coefficients(self) -> list[float]:
-        return [t.coefficient for t in self._terms]
+        return [float(c) for c in self._coefficients]
+
+    @property
+    def packed_table(self) -> PackedPauliTable:
+        """The canonical bit-packed store (do not mutate)."""
+        return self._table
+
+    def coefficient_vector(self) -> np.ndarray:
+        """The coefficients as a float array (copy)."""
+        return self._coefficients.copy()
 
     def labels(self, include_sign: bool = False) -> list[str]:
-        return [t.pauli.to_label(include_sign=include_sign) for t in self._terms]
+        return [t.pauli.to_label(include_sign=include_sign) for t in self._materialized()]
 
     def __len__(self) -> int:
-        return len(self._terms)
+        return len(self._table)
 
     def __iter__(self) -> Iterator[PauliTerm]:
-        return iter(self._terms)
+        return iter(self._materialized())
 
     def __getitem__(self, index: int) -> PauliTerm:
-        return self._terms[index]
+        return self._materialized()[index]
 
     def __repr__(self) -> str:
+        materialized = self._materialized()
         preview = ", ".join(
             f"{t.coefficient:+g}*{t.pauli.to_label(include_sign=False)}"
-            for t in self._terms[:4]
+            for t in materialized[:4]
         )
-        suffix = ", ..." if len(self._terms) > 4 else ""
+        suffix = ", ..." if len(materialized) > 4 else ""
         return f"SparsePauliSum({len(self)} terms: {preview}{suffix})"
 
     # ------------------------------------------------------------------ #
@@ -91,37 +151,52 @@ class SparsePauliSum:
         """Combine duplicate Pauli strings and drop negligible terms."""
         accumulator: dict[tuple[bytes, bytes], float] = {}
         order: list[tuple[bytes, bytes]] = []
-        templates: dict[tuple[bytes, bytes], PauliString] = {}
-        for term in self._terms:
-            key = (term.pauli.x.tobytes(), term.pauli.z.tobytes())
+        representative: dict[tuple[bytes, bytes], int] = {}
+        signs = np.where(self._table.signs() == 0, 1.0, -1.0)
+        for index in range(len(self._table)):
+            key = self._table.row_key(index)
             if key not in accumulator:
                 accumulator[key] = 0.0
                 order.append(key)
-                templates[key] = term.pauli.bare()
-            accumulator[key] += term.coefficient * float(np.real(term.pauli.sign))
-        kept = [
-            PauliTerm(templates[key], accumulator[key])
-            for key in order
-            if abs(accumulator[key]) > tolerance
+                representative[key] = index
+            accumulator[key] += float(self._coefficients[index]) * float(signs[index])
+        kept_rows = [
+            representative[key] for key in order if abs(accumulator[key]) > tolerance
         ]
-        if not kept:
-            kept = [PauliTerm(PauliString.identity(self._num_qubits), 0.0)]
-        return SparsePauliSum(kept)
+        if not kept_rows:
+            return SparsePauliSum(
+                [PauliTerm(PauliString.identity(self._num_qubits), 0.0)]
+            )
+        # rows of the canonical store are always bare, so select() suffices
+        table = self._table.select(kept_rows)
+        coefficients = [accumulator[self._table.row_key(row)] for row in kept_rows]
+        return SparsePauliSum.from_packed(table, coefficients)
 
     def scaled(self, factor: float) -> "SparsePauliSum":
-        return SparsePauliSum(
-            PauliTerm(t.pauli.copy(), t.coefficient * factor) for t in self._terms
-        )
+        # from_packed adopts the table, so hand it an independent copy
+        return SparsePauliSum.from_packed(self._table.copy(), self._coefficients * factor)
 
     def __add__(self, other: "SparsePauliSum") -> "SparsePauliSum":
         if self.num_qubits != other.num_qubits:
             raise PauliError("cannot add sums with different qubit counts")
         return SparsePauliSum(self.terms + other.terms)
 
+    def conjugated_by(self, conjugator) -> "SparsePauliSum":
+        """The sum ``U H U†`` in one vectorized sweep.
+
+        ``conjugator`` is anything exposing ``conjugate_table`` — a
+        :class:`~repro.clifford.tableau.CliffordTableau` or a frozen
+        :class:`~repro.clifford.engine.PackedConjugator`.  Clifford
+        conjugation maps Hermitian strings to (possibly sign-flipped)
+        Hermitian strings; the signs fold into the coefficients.
+        """
+        conjugated = conjugator.conjugate_table(self._table)
+        return SparsePauliSum.from_packed(conjugated, self._coefficients.copy())
+
     def to_matrix(self) -> np.ndarray:
         """Dense matrix (small qubit counts only)."""
         dimension = 2**self._num_qubits
         matrix = np.zeros((dimension, dimension), dtype=complex)
-        for term in self._terms:
+        for term in self._materialized():
             matrix += term.coefficient * term.pauli.to_matrix()
         return matrix

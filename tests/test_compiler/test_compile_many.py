@@ -1,0 +1,102 @@
+"""Tests for the batch compile entry point (repro.compile_many)."""
+
+import pytest
+
+import repro
+from repro.clifford.engine import ConjugationCache
+from repro.exceptions import CompilerError
+from repro.paulis.term import PauliTerm
+from repro.paulis.sum import SparsePauliSum
+
+from tests.conftest import random_pauli, random_pauli_terms
+
+
+def _programs(rng, count=4):
+    return [random_pauli_terms(rng, 4, 6) for _ in range(count)]
+
+
+class TestCompileMany:
+    def test_matches_sequential_compile(self, rng):
+        programs = _programs(rng)
+        sequential = [repro.compile(program, level=3) for program in programs]
+        batch = repro.compile_many(programs, level=3)
+        assert len(batch) == len(programs)
+        for batch_result, reference in zip(batch, sequential):
+            assert batch_result.circuit == reference.circuit
+            assert batch_result.extracted_clifford == reference.extracted_clifford
+
+    @pytest.mark.parametrize("executor", ["serial", "threads"])
+    def test_executor_strategies_agree(self, rng, executor):
+        programs = _programs(rng, count=3)
+        reference = [repro.compile(program, level=2) for program in programs]
+        batch = repro.compile_many(programs, level=2, executor=executor, max_workers=2)
+        assert [r.circuit for r in batch] == [r.circuit for r in reference]
+
+    def test_process_pool_roundtrip(self, rng):
+        # Results must pickle back across the process boundary; the bulky
+        # per-process ConjugationCache is stripped before the return trip.
+        programs = _programs(rng, count=2)
+        reference = [repro.compile(program, level=3) for program in programs]
+        batch = repro.compile_many(
+            programs, level=3, executor="processes", max_workers=2
+        )
+        assert [r.circuit for r in batch] == [r.circuit for r in reference]
+        assert batch[0].properties["conjugation_cache"] is None
+        # lazy absorption still works without the cache
+        observable = random_pauli(rng, 4)
+        assert batch[0].absorb_observables([observable])
+
+    def test_results_in_input_order(self, rng):
+        programs = _programs(rng, count=6)
+        batch = repro.compile_many(programs, level=0)
+        for result, program in zip(batch, programs):
+            # level 0 emits one V-shaped block per rotation, in program order
+            assert result.circuit.num_qubits == program[0].num_qubits
+
+    def test_empty_batch(self):
+        assert repro.compile_many([]) == []
+
+    def test_accepts_sparse_pauli_sums(self, rng):
+        terms = random_pauli_terms(rng, 3, 5)
+        observable = SparsePauliSum(PauliTerm(t.pauli, t.coefficient) for t in terms)
+        batch = repro.compile_many([observable, terms], level=1)
+        assert len(batch) == 2
+
+    def test_unknown_executor_rejected(self, rng):
+        with pytest.raises(CompilerError):
+            repro.compile_many(_programs(rng, count=2), executor="fleet")
+
+    def test_registered_pipeline_name(self, rng):
+        programs = _programs(rng, count=2)
+        batch = repro.compile_many(programs, pipeline="quclear")
+        reference = [repro.compile(program, pipeline="quclear") for program in programs]
+        assert [r.circuit for r in batch] == [r.circuit for r in reference]
+
+
+class TestSharedConjugationCache:
+    def test_cache_attached_to_every_result(self, rng):
+        programs = _programs(rng, count=3)
+        cache = ConjugationCache()
+        batch = repro.compile_many(programs, level=3, conjugation_cache=cache)
+        for result in batch:
+            assert result.properties["conjugation_cache"] is cache
+
+    def test_identical_programs_hit_the_cache(self, rng):
+        program = random_pauli_terms(rng, 4, 6)
+        cache = ConjugationCache()
+        batch = repro.compile_many(
+            [list(program), list(program), list(program)],
+            level=3,
+            conjugation_cache=cache,
+        )
+        observable = random_pauli(rng, 4)
+        for result in batch:
+            result.absorb_observables([observable])
+        stats = cache.stats()
+        # three identical extracted tails -> one frozen conjugator, two hits
+        assert stats["entries"] == 1
+        assert stats["hits"] >= 2
+
+    def test_compile_still_has_a_cache_without_batching(self, rng):
+        result = repro.compile(random_pauli_terms(rng, 4, 6), level=3)
+        assert result.properties["conjugation_cache"] is not None
