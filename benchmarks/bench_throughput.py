@@ -11,7 +11,11 @@ measures how fast the workload's Pauli terms conjugate through it:
   (every gate applied to all terms at once);
 * ``tableau_terms_per_sec`` — the frozen-tableau engine
   (:class:`~repro.clifford.engine.PackedConjugator`, cost independent of the
-  tail's gate count).
+  tail's gate count);
+* ``extraction_terms_per_sec`` — terms processed per second by the
+  table-native ``CliffordExtraction`` pass itself (best-of-3 per-pass
+  wall-clock from the full level-3 compile), the throughput of Algorithm 2
+  on the packed store.
 
 It also times :func:`repro.compile_many` against a sequential compile loop
 over the tier's programs, and records each workload's per-pass compile-time
@@ -79,9 +83,19 @@ def bench_workload(name: str, min_time: float) -> dict:
     spec = get_benchmark(name)
     terms = spec.terms()
     paulis = [term.pauli for term in terms]
+    # Best-of-3 per-pass timings: a single compile's CliffordExtraction
+    # wall-clock is noisy for the small workloads, and the regression job
+    # gates on the derived extraction_terms_per_sec floor.
     result = repro.compile(terms, level=3)
+    pass_timings = dict(result.metadata["pass_timings"])
+    for _ in range(2):
+        repeat = repro.compile(terms, level=3)
+        for pass_name, seconds in repeat.metadata["pass_timings"].items():
+            if pass_name in pass_timings:
+                pass_timings[pass_name] = min(pass_timings[pass_name], seconds)
     tail = result.extracted_clifford
     tableau = result.extraction.conjugation
+    extraction_seconds = pass_timings["CliffordExtraction"]
 
     def legacy():
         for pauli in paulis:
@@ -110,10 +124,11 @@ def bench_workload(name: str, min_time: float) -> dict:
         "legacy_terms_per_sec": legacy_rate,
         "packed_terms_per_sec": packed_rate,
         "tableau_terms_per_sec": tableau_rate,
+        "extraction_terms_per_sec": len(terms) / extraction_seconds,
         "speedup": packed_rate / legacy_rate,
         "tableau_speedup": tableau_rate / legacy_rate,
         "compile_seconds": result.compile_seconds,
-        "pass_timings": result.metadata["pass_timings"],
+        "pass_timings": pass_timings,
     }
 
 

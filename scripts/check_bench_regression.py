@@ -13,6 +13,10 @@ For every workload present in the baseline the checker enforces:
   stores deliberately conservative floors so cross-machine variance does not
   false-alarm while a broken vectorization path (orders of magnitude slower)
   still trips it.
+* ``extraction_terms_per_sec`` — absolute throughput floor of the
+  table-native ``CliffordExtraction`` pass (terms per second of per-pass
+  wall-clock).  Like the packed floor it is deliberately conservative, but a
+  fallback to object-at-a-time extraction (several times slower) trips it.
 * ``speedup`` — the packed/legacy ratio measured on the *same* machine, so
   it is machine-independent; this is the primary regression signal and the
   paper-level acceptance gate (>= 5x).
@@ -29,6 +33,7 @@ import sys
 #: metric -> direction; "higher" means a drop below the floor is a regression
 METRICS = {
     "packed_terms_per_sec": "higher",
+    "extraction_terms_per_sec": "higher",
     "speedup": "higher",
 }
 

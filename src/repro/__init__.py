@@ -51,6 +51,7 @@ from repro.core import (
     CliffordExtractor,
     CompilationResult,
     ExtractionResult,
+    LegacyCliffordExtractor,
     ObservableAbsorber,
     ProbabilityAbsorber,
     QuCLEAR,
@@ -77,6 +78,7 @@ __all__ = [
     "CliffordTableau",
     "StabilizerState",
     "CliffordExtractor",
+    "LegacyCliffordExtractor",
     "CompilationResult",
     "ExtractionResult",
     "ObservableAbsorber",

@@ -36,7 +36,14 @@ class QuantumCircuit:
 
     @property
     def gates(self) -> list[Gate]:
-        return list(self._gates)
+        """The live gate list — NOT a copy; treat as read-only.
+
+        Every hot loop that reads ``circuit.gates`` used to pay an O(gates)
+        list copy per access.  Mutation must go through :meth:`append` /
+        :meth:`extend` (which bounds-check); callers that need an independent
+        mutable list should take ``list(circuit)`` explicitly.
+        """
+        return self._gates
 
     def __len__(self) -> int:
         return len(self._gates)
@@ -223,3 +230,16 @@ class QuantumCircuit:
     @classmethod
     def from_gates(cls, num_qubits: int, gates: Sequence[Gate]) -> "QuantumCircuit":
         return cls(num_qubits, gates)
+
+    @classmethod
+    def from_trusted_gates(cls, num_qubits: int, gates: list[Gate]) -> "QuantumCircuit":
+        """Adopt ``gates`` without per-gate bounds checks (and without copying).
+
+        For producers that already guarantee every gate addresses qubits in
+        ``0..num_qubits-1`` — the synthesis passes build circuits from gates
+        they generated themselves, where re-validating each append is pure
+        overhead.  Ownership of the list transfers to the circuit.
+        """
+        circuit = cls(num_qubits)
+        circuit._gates = gates
+        return circuit

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Tuple
 
 import numpy as np
@@ -144,7 +145,7 @@ class Gate:
     def inverse(self) -> "Gate":
         """The inverse gate."""
         if self.name in _INVERSE_NAME:
-            return Gate(_INVERSE_NAME[self.name], self.qubits)
+            return cached_gate(_INVERSE_NAME[self.name], self.qubits)
         if self.name in ("rz", "rx", "ry", "rzz"):
             return Gate(self.name, self.qubits, (-self.params[0],))
         raise CircuitError(f"cannot invert gate {self.name!r}")
@@ -176,3 +177,16 @@ class Gate:
             params = ", ".join(f"{p:.6g}" for p in self.params)
             return f"{self.name}({params}) {list(self.qubits)}"
         return f"{self.name} {list(self.qubits)}"
+
+
+@lru_cache(maxsize=None)
+def cached_gate(name: str, qubits: Tuple[int, ...]) -> Gate:
+    """An interned parameterless :class:`Gate` instance.
+
+    Gates are frozen and value-compared, so sharing instances is safe; the
+    synthesis hot loops emit the same small set of ``h``/``sdg``/``cx`` gates
+    over and over, and interning skips the dataclass construction +
+    validation cost on every repeat.  Parameterised gates (rotations) carry
+    float angles and are deliberately not interned.
+    """
+    return Gate(name, qubits)

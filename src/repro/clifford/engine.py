@@ -35,6 +35,7 @@ from repro.paulis.pauli import PauliString
 
 if TYPE_CHECKING:
     from repro.circuits.circuit import QuantumCircuit
+    from repro.circuits.gate import Gate
     from repro.clifford.tableau import CliffordTableau
 
 
@@ -48,6 +49,25 @@ def conjugate_table_by_circuit(
     result = table.copy() if copy else table
     result.apply_circuit(circuit)
     return result
+
+
+def stream_gates_over_suffix(
+    table: PackedPauliTable,
+    gates: Sequence["Gate"],
+    start: int = 0,
+    stop: int | None = None,
+) -> None:
+    """Conjugate rows ``[start, stop)`` of ``table`` through ``gates`` in place.
+
+    The engine-facing name for the table-native extraction hot path: every
+    basis-change / CNOT-tree gate a term emits is pushed across the whole
+    remaining program (and the tableau generator rows riding at the end of
+    the table) at once, instead of re-conjugating each later Pauli object
+    individually.  This is a thin alias — the semantics (one whole-column
+    bitwise expression per gate, phases folded modulo 4 after the batch) are
+    defined by :meth:`~repro.paulis.packed.PackedPauliTable.apply_gates`.
+    """
+    table.apply_gates(gates, start=start, stop=stop)
 
 
 def conjugate_paulis_by_circuit(

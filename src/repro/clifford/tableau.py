@@ -60,6 +60,27 @@ class CliffordTableau:
         tableau.append_circuit(circuit)
         return tableau
 
+    @classmethod
+    def from_packed_rows(cls, rows: PackedPauliTable) -> "CliffordTableau":
+        """Adopt ``2n`` packed generator-image rows as a tableau.
+
+        ``rows`` must hold the images in the canonical layout (row ``2q`` =
+        image of ``X_q``, row ``2q + 1`` = image of ``Z_q``).  Ownership
+        transfers to the tableau — the caller must not mutate the table
+        afterwards.  This is how the table-native extractor returns its
+        conjugation map: the generator rows ride along the packed program
+        table through the whole pass and are split off here at the end.
+        """
+        if rows.num_rows != 2 * rows.num_qubits:
+            raise CliffordError(
+                f"a {rows.num_qubits}-qubit tableau needs {2 * rows.num_qubits} "
+                f"generator rows, got {rows.num_rows}"
+            )
+        tableau = cls.__new__(cls)
+        tableau.num_qubits = rows.num_qubits
+        tableau._rows = rows
+        return tableau
+
     def copy(self) -> "CliffordTableau":
         clone = CliffordTableau.__new__(CliffordTableau)
         clone.num_qubits = self.num_qubits

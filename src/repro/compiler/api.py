@@ -45,7 +45,9 @@ def compile(
     ----------
     terms:
         The program: a sequence of :class:`~repro.paulis.term.PauliTerm`
-        rotations (or a :class:`~repro.paulis.sum.SparsePauliSum`).
+        rotations or a :class:`~repro.paulis.sum.SparsePauliSum`.  A sum is
+        the fast path — its bit-packed store flows through the grouping and
+        extraction passes directly, with no per-term re-packing.
     target:
         Optional device to compile for — a :class:`Target`, a
         :class:`~repro.transpile.coupling.CouplingMap`, or a known device
@@ -132,7 +134,11 @@ def compile_many(
     executor:
         ``"threads"`` (default for ``"auto"``), ``"processes"`` (isolates the
         pure-Python synthesis work per core at pickling cost; the cache is
-        then per-process), or ``"serial"``.
+        then per-process), or ``"serial"``.  The table-native extractor made
+        each compile mostly vectorized numpy work that releases the GIL
+        poorly in short bursts, so ``"processes"`` still pays off for batches
+        of *large* programs where per-program compile time dwarfs the
+        pickling overhead; for many small programs stay with threads.
     """
     if executor not in _EXECUTORS:
         raise CompilerError(

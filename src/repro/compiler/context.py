@@ -20,6 +20,8 @@ from repro.paulis.term import PauliTerm
 if TYPE_CHECKING:
     from repro.compiler.target import Target
     from repro.core.extraction import ExtractionResult
+    from repro.paulis.packed import PackedPauliTable
+    from repro.paulis.sum import SparsePauliSum
     from repro.transpile.routing import RoutingResult
 
 
@@ -43,10 +45,23 @@ class Program:
     Synthesis passes turn :attr:`terms` into :attr:`circuit`; later passes
     rewrite the circuit in place.  Extraction-style passes additionally set
     :attr:`extracted_clifford` / :attr:`extraction`.
+
+    When the program entered the pipeline as a
+    :class:`~repro.paulis.sum.SparsePauliSum`, :attr:`sum` carries it so the
+    table-native passes (grouping, extraction) can consume the bit-packed
+    store directly; for plain term-list programs ``GroupCommuting`` stashes
+    the table it packed for the commuting scan in :attr:`packed_table` so
+    extraction does not re-pack the same Paulis.  :attr:`block_bounds` is
+    the packed form of the commuting-block partition (row offsets, block
+    ``k`` being ``bounds[k]..bounds[k+1]``) recorded alongside the
+    term-list :attr:`blocks`.
     """
 
     terms: list[PauliTerm]
+    sum: "SparsePauliSum | None" = None
+    packed_table: "PackedPauliTable | None" = None
     blocks: list[list[PauliTerm]] | None = None
+    block_bounds: list[int] | None = None
     circuit: QuantumCircuit | None = None
     extracted_clifford: QuantumCircuit | None = None
     extraction: "ExtractionResult | None" = None

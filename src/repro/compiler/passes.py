@@ -22,9 +22,10 @@ from typing import Callable, Sequence
 
 from repro.compiler.context import PassContext, Program
 from repro.compiler.result import CompilationResult
-from repro.core.commuting import convert_commute_sets
+from repro.core.commuting import commuting_block_bounds
 from repro.core.extraction import CliffordExtractor
 from repro.exceptions import CompilerError
+from repro.paulis.packed import PackedPauliTable
 from repro.paulis.term import PauliTerm
 from repro.synthesis.trotter import synthesize_trotter_circuit
 from repro.transpile.peephole import peephole_optimize
@@ -61,11 +62,25 @@ class Pass(abc.ABC):
 
 
 class GroupCommuting(Pass):
-    """Partition the Pauli program into maximal runs of commuting strings."""
+    """Partition the Pauli program into maximal runs of commuting strings.
+
+    The scan runs on the bit-packed store (the program sum's own table when
+    one entered the pipeline); the partition is recorded both as row offsets
+    (``program.block_bounds``, what the table-native extractor consumes) and
+    as term-list blocks for any legacy consumer.
+    """
 
     def run(self, program: Program, context: PassContext) -> None:
         terms = self._require_terms(program)
-        program.blocks = convert_commute_sets(terms)
+        if program.sum is not None:
+            table = program.sum.packed_table
+        else:
+            table = PackedPauliTable.from_paulis(t.pauli for t in terms)
+            # stash for CliffordExtraction so the same Paulis are packed once
+            program.packed_table = table
+        bounds = commuting_block_bounds(table)
+        program.block_bounds = bounds
+        program.blocks = [terms[a:b] for a, b in zip(bounds, bounds[1:])]
         program.metadata["num_blocks"] = len(program.blocks)
         context.properties["num_blocks"] = len(program.blocks)
 
@@ -98,8 +113,16 @@ class CliffordExtraction(Pass):
         )
 
     def run(self, program: Program, context: PassContext) -> None:
-        terms = self._require_terms(program)
-        extraction = self.extractor.extract(terms, blocks=program.blocks)
+        # Consume the packed sum when one entered the pipeline: the extractor
+        # then adopts its bit-packed store directly instead of re-packing a
+        # term list, and the partition travels as row offsets.
+        source = program.sum if program.sum is not None else self._require_terms(program)
+        extraction = self.extractor.extract(
+            source,
+            blocks=program.blocks,
+            block_bounds=program.block_bounds,
+            packed_table=program.packed_table if program.sum is None else None,
+        )
         program.circuit = extraction.optimized_circuit
         program.extracted_clifford = extraction.extracted_clifford
         program.extraction = extraction

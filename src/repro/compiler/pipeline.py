@@ -63,14 +63,19 @@ class Pipeline:
         """Run every pass in order over ``terms`` and collect the result."""
         if not self.passes:
             raise CompilerError(f"pipeline {self.name!r} has no passes")
+        source_sum = terms if isinstance(terms, SparsePauliSum) else None
         term_list = list(terms)
         device = as_target(target)
         if term_list:
-            num_qubits = term_list[0].num_qubits
-            for term in term_list:
-                if term.num_qubits != num_qubits:
-                    # same exception the synthesis stages raise for this
-                    raise SynthesisError("all Pauli terms must act on the same qubit count")
+            if source_sum is not None:
+                # a sum guarantees a uniform register by construction
+                num_qubits = source_sum.num_qubits
+            else:
+                num_qubits = term_list[0].num_qubits
+                for term in term_list:
+                    if term.num_qubits != num_qubits:
+                        # same exception the synthesis stages raise for this
+                        raise SynthesisError("all Pauli terms must act on the same qubit count")
             if device is not None and num_qubits > device.num_qubits:
                 raise CompilerError(
                     f"program needs {num_qubits} qubits, "
@@ -83,7 +88,7 @@ class Pipeline:
         # injects a shared cache here to pool that work across programs.
         if context.properties["conjugation_cache"] is None:
             context.properties["conjugation_cache"] = ConjugationCache()
-        program = Program(terms=term_list)
+        program = Program(terms=term_list, sum=source_sum)
 
         start = time.perf_counter()
         for entry in self.passes:

@@ -4,7 +4,10 @@
   mutually commuting strings (the reordering scope of Algorithm 2).
 * :mod:`repro.core.tree_synthesis` — the recursive CNOT-tree synthesis
   heuristic (Algorithm 1).
-* :mod:`repro.core.extraction` — the Clifford Extraction pass (Algorithm 2).
+* :mod:`repro.core.extraction` — the table-native Clifford Extraction pass
+  (Algorithm 2 on the bit-packed Pauli store).
+* :mod:`repro.core.extraction_legacy` — the original per-term extraction
+  loop, kept as the bit-for-bit ground truth of the equivalence tests.
 * :mod:`repro.core.absorption` — Clifford Absorption for observable and
   probability measurements (CA-Pre / CA-Post).
 * :mod:`repro.core.framework` — the deprecated :class:`QuCLEAR` facade over
@@ -12,8 +15,9 @@
   :func:`repro.compile`).
 """
 
-from repro.core.commuting import convert_commute_sets
+from repro.core.commuting import commuting_block_bounds, convert_commute_sets
 from repro.core.extraction import CliffordExtractor, ExtractionResult
+from repro.core.extraction_legacy import LegacyCliffordExtractor
 from repro.core.absorption import (
     AbsorbedObservable,
     ObservableAbsorber,
@@ -32,8 +36,10 @@ __all__ = [
     "MeasurementGroup",
     "group_observables",
     "measurement_savings",
+    "commuting_block_bounds",
     "convert_commute_sets",
     "CliffordExtractor",
+    "LegacyCliffordExtractor",
     "ExtractionResult",
     "AbsorbedObservable",
     "ObservableAbsorber",

@@ -20,6 +20,27 @@ from repro.paulis.packed import PackedPauliTable, popcount_rows
 from repro.paulis.term import PauliTerm
 
 
+def commuting_block_bounds(table: PackedPauliTable) -> list[int]:
+    """Greedy commuting-block boundaries of a packed Pauli program.
+
+    Returns the block start offsets plus the final row count, so block ``k``
+    is the row range ``[bounds[k], bounds[k + 1])``.  This is the table-native
+    form the packed extractor consumes — no term objects are materialized.
+    """
+    x_words, z_words = table.x_words, table.z_words
+    bounds = [0]
+    start = 0
+    for index in range(1, len(table)):
+        overlap = popcount_rows(
+            (x_words[index] & z_words[start:index]) ^ (z_words[index] & x_words[start:index])
+        )
+        if bool(np.any(overlap & 1)):
+            bounds.append(index)
+            start = index
+    bounds.append(len(table))
+    return bounds
+
+
 def convert_commute_sets(terms: Sequence[PauliTerm]) -> list[list[PauliTerm]]:
     """Greedy split of ``terms`` into maximal runs of mutually commuting strings.
 
@@ -33,18 +54,8 @@ def convert_commute_sets(terms: Sequence[PauliTerm]) -> list[list[PauliTerm]]:
     if not term_list:
         return []
     table = PackedPauliTable.from_paulis(t.pauli for t in term_list)
-    x_words, z_words = table.x_words, table.z_words
-    blocks: list[list[PauliTerm]] = []
-    start = 0
-    for index in range(1, len(term_list)):
-        overlap = popcount_rows(
-            (x_words[index] & z_words[start:index]) ^ (z_words[index] & x_words[start:index])
-        )
-        if bool(np.any(overlap & 1)):
-            blocks.append(term_list[start:index])
-            start = index
-    blocks.append(term_list[start:])
-    return blocks
+    bounds = commuting_block_bounds(table)
+    return [term_list[a:b] for a, b in zip(bounds, bounds[1:])]
 
 
 def count_commuting_blocks(terms: Sequence[PauliTerm]) -> int:

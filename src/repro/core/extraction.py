@@ -1,4 +1,4 @@
-"""Clifford Extraction (Algorithm 2 of the paper).
+"""Clifford Extraction (Algorithm 2 of the paper), table-native.
 
 The extractor walks the Pauli-rotation program term by term.  For every term
 it synthesizes only the *left* half of the usual V-shaped block (basis-change
@@ -7,6 +7,16 @@ Clifford — is never emitted.  Instead its effect is pushed through the rest of
 the program by conjugating every later Pauli string, and the accumulated
 Clifford tail is returned separately so that Clifford Absorption can dispose
 of it classically.
+
+Since PR 3 the whole pass runs on the bit-packed store: the remaining program
+lives as one :class:`~repro.paulis.packed.PackedPauliTable` (with the ``2n``
+tableau generator rows riding at the end of the same table), every emitted
+gate is streamed in place across the table suffix as whole-column bitwise
+ops, and lookahead / next-Pauli selection read rows straight from the table
+instead of re-conjugating :class:`~repro.paulis.pauli.PauliString` objects.
+The original per-term loop is preserved in
+:mod:`repro.core.extraction_legacy` as the ground truth the equivalence
+tests diff bit-for-bit.
 
 The equivalence maintained throughout is::
 
@@ -25,14 +35,21 @@ import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gate import Gate
+from repro.clifford.engine import stream_gates_over_suffix
 from repro.clifford.tableau import CliffordTableau
-from repro.paulis.packed import apply_gate_to_words
-from repro.core.commuting import convert_commute_sets
-from repro.core.tree_synthesis import synthesize_tree
+from repro.core.commuting import commuting_block_bounds
+from repro.core.tree_synthesis import PackedRowGuide, chain_tree_cost, synthesize_tree
 from repro.exceptions import SynthesisError
+from repro.paulis.packed import (
+    PackedPauliTable,
+    apply_gate_to_words,
+    popcount_rows,
+    words_for_qubits,
+)
 from repro.paulis.pauli import PauliString
+from repro.paulis.sum import SparsePauliSum
 from repro.paulis.term import PauliTerm
-from repro.synthesis.pauli_rotation import basis_change_gates
+from repro.synthesis.pauli_rotation import basis_change_gates_sparse
 
 
 @dataclass
@@ -80,8 +97,41 @@ def _conjugate_through_gates(pauli: PauliString, gates: Sequence[Gate]) -> Pauli
     )
 
 
+def _resolve_block_bounds(
+    table: PackedPauliTable,
+    blocks: list[list[PauliTerm]] | None,
+    block_bounds: Sequence[int] | None,
+) -> list[int]:
+    """Block boundaries as row offsets (``bounds[k] .. bounds[k+1]``)."""
+    if block_bounds is not None:
+        bounds = [int(b) for b in block_bounds]
+        if bounds[0] != 0 or bounds[-1] != len(table):
+            raise SynthesisError(
+                f"block bounds {bounds[0]}..{bounds[-1]} do not span the "
+                f"{len(table)}-row program"
+            )
+        return bounds
+    if blocks is not None:
+        bounds = [0]
+        for block in blocks:
+            bounds.append(bounds[-1] + len(block))
+        if bounds[-1] != len(table):
+            raise SynthesisError(
+                f"blocks hold {bounds[-1]} terms, program has {len(table)} rows"
+            )
+        return bounds
+    return commuting_block_bounds(table)
+
+
 class CliffordExtractor:
     """Clifford Extraction with the recursive CNOT-tree heuristic.
+
+    The pass is table-native: it accepts either a sequence of
+    :class:`~repro.paulis.term.PauliTerm` or a whole
+    :class:`~repro.paulis.sum.SparsePauliSum` (whose packed store is consumed
+    directly, no term materialization on the hot path) and produces output
+    bit-identical to
+    :class:`~repro.core.extraction_legacy.LegacyCliffordExtractor`.
 
     Parameters
     ----------
@@ -114,63 +164,131 @@ class CliffordExtractor:
     # ------------------------------------------------------------------ #
     def extract(
         self,
-        terms: Sequence[PauliTerm],
+        terms: Sequence[PauliTerm] | SparsePauliSum,
         blocks: list[list[PauliTerm]] | None = None,
+        block_bounds: Sequence[int] | None = None,
+        packed_table: PackedPauliTable | None = None,
     ) -> ExtractionResult:
         """Run Clifford Extraction over a Pauli-rotation program.
 
-        ``blocks`` may carry the commuting-block partition of ``terms`` when a
-        pipeline already computed it (the ``GroupCommuting`` pass); when
-        ``None`` the partition is computed here.
+        ``blocks`` (term lists) or ``block_bounds`` (row offsets into the
+        program, the table-native form) may carry the commuting-block
+        partition when a pipeline already computed it (the ``GroupCommuting``
+        pass); both must partition the program *in order*.  When neither is
+        given the partition is computed here on the packed store.
+
+        ``packed_table`` may hand over an already-packed table of the
+        program's Paulis (row ``k`` = ``terms[k].pauli``, e.g. the table the
+        grouping pass scanned) so they are not re-packed here; it is read,
+        never mutated.  Ignored for :class:`SparsePauliSum` input, which
+        carries its own store.
         """
-        term_list = list(terms)
-        if not term_list:
-            raise SynthesisError("cannot extract from an empty Pauli program")
-        num_qubits = term_list[0].num_qubits
-        for term in term_list:
-            if term.num_qubits != num_qubits:
-                raise SynthesisError("all Pauli terms must act on the same qubit count")
+        if isinstance(terms, SparsePauliSum):
+            source_sum: SparsePauliSum | None = terms
+            term_list: list[PauliTerm] | None = None
+            base = source_sum.packed_table
+            coefficients = source_sum.coefficient_vector()
+            num_qubits = source_sum.num_qubits
+        else:
+            source_sum = None
+            term_list = list(terms)
+            if not term_list:
+                raise SynthesisError("cannot extract from an empty Pauli program")
+            num_qubits = term_list[0].num_qubits
+            for term in term_list:
+                if term.num_qubits != num_qubits:
+                    raise SynthesisError("all Pauli terms must act on the same qubit count")
+            if packed_table is not None and (
+                packed_table.num_rows != len(term_list)
+                or packed_table.num_qubits != num_qubits
+            ):
+                raise SynthesisError(
+                    f"packed_table shape ({packed_table.num_rows} rows, "
+                    f"{packed_table.num_qubits} qubits) does not match the "
+                    f"{len(term_list)}-term, {num_qubits}-qubit program"
+                )
+            base = (
+                packed_table
+                if packed_table is not None
+                else PackedPauliTable.from_paulis(t.pauli for t in term_list)
+            )
+            coefficients = np.array([t.coefficient for t in term_list], dtype=float)
 
         start = time.perf_counter()
-        tableau = CliffordTableau(num_qubits)
-        optimized = QuantumCircuit(num_qubits)
-        left_halves = QuantumCircuit(num_qubits)
-        rotation_count = 0
+        num_rows = len(base)
+        bounds = _resolve_block_bounds(base, blocks, block_bounds)
 
-        if blocks is None:
-            blocks = convert_commute_sets(term_list)
-        for block_index, block in enumerate(blocks):
-            block = list(block)
-            for position in range(len(block)):
-                current_term = block[position]
-                current = tableau.conjugate(current_term.pauli)
-                if current.is_identity():
+        # One packed table for the whole pass: the program rows followed by
+        # the 2n tableau generator rows, so every suffix stream updates the
+        # remaining program AND the conjugation tableau in the same numpy op.
+        words = words_for_qubits(num_qubits)
+        x_words = np.zeros((num_rows + 2 * num_qubits, words), dtype=np.uint64)
+        z_words = np.zeros_like(x_words)
+        phases = np.zeros(num_rows + 2 * num_qubits, dtype=np.int64)
+        x_words[:num_rows] = base.x_words
+        z_words[:num_rows] = base.z_words
+        phases[:num_rows] = base.phases
+        one = np.uint64(1)
+        for qubit in range(num_qubits):
+            mask = one << np.uint64(qubit & 63)
+            x_words[num_rows + 2 * qubit, qubit >> 6] = mask
+            z_words[num_rows + 2 * qubit + 1, qubit >> 6] = mask
+        table = PackedPauliTable(num_qubits, x_words, z_words, phases)
+        # rebind: the constructor may have copied during validation
+        x_words, z_words, phases = table.x_words, table.z_words, table.phases
+
+        optimized_gates: list[Gate] = []
+        left_gates: list[Gate] = []
+        rotation_count = 0
+        lookahead_limit = num_rows
+
+        for block_start, block_end in zip(bounds, bounds[1:]):
+            for position in range(block_start, block_end):
+                x_row = x_words[position]
+                z_row = z_words[position]
+                x_ints = x_row.tolist()
+                z_ints = z_row.tolist()
+                if not any(x_ints) and not any(z_ints):
                     # exp(-i theta/2 I) is a global phase; nothing to emit.
                     continue
-                if not current.is_hermitian():
+                num_y = sum((x & z).bit_count() for x, z in zip(x_ints, z_ints))
+                if (int(phases[position]) - num_y) % 2:
                     raise SynthesisError(
-                        f"term {current_term!r} conjugated to a non-Hermitian Pauli"
+                        f"term {table.row(position)!r} conjugated to a "
+                        "non-Hermitian Pauli"
                     )
-                support = current.support
-                basis_gates = basis_change_gates(current)
-                for gate in basis_gates:
-                    tableau.append_gate(gate)
+                support = _support_from_words(x_ints, z_ints)
+                support_x = [(x_ints[q >> 6] >> (q & 63)) & 1 for q in support]
+                support_z = [(z_ints[q >> 6] >> (q & 63)) & 1 for q in support]
+                basis_gates = basis_change_gates_sparse(support, support_x, support_z)
 
-                if self.reorder_within_blocks and position + 1 < len(block):
-                    best = self._find_next_pauli(block, position, support, tableau)
+                if basis_gates:
+                    # Masked basis layer over the whole suffix (and tableau
+                    # rows); a no-op — skipped — for pure-Z/I terms.  h_mask
+                    # must be copied out of the row view before the layer
+                    # mutates it.
+                    table.apply_basis_layer(x_row & z_row, x_row.copy(), start=position)
+
+                if self.reorder_within_blocks and position + 1 < block_end:
+                    best = self._find_next_packed(table, position, block_end, support)
                     if best is not None and best != position + 1:
-                        block.insert(position + 1, block.pop(best))
+                        table.move_row(best, position + 1)
+                        window = slice(position + 1, best + 1)
+                        coefficients[window] = np.roll(coefficients[window], 1)
 
-                lookahead_cache: dict[int, PauliString] = {}
-                upcoming_term = self._make_upcoming_getter(blocks, block, block_index, position)
+                if not self.cross_block_lookahead:
+                    lookahead_limit = block_end
+                lookahead_cache: dict[int, PackedRowGuide] = {}
 
-                def lookahead(depth: int) -> PauliString | None:
+                def lookahead(depth: int) -> PackedRowGuide | None:
+                    row_index = position + 1 + depth
+                    if row_index >= lookahead_limit:
+                        return None
                     if depth not in lookahead_cache:
-                        term = upcoming_term(depth)
-                        if term is None:
-                            return None
-                        lookahead_cache[depth] = tableau.conjugate(term.pauli)
-                    return lookahead_cache.get(depth)
+                        lookahead_cache[depth] = PackedRowGuide(
+                            x_words[row_index], z_words[row_index]
+                        )
+                    return lookahead_cache[depth]
 
                 tree_gates, root = synthesize_tree(
                     support,
@@ -178,99 +296,137 @@ class CliffordExtractor:
                     recursive=self.recursive_tree,
                     max_depth=self.max_lookahead,
                 )
+                stream_gates_over_suffix(table, tree_gates, start=position)
 
-                final = _conjugate_through_gates(current, basis_gates + tree_gates)
-                expected = PauliString.single(num_qubits, root, "Z")
-                if not final.equals_up_to_phase(expected):
+                x_ints = x_row.tolist()
+                z_ints = z_row.tolist()
+                root_word = root >> 6
+                reduced_to_root = (
+                    not any(x_ints)
+                    and z_ints[root_word] == 1 << (root & 63)
+                    and all(
+                        word == 0 for i, word in enumerate(z_ints) if i != root_word
+                    )
+                )
+                if not reduced_to_root:
                     raise SynthesisError(
                         "internal error: the synthesized tree does not reduce the "
-                        f"current Pauli to Z on its root (got {final.to_label()!r})"
+                        "current Pauli to Z on its root "
+                        f"(got {table.row(position).to_label()!r})"
                     )
-                angle = current_term.coefficient
-                if final.sign == -1:
+                angle = float(coefficients[position])
+                if int(phases[position]) % 4 == 2:
                     angle = -angle
 
-                optimized.extend(basis_gates)
-                optimized.extend(tree_gates)
-                optimized.rz(angle, root)
+                optimized_gates.extend(basis_gates)
+                optimized_gates.extend(tree_gates)
+                optimized_gates.append(Gate("rz", (root,), (angle,)))
                 rotation_count += 1
+                left_gates.extend(basis_gates)
+                left_gates.extend(tree_gates)
 
-                for gate in tree_gates:
-                    tableau.append_gate(gate)
-                left_halves.extend(basis_gates)
-                left_halves.extend(tree_gates)
-
+        optimized = QuantumCircuit.from_trusted_gates(num_qubits, optimized_gates)
+        left_halves = QuantumCircuit.from_trusted_gates(num_qubits, left_gates)
         extracted = left_halves.inverse()
+        conjugation = CliffordTableau.from_packed_rows(
+            PackedPauliTable(
+                num_qubits,
+                x_words[num_rows:],
+                z_words[num_rows:],
+                phases[num_rows:],
+            )
+        )
         elapsed = time.perf_counter() - start
+        if term_list is None:
+            term_list = source_sum.terms
         return ExtractionResult(
             optimized_circuit=optimized,
             extracted_clifford=extracted,
-            conjugation=tableau,
+            conjugation=conjugation,
             terms=term_list,
             rotation_count=rotation_count,
             elapsed_seconds=elapsed,
             metadata={
-                "num_blocks": len(blocks),
+                "num_blocks": len(bounds) - 1,
                 "reorder_within_blocks": self.reorder_within_blocks,
                 "recursive_tree": self.recursive_tree,
             },
         )
 
     # ------------------------------------------------------------------ #
-    def _make_upcoming_getter(
+    def _find_next_packed(
         self,
-        blocks: list[list[PauliTerm]],
-        block: list[PauliTerm],
-        block_index: int,
+        table: PackedPauliTable,
         position: int,
-    ):
-        """Lazy access to the term ``depth`` positions after the current one.
-
-        Avoids flattening the whole remaining program on every step (which
-        would be quadratic in the program length); lookahead depths are
-        bounded by the qubit count, so walking block by block is cheap.
-        """
-
-        def upcoming_term(depth: int) -> PauliTerm | None:
-            remaining_in_block = len(block) - (position + 1)
-            if depth < remaining_in_block:
-                return block[position + 1 + depth]
-            if not self.cross_block_lookahead:
-                return None
-            offset = depth - remaining_in_block
-            for later_block in blocks[block_index + 1 :]:
-                if offset < len(later_block):
-                    return later_block[offset]
-                offset -= len(later_block)
-            return None
-
-        return upcoming_term
-
-    # ------------------------------------------------------------------ #
-    def _find_next_pauli(
-        self,
-        block: list[PauliTerm],
-        position: int,
+        block_end: int,
         support: list[int],
-        tableau: CliffordTableau,
     ) -> int | None:
         """Greedy choice of the string to place right after the current one.
 
-        The cost of a candidate is its weight after conjugation by the
-        Clifford extracted so far, the current string's basis layer, and a
-        non-recursive CNOT tree built for the current string using the
-        candidate as the only guide (the cheap cost model of Algorithm 2).
+        Bit-identical to the legacy ``find_next_pauli`` — a candidate's cost
+        is its weight after conjugation through the non-recursive chain tree
+        the current support would get with the candidate as the only guide —
+        but computed on table rows: the candidates are already conjugated by
+        everything extracted so far (including the current basis layer), the
+        tree-invariant off-support weights come from one vectorized popcount,
+        and candidates are visited in argsorted-weight order so that
+        ``cost >= off_support_weight`` prunes most exact cost evaluations.
         """
-        best_index: int | None = None
+        first = position + 1
+        count = block_end - first
+        if count == 1:
+            return first
+        x_words = table.x_words
+        z_words = table.z_words
+        support_mask = np.zeros(x_words.shape[1], dtype=np.uint64)
+        one = np.uint64(1)
+        for qubit in support:
+            support_mask[qubit >> 6] |= one << np.uint64(qubit & 63)
+        candidate_x = x_words[first:block_end]
+        candidate_z = z_words[first:block_end]
+        off_weights = popcount_rows((candidate_x | candidate_z) & ~support_mask)
+
+        word_index = np.asarray([q >> 6 for q in support])
+        shifts = np.asarray([q & 63 for q in support], dtype=np.uint64)
+        support_x = ((candidate_x[:, word_index] >> shifts) & one).astype(np.uint8)
+        support_z = ((candidate_z[:, word_index] >> shifts) & one).astype(np.uint8)
+
         best_cost: int | None = None
-        for candidate_index in range(position + 1, len(block)):
-            guide = tableau.conjugate(block[candidate_index].pauli)
-            tree_gates, _ = synthesize_tree(
-                support, lambda depth: guide if depth == 0 else None, recursive=False
-            )
-            optimized_guide = _conjugate_through_gates(guide, tree_gates)
-            cost = optimized_guide.weight
-            if best_cost is None or cost < best_cost:
+        best_index: int | None = None
+        # Ascending off-support weight with stable ties: once a candidate's
+        # off-support weight alone reaches the best cost seen, no later
+        # candidate in this order can strictly beat it.
+        for k in np.argsort(off_weights, kind="stable"):
+            off_weight = int(off_weights[k])
+            if best_cost is not None and off_weight > best_cost:
+                break
+            index = first + int(k)
+            if best_cost is not None and off_weight == best_cost and index > best_index:
+                continue
+            cost = off_weight + chain_tree_cost(support_x[k].tolist(), support_z[k].tolist())
+            if (
+                best_cost is None
+                or cost < best_cost
+                or (cost == best_cost and index < best_index)
+            ):
                 best_cost = cost
-                best_index = candidate_index
+                best_index = index
         return best_index
+
+
+def _support_from_words(x_ints: list[int], z_ints: list[int]) -> list[int]:
+    """Ascending qubit indices carrying a non-identity factor.
+
+    Walks the set bits of the packed words as plain Python integers — for the
+    sparse rows extraction sees, this beats unpacking the whole register into
+    a boolean vector and scanning it.
+    """
+    support: list[int] = []
+    for word_index, (x_word, z_word) in enumerate(zip(x_ints, z_ints)):
+        word = x_word | z_word
+        base = word_index << 6
+        while word:
+            low = word & -word
+            support.append(base + low.bit_length() - 1)
+            word ^= low
+    return support

@@ -1,0 +1,213 @@
+"""The original per-term Clifford Extraction loop — kept as ground truth.
+
+This is the pre-table-native implementation of Algorithm 2: it walks the
+program one :class:`~repro.paulis.term.PauliTerm` at a time, re-conjugating
+every Pauli it needs (the current term, each reordering candidate, each
+lookahead string) through an incrementally grown
+:class:`~repro.clifford.tableau.CliffordTableau`.
+
+It is deliberately preserved, unoptimized, next to the table-native
+:class:`~repro.core.extraction.CliffordExtractor`: the equivalence test suite
+(``tests/test_core/test_extraction_equivalence.py``) diffs the two
+bit-for-bit — same optimized circuit, same extracted tail, same tableau
+content — on randomized programs, so any behavioural drift in the fast path
+is caught against this reference.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.clifford.tableau import CliffordTableau
+from repro.core.commuting import convert_commute_sets
+from repro.core.tree_synthesis import synthesize_tree
+from repro.exceptions import SynthesisError
+from repro.paulis.pauli import PauliString
+from repro.paulis.term import PauliTerm
+from repro.synthesis.pauli_rotation import basis_change_gates
+
+
+class LegacyCliffordExtractor:
+    """Per-term Clifford Extraction (the reference implementation).
+
+    Accepts the same feature flags as the table-native
+    :class:`~repro.core.extraction.CliffordExtractor` and produces a
+    bit-identical :class:`~repro.core.extraction.ExtractionResult`.
+    """
+
+    def __init__(
+        self,
+        reorder_within_blocks: bool = True,
+        recursive_tree: bool = True,
+        cross_block_lookahead: bool = True,
+        max_lookahead: int | None = None,
+    ):
+        self.reorder_within_blocks = reorder_within_blocks
+        self.recursive_tree = recursive_tree
+        self.cross_block_lookahead = cross_block_lookahead
+        self.max_lookahead = max_lookahead
+
+    # ------------------------------------------------------------------ #
+    def extract(
+        self,
+        terms: Sequence[PauliTerm],
+        blocks: list[list[PauliTerm]] | None = None,
+    ):
+        """Run the reference per-term extraction over a Pauli-rotation program."""
+        from repro.core.extraction import ExtractionResult, _conjugate_through_gates
+
+        term_list = list(terms)
+        if not term_list:
+            raise SynthesisError("cannot extract from an empty Pauli program")
+        num_qubits = term_list[0].num_qubits
+        for term in term_list:
+            if term.num_qubits != num_qubits:
+                raise SynthesisError("all Pauli terms must act on the same qubit count")
+
+        start = time.perf_counter()
+        tableau = CliffordTableau(num_qubits)
+        optimized = QuantumCircuit(num_qubits)
+        left_halves = QuantumCircuit(num_qubits)
+        rotation_count = 0
+
+        if blocks is None:
+            blocks = convert_commute_sets(term_list)
+        for block_index, block in enumerate(blocks):
+            block = list(block)
+            for position in range(len(block)):
+                current_term = block[position]
+                current = tableau.conjugate(current_term.pauli)
+                if current.is_identity():
+                    # exp(-i theta/2 I) is a global phase; nothing to emit.
+                    continue
+                if not current.is_hermitian():
+                    raise SynthesisError(
+                        f"term {current_term!r} conjugated to a non-Hermitian Pauli"
+                    )
+                support = current.support
+                basis_gates = basis_change_gates(current)
+                for gate in basis_gates:
+                    tableau.append_gate(gate)
+
+                if self.reorder_within_blocks and position + 1 < len(block):
+                    best = self._find_next_pauli(block, position, support, tableau)
+                    if best is not None and best != position + 1:
+                        block.insert(position + 1, block.pop(best))
+
+                lookahead_cache: dict[int, PauliString] = {}
+                upcoming_term = self._make_upcoming_getter(blocks, block, block_index, position)
+
+                def lookahead(depth: int) -> PauliString | None:
+                    if depth not in lookahead_cache:
+                        term = upcoming_term(depth)
+                        if term is None:
+                            return None
+                        lookahead_cache[depth] = tableau.conjugate(term.pauli)
+                    return lookahead_cache.get(depth)
+
+                tree_gates, root = synthesize_tree(
+                    support,
+                    lookahead,
+                    recursive=self.recursive_tree,
+                    max_depth=self.max_lookahead,
+                )
+
+                final = _conjugate_through_gates(current, basis_gates + tree_gates)
+                expected = PauliString.single(num_qubits, root, "Z")
+                if not final.equals_up_to_phase(expected):
+                    raise SynthesisError(
+                        "internal error: the synthesized tree does not reduce the "
+                        f"current Pauli to Z on its root (got {final.to_label()!r})"
+                    )
+                angle = current_term.coefficient
+                if final.sign == -1:
+                    angle = -angle
+
+                optimized.extend(basis_gates)
+                optimized.extend(tree_gates)
+                optimized.rz(angle, root)
+                rotation_count += 1
+
+                for gate in tree_gates:
+                    tableau.append_gate(gate)
+                left_halves.extend(basis_gates)
+                left_halves.extend(tree_gates)
+
+        extracted = left_halves.inverse()
+        elapsed = time.perf_counter() - start
+        return ExtractionResult(
+            optimized_circuit=optimized,
+            extracted_clifford=extracted,
+            conjugation=tableau,
+            terms=term_list,
+            rotation_count=rotation_count,
+            elapsed_seconds=elapsed,
+            metadata={
+                "num_blocks": len(blocks),
+                "reorder_within_blocks": self.reorder_within_blocks,
+                "recursive_tree": self.recursive_tree,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    def _make_upcoming_getter(
+        self,
+        blocks: list[list[PauliTerm]],
+        block: list[PauliTerm],
+        block_index: int,
+        position: int,
+    ):
+        """Lazy access to the term ``depth`` positions after the current one.
+
+        Avoids flattening the whole remaining program on every step (which
+        would be quadratic in the program length); lookahead depths are
+        bounded by the qubit count, so walking block by block is cheap.
+        """
+
+        def upcoming_term(depth: int) -> PauliTerm | None:
+            remaining_in_block = len(block) - (position + 1)
+            if depth < remaining_in_block:
+                return block[position + 1 + depth]
+            if not self.cross_block_lookahead:
+                return None
+            offset = depth - remaining_in_block
+            for later_block in blocks[block_index + 1 :]:
+                if offset < len(later_block):
+                    return later_block[offset]
+                offset -= len(later_block)
+            return None
+
+        return upcoming_term
+
+    # ------------------------------------------------------------------ #
+    def _find_next_pauli(
+        self,
+        block: list[PauliTerm],
+        position: int,
+        support: list[int],
+        tableau: CliffordTableau,
+    ) -> int | None:
+        """Greedy choice of the string to place right after the current one.
+
+        The cost of a candidate is its weight after conjugation by the
+        Clifford extracted so far, the current string's basis layer, and a
+        non-recursive CNOT tree built for the current string using the
+        candidate as the only guide (the cheap cost model of Algorithm 2).
+        """
+        from repro.core.extraction import _conjugate_through_gates
+
+        best_index: int | None = None
+        best_cost: int | None = None
+        for candidate_index in range(position + 1, len(block)):
+            guide = tableau.conjugate(block[candidate_index].pauli)
+            tree_gates, _ = synthesize_tree(
+                support, lambda depth: guide if depth == 0 else None, recursive=False
+            )
+            optimized_guide = _conjugate_through_gates(guide, tree_gates)
+            cost = optimized_guide.weight
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best_index = candidate_index
+        return best_index

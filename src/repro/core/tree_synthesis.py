@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
-from repro.circuits.gate import Gate
+from repro.circuits.gate import Gate, cached_gate
 from repro.exceptions import SynthesisError
 from repro.paulis.pauli import PauliString
 
@@ -27,8 +27,34 @@ from repro.paulis.pauli import PauliString
 _ROOT_PRIORITY = ("Z", "I", "Y", "X")
 
 #: a callable returning the (already conjugated) Pauli ``depth`` positions
-#: after the current one, or None when the program ends before that
-LookaheadProvider = Callable[[int], PauliString | None]
+#: after the current one, or None when the program ends before that.  Any
+#: object exposing ``letter(qubit) -> "I"|"X"|"Y"|"Z"`` works — the packed
+#: extractor hands out word-level row guides instead of full PauliStrings.
+LookaheadProvider = Callable[[int], "PauliString | None"]
+
+
+class PackedRowGuide:
+    """A read-only letter view over one packed table row.
+
+    Snapshots the row's words as plain Python integers, so the
+    ``guide.letter(qubit)`` calls of :func:`synthesize_tree` are pure-Python
+    bit tests instead of numpy scalar extractions.  Only the guide protocol
+    of the lookahead is implemented — this is not a :class:`PauliString`.
+    """
+
+    __slots__ = ("_x_words", "_z_words")
+
+    _LETTERS = ("I", "X", "Z", "Y")  # indexed by x_bit | (z_bit << 1)
+
+    def __init__(self, x_row, z_row):
+        self._x_words = x_row.tolist()
+        self._z_words = z_row.tolist()
+
+    def letter(self, qubit: int) -> str:
+        word, bit = qubit >> 6, qubit & 63
+        x_bit = (self._x_words[word] >> bit) & 1
+        z_bit = (self._z_words[word] >> bit) & 1
+        return self._LETTERS[x_bit | (z_bit << 1)]
 
 
 def chain_tree(tree_qubits: Sequence[int]) -> tuple[list[Gate], int]:
@@ -37,7 +63,7 @@ def chain_tree(tree_qubits: Sequence[int]) -> tuple[list[Gate], int]:
     if not qubits:
         raise SynthesisError("cannot synthesize a tree over an empty support")
     gates = [
-        Gate("cx", (qubits[index], qubits[index + 1]))
+        cached_gate("cx", (qubits[index], qubits[index + 1]))
         for index in range(len(qubits) - 1)
     ]
     return gates, qubits[-1]
@@ -69,7 +95,7 @@ def _connect_roots(roots: dict[str, int], gates: list[Gate]) -> int:
             return second_root
         if second_root is None:
             return first_root
-        gates.append(Gate("cx", (first_root, second_root)))
+        gates.append(cached_gate("cx", (first_root, second_root)))
         return second_root
 
     zy_root = connect("Z", "Y")
@@ -80,8 +106,60 @@ def _connect_roots(roots: dict[str, int], gates: list[Gate]) -> int:
         return ix_root
     if ix_root is None:
         return zy_root
-    gates.append(Gate("cx", (zy_root, ix_root)))
+    gates.append(cached_gate("cx", (zy_root, ix_root)))
     return ix_root
+
+
+def chain_tree_cost(x_bits: Sequence[int], z_bits: Sequence[int]) -> int:
+    """Support weight of a guide after conjugation through its chain tree.
+
+    ``x_bits`` / ``z_bits`` are the guide's symplectic bits on the support of
+    the Pauli currently being synthesized, in support (ascending-qubit) order.
+    The function replays — on plain Python integers, without building
+    :class:`~repro.circuits.gate.Gate` objects — exactly the non-recursive
+    tree that :func:`synthesize_tree` would emit for this guide (per-letter
+    chains connected ``Z -> Y``, ``I -> X``, ``Z/Y -> I/X``) and the CNOT
+    conjugation rule ``x_t ^= x_c``, ``z_c ^= z_t``, returning the guide's
+    remaining weight on the support.  This is the cheap cost model of
+    Algorithm 2's ``find_next_pauli``; adding the guide's (tree-invariant)
+    off-support weight gives the exact cost the legacy extractor computes.
+    """
+    groups: dict[str, list[int]] = {"I": [], "X": [], "Y": [], "Z": []}
+    for index, (x_bit, z_bit) in enumerate(zip(x_bits, z_bits)):
+        if x_bit:
+            groups["Y" if z_bit else "X"].append(index)
+        else:
+            groups["Z" if z_bit else "I"].append(index)
+    gates: list[tuple[int, int]] = []
+    roots: dict[str, int] = {}
+    for letter in _ROOT_PRIORITY:
+        members = groups[letter]
+        if not members:
+            continue
+        gates.extend(zip(members, members[1:]))
+        roots[letter] = members[-1]
+
+    def connect(first: str, second: str) -> int | None:
+        first_root = roots.get(first)
+        second_root = roots.get(second)
+        if first_root is None:
+            return second_root
+        if second_root is None:
+            return first_root
+        gates.append((first_root, second_root))
+        return second_root
+
+    zy_root = connect("Z", "Y")
+    ix_root = connect("I", "X")
+    if zy_root is not None and ix_root is not None:
+        gates.append((zy_root, ix_root))
+
+    x = [int(bit) for bit in x_bits]
+    z = [int(bit) for bit in z_bits]
+    for control, target in gates:
+        x[target] ^= x[control]
+        z[control] ^= z[target]
+    return sum(1 for x_bit, z_bit in zip(x, z) if x_bit | z_bit)
 
 
 def synthesize_tree(

@@ -204,6 +204,33 @@ def apply_gate_to_words(
     raise CliffordError(f"gate {gate.name!r} is not a supported Clifford gate")
 
 
+def apply_basis_layer_to_words(
+    x_words: np.ndarray,
+    z_words: np.ndarray,
+    phases: np.ndarray,
+    y_mask: np.ndarray,
+    h_mask: np.ndarray,
+) -> None:
+    """Apply a whole single-qubit basis-change layer to every row at once.
+
+    ``y_mask`` selects the qubits receiving ``sdg`` (the ``Y`` factors of the
+    Pauli being synthesized) and ``h_mask`` the qubits receiving ``h`` (its
+    ``X`` and ``Y`` factors), both as packed ``uint64`` qubit masks.  Gates on
+    distinct qubits commute and their phase contributions add, so the two
+    masked sweeps are bit-identical to streaming the per-qubit
+    ``sdg``/``h`` gates of :func:`repro.synthesis.pauli_rotation.basis_change_gates`
+    one at a time — at two numpy expressions per layer instead of one per gate.
+    """
+    if np.any(y_mask):
+        phases += 3 * popcount_rows(x_words & y_mask)
+        z_words ^= x_words & y_mask
+    if np.any(h_mask):
+        phases += 2 * popcount_rows(x_words & z_words & h_mask)
+        diff = (x_words ^ z_words) & h_mask
+        x_words ^= diff
+        z_words ^= diff
+
+
 def conjugate_row_through_generators(
     gen_x: np.ndarray,
     gen_z: np.ndarray,
@@ -355,6 +382,22 @@ class PackedPauliTable:
             int(self.phases[index]),
         )
 
+    def row_view(self, index: int) -> "PauliString":
+        """Row ``index`` as a :class:`PauliString` sharing this table's words.
+
+        No copy is made: the view is valid only until the table mutates
+        (``apply_*`` / ``move_row``), and the caller must treat it as
+        read-only.  Use :meth:`row` for an independent copy.
+        """
+        from repro.paulis.pauli import PauliString
+
+        return PauliString.from_words(
+            self.num_qubits,
+            self.x_words[index],
+            self.z_words[index],
+            int(self.phases[index]) % 4,
+        )
+
     def to_paulis(self) -> list["PauliString"]:
         return [self.row(index) for index in range(self.num_rows)]
 
@@ -406,11 +449,61 @@ class PackedPauliTable:
                 )
 
     # ------------------------------------------------------------------ #
+    # In-place suffix application (the table-native extraction hot path)
+    # ------------------------------------------------------------------ #
+    def apply_gates(self, gates: Sequence["Gate"], start: int = 0, stop: int | None = None) -> None:
+        """Stream ``gates`` in time order over rows ``[start, stop)`` in place.
+
+        One whole-column bitwise expression per gate covering every selected
+        row at once; phases are folded modulo 4 after the batch.
+        """
+        xw = self.x_words[start:stop]
+        zw = self.z_words[start:stop]
+        phases = self.phases[start:stop]
+        for gate in gates:
+            apply_gate_to_words(xw, zw, phases, gate)
+        np.mod(phases, 4, out=phases)
+
+    def apply_basis_layer(
+        self, y_mask: np.ndarray, h_mask: np.ndarray, start: int = 0, stop: int | None = None
+    ) -> None:
+        """Apply a masked ``sdg``/``h`` basis-change layer to rows ``[start, stop)``."""
+        phases = self.phases[start:stop]
+        apply_basis_layer_to_words(
+            self.x_words[start:stop], self.z_words[start:stop], phases, y_mask, h_mask
+        )
+        np.mod(phases, 4, out=phases)
+
+    def move_row(self, src: int, dest: int) -> None:
+        """Move row ``src`` to position ``dest``, shifting the rows between.
+
+        The packed analogue of ``rows.insert(dest, rows.pop(src))`` for
+        ``dest <= src`` — what the in-block greedy reordering of Algorithm 2
+        performs on the remaining program.
+        """
+        if dest > src:
+            raise PauliError(f"move_row only shifts rows earlier: src={src} dest={dest}")
+        if dest == src:
+            return
+        window = slice(dest, src + 1)
+        for array in (self.x_words, self.z_words, self.phases):
+            array[window] = np.roll(array[window], 1, axis=0)
+
+    # ------------------------------------------------------------------ #
     # Vectorized row metrics
     # ------------------------------------------------------------------ #
-    def weights(self) -> np.ndarray:
-        """Per-row count of non-identity single-qubit factors."""
-        return popcount_rows(self.x_words | self.z_words)
+    def weights(self, start: int = 0, stop: int | None = None) -> np.ndarray:
+        """Per-row count of non-identity single-qubit factors in ``[start, stop)``."""
+        return popcount_rows(self.x_words[start:stop] | self.z_words[start:stop])
+
+    def argsort_weights(self, start: int = 0, stop: int | None = None) -> np.ndarray:
+        """Indices (relative to ``start``) ordering rows ``[start, stop)`` by weight.
+
+        The sort is stable, so equal-weight rows keep their program order —
+        the same deterministic-tie-break discipline the extraction cost
+        model's branch-and-bound applies to its (masked) weight sort.
+        """
+        return np.argsort(self.weights(start, stop), kind="stable")
 
     def num_y(self) -> np.ndarray:
         """Per-row count of ``Y`` factors (``x & z`` bits)."""

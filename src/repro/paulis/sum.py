@@ -116,12 +116,25 @@ class SparsePauliSum:
 
     @property
     def packed_table(self) -> PackedPauliTable:
-        """The canonical bit-packed store (do not mutate)."""
+        """The canonical bit-packed store (do not mutate).
+
+        Table-native passes — commuting-block grouping and Clifford
+        extraction — consume this directly: handing a whole sum to
+        :func:`repro.compile` skips every per-term packing step.
+        """
         return self._table
 
     def coefficient_vector(self) -> np.ndarray:
         """The coefficients as a float array (copy)."""
         return self._coefficients.copy()
+
+    def weights(self) -> np.ndarray:
+        """Per-term Pauli weights, computed on the packed words."""
+        return self._table.weights()
+
+    def argsort_by_weight(self) -> np.ndarray:
+        """Term indices ordered by ascending Pauli weight (stable)."""
+        return self._table.argsort_weights()
 
     def labels(self, include_sign: bool = False) -> list[str]:
         return [t.pauli.to_label(include_sign=include_sign) for t in self._materialized()]

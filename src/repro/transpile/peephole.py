@@ -143,10 +143,10 @@ def _merge_rotations_pass(gates: list[Gate]) -> tuple[list[Gate], bool]:
 
 def peephole_optimize(circuit: QuantumCircuit, max_iterations: int = 20) -> QuantumCircuit:
     """Iterate the local passes until no further reduction happens."""
-    gates = circuit.gates
+    gates = list(circuit)  # explicit copy: circuit.gates is now the live list
     for _ in range(max_iterations):
         gates, cancelled = _cancel_pass(gates)
         gates, merged = _merge_rotations_pass(gates)
         if not cancelled and not merged:
             break
-    return QuantumCircuit(circuit.num_qubits, gates)
+    return QuantumCircuit.from_trusted_gates(circuit.num_qubits, gates)

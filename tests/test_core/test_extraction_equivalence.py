@@ -1,0 +1,171 @@
+"""Bit-for-bit equivalence: table-native extractor vs. the legacy loop.
+
+The table-native :class:`~repro.core.extraction.CliffordExtractor` must
+reproduce the legacy per-term implementation exactly — identical optimized
+circuit, identical extracted Clifford tail, identical conjugation tableau
+(bit patterns *and* phases) — on every input and under every feature-flag
+combination, because the legacy loop is the repository's phase-convention
+ground truth (see ``repro/core/extraction_legacy.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.extraction import CliffordExtractor, _conjugate_through_gates
+from repro.core.extraction_legacy import LegacyCliffordExtractor
+from repro.core.tree_synthesis import chain_tree_cost, synthesize_tree
+from repro.paulis.pauli import PauliString
+from repro.paulis.sum import SparsePauliSum
+from repro.paulis.term import PauliTerm
+
+from tests.conftest import random_pauli_terms
+
+FLAG_COMBOS = [
+    {},
+    {"reorder_within_blocks": False},
+    {"recursive_tree": False},
+    {"cross_block_lookahead": False},
+    {"max_lookahead": 1},
+    {"max_lookahead": 3},
+    {"reorder_within_blocks": False, "recursive_tree": False},
+]
+
+
+def random_sparse_terms(
+    rng: np.random.Generator, num_qubits: int, num_terms: int, density: float = 0.2
+) -> list[PauliTerm]:
+    """Random terms with sparse supports — what >64-qubit programs look like."""
+    terms = []
+    for _ in range(num_terms):
+        x = rng.random(num_qubits) < density
+        z = rng.random(num_qubits) < density
+        if not (x.any() or z.any()):
+            x[int(rng.integers(num_qubits))] = True
+        phase = int(np.count_nonzero(x & z)) + 2 * int(rng.integers(2))
+        terms.append(PauliTerm(PauliString(x, z, phase), float(rng.normal())))
+    return terms
+
+
+def assert_bit_identical(terms, **flags) -> None:
+    packed = CliffordExtractor(**flags).extract(terms)
+    legacy = LegacyCliffordExtractor(**flags).extract(
+        list(terms) if isinstance(terms, SparsePauliSum) else terms
+    )
+    assert packed.optimized_circuit == legacy.optimized_circuit
+    assert packed.extracted_clifford == legacy.extracted_clifford
+    # content_key covers the symplectic bits AND the row phases of the tableau
+    assert packed.conjugation.content_key() == legacy.conjugation.content_key()
+    assert packed.rotation_count == legacy.rotation_count
+    assert packed.metadata["num_blocks"] == legacy.metadata["num_blocks"]
+
+
+class TestRandomizedEquivalence:
+    def test_small_registers_all_flags(self, rng):
+        for _ in range(10):
+            num_qubits = int(rng.integers(2, 6))
+            terms = random_pauli_terms(rng, num_qubits, int(rng.integers(2, 10)))
+            for flags in FLAG_COMBOS:
+                assert_bit_identical(terms, **flags)
+
+    def test_mixed_block_sizes(self, rng):
+        """Programs engineered to split into blocks of very different sizes."""
+        terms = []
+        # a large all-Z commuting block...
+        for _ in range(12):
+            terms.extend(random_pauli_terms(rng, 5, 1))
+            z = np.zeros(5, dtype=bool)
+            z[rng.integers(0, 5)] = True
+            terms.append(PauliTerm(PauliString(np.zeros(5, bool), z), 0.3))
+        # ...interleaved with anticommuting singletons
+        assert_bit_identical(terms)
+        assert_bit_identical(terms, reorder_within_blocks=False)
+
+    def test_beyond_64_qubits(self, rng):
+        """Multi-word packed rows (the 64-qubit word boundary) stay exact."""
+        for num_qubits in (65, 70, 130):
+            terms = random_sparse_terms(rng, num_qubits, 8)
+            assert_bit_identical(terms)
+            assert_bit_identical(terms, max_lookahead=2)
+
+    def test_negative_signs_and_identity_terms(self, rng):
+        terms = [
+            PauliTerm(PauliString.from_label("-ZZXI"), 0.4),
+            PauliTerm.from_label("IIII", 0.9),
+            PauliTerm.from_label("XYIZ", -0.2),
+            PauliTerm(PauliString.from_label("-YYYY"), 1.1),
+        ]
+        for flags in FLAG_COMBOS:
+            assert_bit_identical(terms, **flags)
+
+    def test_sum_input_matches_term_input(self, rng):
+        terms = random_pauli_terms(rng, 5, 14)
+        observable = SparsePauliSum(terms)
+        assert_bit_identical(observable)
+        packed_from_sum = CliffordExtractor().extract(observable)
+        packed_from_terms = CliffordExtractor().extract(terms)
+        assert packed_from_sum.optimized_circuit == packed_from_terms.optimized_circuit
+        assert (
+            packed_from_sum.conjugation.content_key()
+            == packed_from_terms.conjugation.content_key()
+        )
+
+    def test_block_bounds_input_matches_blocks_input(self, rng):
+        from repro.core.commuting import convert_commute_sets
+
+        terms = random_pauli_terms(rng, 4, 12)
+        blocks = convert_commute_sets(terms)
+        bounds = [0]
+        for block in blocks:
+            bounds.append(bounds[-1] + len(block))
+        via_blocks = CliffordExtractor().extract(terms, blocks=blocks)
+        via_bounds = CliffordExtractor().extract(terms, block_bounds=bounds)
+        assert via_blocks.optimized_circuit == via_bounds.optimized_circuit
+        assert via_blocks.conjugation.content_key() == via_bounds.conjugation.content_key()
+
+
+class TestChainTreeCostModel:
+    def test_matches_explicit_tree_conjugation(self, rng):
+        """The pure-int cost model equals synthesize_tree + conjugation."""
+        for _ in range(120):
+            size = int(rng.integers(1, 9))
+            support = sorted(
+                int(q) for q in rng.choice(16, size=size, replace=False)
+            )
+            x_bits = [int(b) for b in rng.integers(0, 2, size)]
+            z_bits = [int(b) for b in rng.integers(0, 2, size)]
+            # build the guide on the full register from its support bits
+            x = np.zeros(16, dtype=bool)
+            z = np.zeros(16, dtype=bool)
+            for qubit, x_bit, z_bit in zip(support, x_bits, z_bits):
+                x[qubit] = bool(x_bit)
+                z[qubit] = bool(z_bit)
+            guide = PauliString(x, z, int(np.count_nonzero(x & z)))
+            gates, _ = synthesize_tree(
+                support, lambda depth: guide if depth == 0 else None, recursive=False
+            )
+            expected = _conjugate_through_gates(guide, gates).weight
+            assert chain_tree_cost(x_bits, z_bits) == expected
+
+    def test_identity_guide_costs_zero(self):
+        assert chain_tree_cost([0, 0, 0], [0, 0, 0]) == 0
+
+    def test_all_z_guide_costs_one(self):
+        assert chain_tree_cost([0, 0, 0, 0], [1, 1, 1, 1]) == 1
+
+
+class TestExtractionResultParity:
+    def test_terms_field_preserves_input_order(self, rng):
+        terms = random_pauli_terms(rng, 4, 9)
+        result = CliffordExtractor().extract(terms)
+        assert result.terms == terms
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(Exception):
+            CliffordExtractor().extract([])
+
+    def test_mismatched_block_bounds_rejected(self, rng):
+        terms = random_pauli_terms(rng, 3, 5)
+        with pytest.raises(Exception):
+            CliffordExtractor().extract(terms, block_bounds=[0, 2])

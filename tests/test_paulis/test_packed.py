@@ -277,3 +277,74 @@ class TestSparsePauliSumPackedView:
             sign = float(np.real(image.sign))
             assert term.pauli == image.bare()
             assert term.coefficient == pytest.approx(sign * original.coefficient)
+
+
+class TestSuffixApplication:
+    """The in-place suffix primitives the table-native extractor runs on."""
+
+    def _random_table(self, rng, num_qubits=70, rows=8):
+        return PackedPauliTable.from_paulis(
+            random_pauli(rng, num_qubits) for _ in range(rows)
+        )
+
+    def test_apply_gates_suffix_leaves_prefix_untouched(self, rng):
+        table = self._random_table(rng)
+        reference = table.copy()
+        gates = [Gate("h", (3,)), Gate("cx", (3, 67)), Gate("sdg", (67,))]
+        table.apply_gates(gates, start=5)
+        for index in range(5):
+            assert table.row(index) == reference.row(index)
+        for index in range(5, len(table)):
+            expected = reference.row(index)
+            for gate in gates:
+                from repro.clifford.conjugation import conjugate_pauli_by_gate
+
+                expected = conjugate_pauli_by_gate(expected, gate)
+            assert table.row(index) == expected
+
+    def test_apply_basis_layer_matches_gate_stream(self, rng):
+        from repro.synthesis.pauli_rotation import basis_change_gates
+
+        for _ in range(10):
+            current = random_pauli(rng, 66)
+            table = self._random_table(rng, num_qubits=66, rows=6)
+            streamed = table.copy()
+            streamed.apply_gates(basis_change_gates(current))
+            table.apply_basis_layer(
+                current.x_words & current.z_words, current.x_words.copy()
+            )
+            assert np.array_equal(table.x_words, streamed.x_words)
+            assert np.array_equal(table.z_words, streamed.z_words)
+            assert np.array_equal(table.phases, streamed.phases)
+
+    def test_move_row_matches_insert_pop(self, rng):
+        table = self._random_table(rng, num_qubits=12, rows=7)
+        rows = table.to_paulis()
+        table.move_row(5, 2)
+        rows.insert(2, rows.pop(5))
+        assert table.to_paulis() == rows
+
+    def test_move_row_rejects_forward_moves(self, rng):
+        table = self._random_table(rng, num_qubits=4, rows=3)
+        with pytest.raises(PauliError):
+            table.move_row(0, 2)
+
+    def test_row_view_shares_words(self, rng):
+        table = self._random_table(rng, num_qubits=8, rows=4)
+        view = table.row_view(1)
+        assert view == table.row(1)
+        table.apply_gates([Gate("x", (0,))])  # phases may change
+        # the view tracks the table's live words
+        assert np.shares_memory(view.x_words, table.x_words)
+
+    def test_weights_range_and_argsort(self):
+        table = PackedPauliTable.from_labels(["XXXX", "IIIZ", "XYII", "IIII", "ZIIZ"])
+        assert list(table.weights()) == [4, 1, 2, 0, 2]
+        assert list(table.weights(start=1, stop=4)) == [1, 2, 0]
+        order = table.argsort_weights()
+        assert list(order) == [3, 1, 2, 4, 0]  # stable: ties keep row order
+
+    def test_sum_weight_queries(self):
+        observable = SparsePauliSum.from_labels(["XXII", "IIIZ", "XYZI"], [1.0, 2.0, 3.0])
+        assert list(observable.weights()) == [2, 1, 3]
+        assert list(observable.argsort_by_weight()) == [1, 0, 2]
