@@ -15,13 +15,23 @@ measures how fast the workload's Pauli terms conjugate through it:
 * ``extraction_terms_per_sec`` — terms processed per second by the
   table-native ``CliffordExtraction`` pass itself (best-of-3 per-pass
   wall-clock from the full level-3 compile), the throughput of Algorithm 2
-  on the packed store.
+  on the packed store.  Since the streaming peephole engine landed the pass
+  also folds local optimization into emission, so this figure covers the
+  fused gate-tail optimization too;
+* ``peephole_gates_per_sec`` — gates per second of the streaming
+  wire-indexed peephole engine
+  (:func:`repro.transpile.wire_optimizer.streaming_peephole_optimize`) over
+  the workload's *raw* (unfused) extraction tail.  This is the
+  scale-flatness signal: the rate must hold from the small to the medium
+  tier, or the engine has regressed to super-linear behaviour.
 
 It also times :func:`repro.compile_many` against a sequential compile loop
-over the tier's programs, and records each workload's per-pass compile-time
-breakdown.  Results are written as machine-readable JSON
-(``BENCH_throughput.json`` by default); ``scripts/check_bench_regression.py``
-diffs two such files and is what the CI ``bench`` job gates on.
+over the tier's programs — recording the overhead-aware executor plan
+(:func:`repro.compiler.plan_batch`) that ``compile_many`` resolved for the
+batch — and records each workload's per-pass compile-time breakdown.
+Results are written as machine-readable JSON (``BENCH_throughput.json`` by
+default); ``scripts/check_bench_regression.py`` diffs two such files and is
+what the CI ``bench`` job gates on (small *and* medium tiers).
 
 Run with:  PYTHONPATH=src python benchmarks/bench_throughput.py --tier small
 """
@@ -41,7 +51,11 @@ import numpy as np
 import repro
 from repro.clifford.conjugation import conjugate_pauli_by_circuit
 from repro.clifford.engine import PackedConjugator
+from repro.compiler import plan_batch
+from repro.compiler.passes import CliffordExtraction, GroupCommuting
+from repro.compiler.pipeline import Pipeline
 from repro.paulis.packed import PackedPauliTable
+from repro.transpile.wire_optimizer import streaming_peephole_optimize
 from repro.workloads.registry import (
     MEDIUM_BENCHMARKS,
     SMALL_BENCHMARKS,
@@ -110,21 +124,35 @@ def bench_workload(name: str, min_time: float) -> dict:
     def frozen_tableau():
         conjugator.conjugate_table(PackedPauliTable.from_paulis(paulis))
 
+    # Streaming peephole throughput over the *raw* (unfused) extraction tail:
+    # the same gate stream the emission-fused pass folds away, measured as a
+    # standalone pass so the rate is comparable across tiers.
+    raw_tail = Pipeline(
+        [GroupCommuting(), CliffordExtraction()], name="raw-tail"
+    ).run(terms).circuit
+
+    def peephole_stream():
+        streaming_peephole_optimize(raw_tail)
+
     legacy_seconds, legacy_iters = _timed(legacy, min_time)
     packed_seconds, packed_iters = _timed(packed, min_time)
     tableau_seconds, tableau_iters = _timed(frozen_tableau, min_time)
+    peephole_seconds, peephole_iters = _timed(peephole_stream, min_time)
 
     legacy_rate = len(paulis) * legacy_iters / legacy_seconds
     packed_rate = len(paulis) * packed_iters / packed_seconds
     tableau_rate = len(paulis) * tableau_iters / tableau_seconds
+    peephole_rate = len(raw_tail) * peephole_iters / peephole_seconds
     return {
         "num_qubits": spec.num_qubits,
         "num_terms": len(terms),
         "tail_gates": len(tail),
+        "peephole_input_gates": len(raw_tail),
         "legacy_terms_per_sec": legacy_rate,
         "packed_terms_per_sec": packed_rate,
         "tableau_terms_per_sec": tableau_rate,
         "extraction_terms_per_sec": len(terms) / extraction_seconds,
+        "peephole_gates_per_sec": peephole_rate,
         "speedup": packed_rate / legacy_rate,
         "tableau_speedup": tableau_rate / legacy_rate,
         "compile_seconds": result.compile_seconds,
@@ -134,6 +162,7 @@ def bench_workload(name: str, min_time: float) -> dict:
 
 def bench_batch_compile(names: list[str]) -> dict:
     programs = [get_benchmark(name).terms() for name in names]
+    plan = plan_batch(programs)
     start = time.perf_counter()
     for program in programs:
         repro.compile(program, level=3)
@@ -143,6 +172,11 @@ def bench_batch_compile(names: list[str]) -> dict:
     batch_seconds = time.perf_counter() - start
     return {
         "num_programs": len(programs),
+        "total_terms": plan.total_terms,
+        "executor": plan.executor,
+        "max_workers": plan.max_workers,
+        "chunksize": plan.chunksize,
+        "executor_reason": plan.reason,
         "sequential_seconds": sequential_seconds,
         "compile_many_seconds": batch_seconds,
         "speedup": sequential_seconds / batch_seconds if batch_seconds > 0 else 0.0,
@@ -187,7 +221,8 @@ def main(argv: list[str] | None = None) -> int:
             f"    legacy {entry['legacy_terms_per_sec']:>12.0f} terms/s | "
             f"packed {entry['packed_terms_per_sec']:>12.0f} terms/s | "
             f"speedup {entry['speedup']:6.1f}x | "
-            f"tableau {entry['tableau_speedup']:6.1f}x",
+            f"tableau {entry['tableau_speedup']:6.1f}x | "
+            f"peephole {entry['peephole_gates_per_sec']:>10.0f} gates/s",
             flush=True,
         )
 
@@ -215,7 +250,8 @@ def main(argv: list[str] | None = None) -> int:
         report["batch_compile"] = bench_batch_compile(names)
         print(
             f"    sequential {report['batch_compile']['sequential_seconds']:.2f}s | "
-            f"compile_many {report['batch_compile']['compile_many_seconds']:.2f}s",
+            f"compile_many {report['batch_compile']['compile_many_seconds']:.2f}s | "
+            f"executor {report['batch_compile']['executor']}",
             flush=True,
         )
 

@@ -37,8 +37,25 @@ def main() -> None:
     # store: the remaining program is one PackedPauliTable, each emitted gate
     # streams across the table suffix as whole-matrix bitwise ops, and
     # lookahead reads rows instead of re-conjugating Pauli objects.
-    print("\nPer-pass timing breakdown:")
+    #
+    # Local optimization is now *fused into emission*: extraction streams
+    # every gate through the wire-indexed peephole engine as it is emitted
+    # (per-qubit frontier stacks, cancellation/merging at append time), so
+    # the Peephole pass below is just a fixpoint check.  Compare against the
+    # legacy iterated-sweep engine, which rescans the materialized tail up
+    # to 20 times (on H2O-class tails: ~6 ms of Peephole wall-clock before,
+    # ~0.07 ms after — a >90x reduction, see BENCH_throughput.json).
+    print("\nPer-pass timing breakdown (fused streaming peephole):")
     print(format_pass_timings(result.metadata["pass_timings"]))
+
+    from repro.compiler import CliffordExtraction, GroupCommuting, Peephole, Pipeline
+
+    legacy = Pipeline(
+        [GroupCommuting(), CliffordExtraction(), Peephole(engine="legacy")],
+        name="legacy-peephole",
+    ).run(terms)
+    print("\nPer-pass timing breakdown (legacy iterated peephole, same circuit):")
+    print(format_pass_timings(legacy.metadata["pass_timings"]))
 
     # The optimized circuit followed by the extracted Clifford tail implements
     # exactly the original unitary.
@@ -64,11 +81,12 @@ def main() -> None:
     )
 
     # Batches of independent programs go through repro.compile_many: one
-    # resolved pipeline, a concurrent.futures worker pool, and a shared
+    # resolved pipeline, a worker pool when it pays off, and a shared
     # conjugation-tableau cache so identical Clifford tails are frozen once.
-    # Threads are the default; executor="processes" still pays off for
-    # batches of *large* programs, where per-program compile time (now mostly
-    # numpy work in short GIL-holding bursts) dwarfs the pickling overhead.
+    # The executor is resolved overhead-aware (repro.compiler.plan_batch):
+    # small batches like this one run sequentially — pool startup used to
+    # make them *slower* than a plain loop — while large batches get a
+    # chunked process pool, since the synthesis passes are GIL-bound.
     batch = repro.compile_many(
         [
             [PauliTerm.from_label("ZZII", 0.4), PauliTerm.from_label("XXYY", 0.7)],

@@ -17,9 +17,21 @@ For every workload present in the baseline the checker enforces:
   table-native ``CliffordExtraction`` pass (terms per second of per-pass
   wall-clock).  Like the packed floor it is deliberately conservative, but a
   fallback to object-at-a-time extraction (several times slower) trips it.
+* ``peephole_gates_per_sec`` — absolute throughput floor of the streaming
+  wire-indexed peephole engine over the workload's raw extraction tail.
+  Gated on the small *and* medium tiers so the rate is forced to stay flat
+  as tails grow — a fallback to the iterated whole-list sweeps (super-linear
+  in the tail length) trips the medium floor first.
 * ``speedup`` — the packed/legacy ratio measured on the *same* machine, so
   it is machine-independent; this is the primary regression signal and the
   paper-level acceptance gate (>= 5x).
+
+``--strict`` additionally fails when a floored metric is *missing*: a
+baseline floor with no matching value in the fresh bench output (the metric
+was renamed or silently dropped — without strict mode that reads as 0.0 and
+conflates with a throughput collapse), or a gated metric with no committed
+floor for a workload the baseline covers (nothing would gate it at all).
+CI runs with ``--strict``.
 
 Exit status is 0 when every row passes, 1 otherwise.
 """
@@ -34,6 +46,7 @@ import sys
 METRICS = {
     "packed_terms_per_sec": "higher",
     "extraction_terms_per_sec": "higher",
+    "peephole_gates_per_sec": "higher",
     "speedup": "higher",
 }
 
@@ -49,7 +62,9 @@ def load(path: str) -> dict:
     return report
 
 
-def compare(baseline: dict, current: dict, tolerance: float) -> tuple[list[dict], bool]:
+def compare(
+    baseline: dict, current: dict, tolerance: float, strict: bool = False
+) -> tuple[list[dict], bool]:
     rows: list[dict] = []
     ok = True
     current_workloads = current["workloads"]
@@ -64,8 +79,28 @@ def compare(baseline: dict, current: dict, tolerance: float) -> tuple[list[dict]
             continue
         for metric in METRICS:
             if metric not in base_entry:
+                if strict:
+                    # a gated metric with no committed floor: nothing gates
+                    # it at all, which is exactly the silent pass strict
+                    # mode exists to catch
+                    rows.append(
+                        {"workload": name, "metric": metric, "baseline": None,
+                         "current": float(cur_entry[metric]) if metric in cur_entry else None,
+                         "ratio": None, "status": "NO FLOOR"}
+                    )
+                    ok = False
                 continue
             base_value = float(base_entry[metric])
+            if metric not in cur_entry:
+                if strict:
+                    rows.append(
+                        {"workload": name, "metric": metric, "baseline": base_value,
+                         "current": None, "ratio": None, "status": "NOT MEASURED"}
+                    )
+                    ok = False
+                    continue
+                # non-strict legacy behaviour: read the absent metric as 0.0
+                # (fails, but as an indistinguishable "REGRESSION" row)
             cur_value = float(cur_entry.get(metric, 0.0))
             ratio = cur_value / base_value if base_value else float("inf")
             passed = cur_value >= base_value * (1.0 - tolerance)
@@ -83,14 +118,11 @@ def print_table(rows: list[dict], tolerance: float) -> None:
     print(header)
     print("-" * len(header))
     for row in rows:
-        if row["baseline"] is None:
-            print(f"{row['workload']:<22} {'(not in current run)':<22} {'-':>12} {'-':>12} "
-                  f"{'-':>7}  {row['status']}")
-            continue
-        print(
-            f"{row['workload']:<22} {row['metric']:<22} {row['baseline']:>12.1f} "
-            f"{row['current']:>12.1f} {row['ratio']:>6.2f}x  {row['status']}"
-        )
+        metric = row["metric"] if row["metric"] != "-" else "(not in current run)"
+        base = "-" if row["baseline"] is None else f"{row['baseline']:.1f}"
+        cur = "-" if row["current"] is None else f"{row['current']:.1f}"
+        ratio = "-" if row["ratio"] is None else f"{row['ratio']:.2f}x"
+        print(f"{row['workload']:<22} {metric:<22} {base:>12} {cur:>12} {ratio:>7}  {row['status']}")
     print(f"\ntolerance: a metric may drop at most {tolerance:.0%} below its baseline floor")
 
 
@@ -104,11 +136,17 @@ def main(argv: list[str] | None = None) -> int:
         default=0.2,
         help="allowed fractional drop below the baseline floor (default 0.2)",
     )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail when a floored metric is missing from the bench "
+        "output, or a gated metric has no committed floor",
+    )
     args = parser.parse_args(argv)
 
     baseline = load(args.baseline)
     current = load(args.current)
-    rows, ok = compare(baseline, current, args.tolerance)
+    rows, ok = compare(baseline, current, args.tolerance, strict=args.strict)
     if not rows:
         print("no comparable workloads between the two reports", file=sys.stderr)
         return 1

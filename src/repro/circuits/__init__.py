@@ -9,7 +9,7 @@ hybrid-execution examples.
 """
 
 from repro.circuits.gate import Gate, GATE_DEFINITIONS
-from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.circuit import CircuitBuilder, QuantumCircuit
 from repro.circuits.statevector import Statevector
 
-__all__ = ["Gate", "GATE_DEFINITIONS", "QuantumCircuit", "Statevector"]
+__all__ = ["Gate", "GATE_DEFINITIONS", "CircuitBuilder", "QuantumCircuit", "Statevector"]

@@ -33,6 +33,10 @@ CLIFFORD_GATES = frozenset(
 #: gates that entangle two qubits (SWAP counts: it costs 3 CNOTs on hardware)
 ENTANGLING_GATES = frozenset({"cx", "cz", "swap", "rzz"})
 
+#: CNOT-equivalent cost per two-qubit gate, the weighting behind every
+#: ``cx_count`` metric in the evaluation (SWAP decomposes into 3 CNOTs)
+CX_EQUIVALENT_WEIGHT = {"cx": 1, "cz": 1, "rzz": 1, "swap": 3}
+
 _INVERSE_NAME = {
     "i": "i",
     "x": "x",

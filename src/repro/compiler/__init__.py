@@ -42,7 +42,7 @@ from repro.compiler.presets import (
     quclear_preset,
 )
 from repro.compiler.registry import DEFAULT_REGISTRY, CompilerRegistry, get_registry
-from repro.compiler.api import compile, compile_many
+from repro.compiler.api import BatchPlan, compile, compile_many, plan_batch
 
 __all__ = [
     "CompilationResult",
@@ -72,5 +72,7 @@ __all__ = [
     "get_registry",
     "compile",
     "compile_many",
+    "BatchPlan",
+    "plan_batch",
     "with_routing",
 ]

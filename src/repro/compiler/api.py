@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.clifford.engine import ConjugationCache
@@ -100,6 +101,99 @@ def _default_worker_count(num_programs: int) -> int:
     return max(1, min(num_programs, os.cpu_count() or 1, 32))
 
 
+#: below this many total Pauli terms a batch is too small for any worker
+#: pool to amortize its startup + handoff overhead (measured: the 8-program
+#: small bench tier, ~600 terms, compiled *slower* under threads than
+#: sequentially)
+SERIAL_BATCH_TERMS = 2500
+
+#: above this many total terms the per-program synthesis work (pure-Python,
+#: GIL-bound) dwarfs process startup + result pickling, so a process pool
+#: actually scales; in between, threads at least overlap the numpy segments
+PROCESS_BATCH_TERMS = 20000
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """How :func:`compile_many` will execute a batch.
+
+    ``executor`` is the *resolved* strategy (never ``"auto"``), ``chunksize``
+    the per-submission chunk for the process pool, and ``reason`` a short
+    human-readable justification — the benchmark records the plan alongside
+    the measured batch speedup.
+    """
+
+    executor: str
+    max_workers: int
+    chunksize: int
+    num_programs: int
+    total_terms: int
+    reason: str
+
+
+def plan_batch(
+    programs: Sequence[Sequence[PauliTerm] | SparsePauliSum],
+    max_workers: int | None = None,
+    executor: str = "auto",
+) -> BatchPlan:
+    """Resolve the executor strategy for a batch, overhead-aware.
+
+    ``"auto"`` falls back to sequential execution for small batches/programs
+    (where pool startup and GIL contention outweigh any overlap), picks a
+    chunked process pool for large batches (the synthesis passes are
+    GIL-bound Python), and threads for the middle ground.  An explicit
+    ``executor`` is honored, with one degenerate exception: a single-program
+    or single-worker batch always resolves to ``"serial"`` (there is nothing
+    to parallelize, so no pool is spun up).
+    """
+    if executor not in _EXECUTORS:
+        raise CompilerError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
+    program_list = list(programs)
+    sizes = [len(program) for program in program_list]
+    total_terms = sum(sizes)
+    workers = (
+        max_workers if max_workers is not None else _default_worker_count(len(program_list))
+    )
+    chunksize = max(1, len(program_list) // (workers * 4)) if workers else 1
+    if executor != "auto":
+        reason = f"explicit executor={executor!r}"
+        if len(program_list) <= 1 or workers <= 1:
+            executor, reason = "serial", "single program or worker"
+        return BatchPlan(executor, workers, chunksize, len(program_list), total_terms, reason)
+    if len(program_list) <= 1 or workers <= 1:
+        return BatchPlan(
+            "serial", 1, 1, len(program_list), total_terms, "single program or worker"
+        )
+    if total_terms < SERIAL_BATCH_TERMS:
+        return BatchPlan(
+            "serial",
+            1,
+            1,
+            len(program_list),
+            total_terms,
+            f"batch of {total_terms} terms is below the {SERIAL_BATCH_TERMS}-term "
+            "pool-overhead cutoff",
+        )
+    if total_terms >= PROCESS_BATCH_TERMS:
+        return BatchPlan(
+            "processes",
+            workers,
+            chunksize,
+            len(program_list),
+            total_terms,
+            f"batch of {total_terms} terms amortizes process startup; synthesis "
+            "is GIL-bound so threads cannot scale it",
+        )
+    return BatchPlan(
+        "threads",
+        workers,
+        chunksize,
+        len(program_list),
+        total_terms,
+        "mid-size batch: threads overlap the numpy segments without pickling",
+    )
+
+
 def compile_many(
     programs: Sequence[Sequence[PauliTerm] | SparsePauliSum],
     target: Target | CouplingMap | str | None = None,
@@ -132,39 +226,47 @@ def compile_many(
     max_workers:
         Worker-pool width; defaults to ``min(len(programs), cpu_count, 32)``.
     executor:
-        ``"threads"`` (default for ``"auto"``), ``"processes"`` (isolates the
-        pure-Python synthesis work per core at pickling cost; the cache is
-        then per-process), or ``"serial"``.  The table-native extractor made
-        each compile mostly vectorized numpy work that releases the GIL
-        poorly in short bursts, so ``"processes"`` still pays off for batches
-        of *large* programs where per-program compile time dwarfs the
-        pickling overhead; for many small programs stay with threads.
+        ``"auto"`` (the default) resolves the strategy with
+        :func:`plan_batch` — sequential for small batches (pool startup and
+        GIL contention made small-tier batches *slower* than a plain loop),
+        a chunked process pool for large ones (the synthesis passes are
+        GIL-bound Python), threads in between.  ``"serial"``, ``"threads"``
+        and ``"processes"`` force the respective strategy; with
+        ``"processes"`` the conjugation cache is per-process and submissions
+        are chunked to amortize pickling.
     """
-    if executor not in _EXECUTORS:
-        raise CompilerError(
-            f"executor must be one of {_EXECUTORS}, got {executor!r}"
-        )
     program_list = list(programs)
     if not program_list:
         return []
+    plan = plan_batch(program_list, max_workers=max_workers, executor=executor)
+    if executor == "auto" and plan.executor == "processes" and conjugation_cache is not None:
+        # the documented cache-sharing contract: a caller-supplied cache
+        # pools conjugator freezes across calls, which only works in-process
+        # (the process path keeps a private per-worker cache and strips it
+        # from results) — auto must not silently downgrade that
+        plan = BatchPlan(
+            "threads",
+            plan.max_workers,
+            plan.chunksize,
+            plan.num_programs,
+            plan.total_terms,
+            "caller-supplied conjugation cache is shareable only in-process; "
+            "keeping threads instead of auto-selecting processes",
+        )
     resolved = _resolve_pipeline(pipeline, level)
     device = as_target(target)
     routed = ensure_device_routing(resolved, device)
     cache = conjugation_cache if conjugation_cache is not None else ConjugationCache()
 
-    workers = max_workers if max_workers is not None else _default_worker_count(len(program_list))
-    if executor == "auto":
-        executor = "serial" if (len(program_list) == 1 or workers <= 1) else "threads"
-
-    if executor == "serial" or workers <= 1:
+    if plan.executor == "serial":
         return [_run_one(routed, device, program, cache) for program in program_list]
 
-    if executor == "processes":
+    if plan.executor == "processes":
         payloads = [(routed, device, program) for program in program_list]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_process_worker, payloads))
+        with ProcessPoolExecutor(max_workers=plan.max_workers) as pool:
+            return list(pool.map(_process_worker, payloads, chunksize=plan.chunksize))
 
-    with ThreadPoolExecutor(max_workers=workers) as pool:
+    with ThreadPoolExecutor(max_workers=plan.max_workers) as pool:
         return list(
             pool.map(lambda program: _run_one(routed, device, program, cache), program_list)
         )

@@ -30,6 +30,7 @@ from repro.paulis.term import PauliTerm
 from repro.synthesis.trotter import synthesize_trotter_circuit
 from repro.transpile.peephole import peephole_optimize
 from repro.transpile.routing import route_circuit
+from repro.transpile.wire_optimizer import streaming_peephole_optimize
 
 
 class Pass(abc.ABC):
@@ -95,11 +96,18 @@ class CliffordExtraction(Pass):
         recursive_tree: bool = True,
         cross_block_lookahead: bool = True,
         max_lookahead: int | None = None,
+        fuse_peephole: bool = False,
         extractor: CliffordExtractor | None = None,
     ):
         if extractor is not None:
-            defaults = (True, True, True, None)
-            given = (reorder_within_blocks, recursive_tree, cross_block_lookahead, max_lookahead)
+            defaults = (True, True, True, None, False)
+            given = (
+                reorder_within_blocks,
+                recursive_tree,
+                cross_block_lookahead,
+                max_lookahead,
+                fuse_peephole,
+            )
             if given != defaults:
                 raise CompilerError(
                     "pass either feature flags or an explicit extractor, not both: "
@@ -110,6 +118,7 @@ class CliffordExtraction(Pass):
             recursive_tree=recursive_tree,
             cross_block_lookahead=cross_block_lookahead,
             max_lookahead=max_lookahead,
+            fuse_peephole=fuse_peephole,
         )
 
     def run(self, program: Program, context: PassContext) -> None:
@@ -128,32 +137,82 @@ class CliffordExtraction(Pass):
         program.extraction = extraction
         program.metadata["rotation_count"] = extraction.rotation_count
         program.metadata.setdefault("num_blocks", extraction.metadata.get("num_blocks"))
+        if extraction.metadata.get("peephole_fused"):
+            # emission already streamed through the wire-indexed optimizer:
+            # the circuit is a local-rewrite fixpoint, a later Peephole pass
+            # can skip the re-scan, and the raw emitted CNOT count is kept
+            # for the usual pre/post report
+            program.metadata["peephole_fixpoint"] = True
+            program.metadata.setdefault(
+                "pre_optimization_cx", extraction.metadata["pre_optimization_cx"]
+            )
         context.properties["conjugation_tableau"] = extraction.conjugation
         context.properties["rotation_count"] = extraction.rotation_count
 
 
 class NaiveSynthesis(Pass):
-    """Direct synthesis: one V-shaped block per Pauli rotation, in order."""
+    """Direct synthesis: one V-shaped block per Pauli rotation, in order.
 
-    def __init__(self, tree: str = "chain"):
+    ``fuse_peephole=True`` streams the blocks through a peephole-optimizing
+    circuit builder, so mirrored trees between adjacent blocks cancel as they
+    are emitted and any later :class:`Peephole` pass is a no-op.
+    """
+
+    def __init__(self, tree: str = "chain", fuse_peephole: bool = False):
         self.tree = tree
+        self.fuse_peephole = fuse_peephole
 
     def run(self, program: Program, context: PassContext) -> None:
         terms = self._require_terms(program)
-        program.circuit = synthesize_trotter_circuit(terms, tree=self.tree)
+        if self.fuse_peephole:
+            from repro.circuits.circuit import QuantumCircuit
+            from repro.synthesis.pauli_rotation import synthesize_pauli_rotation
+
+            builder = QuantumCircuit.builder(terms[0].num_qubits)
+            for term in terms:
+                synthesize_pauli_rotation(term, tree=self.tree, into=builder)
+            program.metadata.setdefault("pre_optimization_cx", builder.appended_cx)
+            program.metadata["peephole_fixpoint"] = True
+            program.circuit = builder.build()
+        else:
+            program.circuit = synthesize_trotter_circuit(terms, tree=self.tree)
         context.properties["synthesis_tree"] = self.tree
 
 
 class Peephole(Pass):
-    """Local rewriting: inverse-pair cancellation and rotation merging."""
+    """Local rewriting: inverse-pair cancellation and rotation merging.
 
-    def __init__(self, max_iterations: int = 20):
+    ``engine="streaming"`` (the default) runs the wire-indexed
+    :class:`~repro.transpile.wire_optimizer.GateStreamOptimizer` — one
+    amortized-linear pass, no iteration cap — and skips entirely when the
+    upstream synthesis already streamed its emission through the optimizer
+    (``program.metadata["peephole_fixpoint"]``).  ``engine="legacy"`` runs
+    the iterated ground-truth sweeps of
+    :func:`~repro.transpile.peephole.peephole_optimize`.
+    """
+
+    _ENGINES = ("streaming", "legacy")
+
+    def __init__(self, max_iterations: int = 20, engine: str = "streaming"):
+        if engine not in self._ENGINES:
+            raise CompilerError(
+                f"peephole engine must be one of {self._ENGINES}, got {engine!r}"
+            )
         self.max_iterations = max_iterations
+        self.engine = engine
 
     def run(self, program: Program, context: PassContext) -> None:
         circuit = self._require_circuit(program)
         program.metadata.setdefault("pre_optimization_cx", circuit.cx_count())
-        program.circuit = peephole_optimize(circuit, max_iterations=self.max_iterations)
+        if self.engine == "legacy":
+            program.circuit = peephole_optimize(circuit, max_iterations=self.max_iterations)
+            return
+        if program.metadata.get("peephole_fixpoint"):
+            # emission-fused: the circuit was built through the streaming
+            # optimizer, re-running it would be a no-op by construction
+            return
+        program.circuit = streaming_peephole_optimize(circuit)
+        program.metadata["peephole_fixpoint"] = True
 
 
 class PostRoutingPeephole(Peephole):
@@ -202,6 +261,9 @@ class SabreRouting(Pass):
         program.routing = routing
         program.metadata["swap_count"] = routing.swap_count
         program.metadata["routed"] = True
+        # SWAP decomposition exposes fresh cancellations: the pre-routing
+        # peephole fixpoint no longer holds for the rewritten circuit
+        program.metadata["peephole_fixpoint"] = False
         program.metadata["device"] = target.name
         context.properties["routing"] = routing
         context.properties["initial_layout"] = routing.initial_layout

@@ -44,6 +44,11 @@ def quclear_passes(
     This is exactly what the legacy ``QuCLEAR(...)`` object ran: grouping,
     extraction with the requested feature flags, and (optionally) the
     peephole pass — no routing, no absorption preparation.
+
+    When local optimization is requested the extraction pass streams its
+    emission through the wire-indexed peephole engine (``fuse_peephole``):
+    the optimized tail is built once, at gate-append time, and the trailing
+    :class:`Peephole` pass reduces to a fixpoint check.
     """
     passes: list = [
         GroupCommuting(),
@@ -52,6 +57,7 @@ def quclear_passes(
             recursive_tree=recursive_tree,
             cross_block_lookahead=cross_block_lookahead,
             max_lookahead=max_lookahead,
+            fuse_peephole=local_optimize,
         ),
     ]
     if local_optimize:

@@ -36,6 +36,7 @@ import numpy as np
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gate import Gate
 from repro.clifford.engine import stream_gates_over_suffix
+from repro.transpile.wire_optimizer import GateStreamOptimizer
 from repro.clifford.tableau import CliffordTableau
 from repro.core.commuting import commuting_block_bounds
 from repro.core.tree_synthesis import PackedRowGuide, chain_tree_cost, synthesize_tree
@@ -147,6 +148,15 @@ class CliffordExtractor:
         of later blocks (the block order itself is never changed).
     max_lookahead:
         Optional cap on how many future strings may guide a single tree.
+    fuse_peephole:
+        Stream every emitted gate through the wire-indexed
+        :class:`~repro.transpile.wire_optimizer.GateStreamOptimizer` *as it
+        is emitted*, so ``optimized_circuit`` comes out already at the local
+        rewrite fixpoint — the tail is built once instead of materialized
+        and then rescanned by a separate peephole pass.  The extracted
+        Clifford tail and conjugation tableau are unaffected (they are built
+        from the raw left halves), so the usual equivalence
+        ``original == optimized_circuit . extracted_clifford`` still holds.
     """
 
     def __init__(
@@ -155,11 +165,13 @@ class CliffordExtractor:
         recursive_tree: bool = True,
         cross_block_lookahead: bool = True,
         max_lookahead: int | None = None,
+        fuse_peephole: bool = False,
     ):
         self.reorder_within_blocks = reorder_within_blocks
         self.recursive_tree = recursive_tree
         self.cross_block_lookahead = cross_block_lookahead
         self.max_lookahead = max_lookahead
+        self.fuse_peephole = fuse_peephole
 
     # ------------------------------------------------------------------ #
     def extract(
@@ -238,6 +250,9 @@ class CliffordExtractor:
         x_words, z_words, phases = table.x_words, table.z_words, table.phases
 
         optimized_gates: list[Gate] = []
+        #: emission-fused peephole: gates stream into the optimizer the
+        #: moment a term emits them, so the tail never exists unoptimized
+        stream = GateStreamOptimizer(num_qubits) if self.fuse_peephole else None
         left_gates: list[Gate] = []
         rotation_count = 0
         lookahead_limit = num_rows
@@ -318,13 +333,21 @@ class CliffordExtractor:
                 if int(phases[position]) % 4 == 2:
                     angle = -angle
 
-                optimized_gates.extend(basis_gates)
-                optimized_gates.extend(tree_gates)
-                optimized_gates.append(Gate("rz", (root,), (angle,)))
+                rotation = Gate("rz", (root,), (angle,))
+                if stream is not None:
+                    stream.extend(basis_gates)
+                    stream.extend(tree_gates)
+                    stream.append(rotation)
+                else:
+                    optimized_gates.extend(basis_gates)
+                    optimized_gates.extend(tree_gates)
+                    optimized_gates.append(rotation)
                 rotation_count += 1
                 left_gates.extend(basis_gates)
                 left_gates.extend(tree_gates)
 
+        if stream is not None:
+            optimized_gates = stream.gates()
         optimized = QuantumCircuit.from_trusted_gates(num_qubits, optimized_gates)
         left_halves = QuantumCircuit.from_trusted_gates(num_qubits, left_gates)
         extracted = left_halves.inverse()
@@ -339,6 +362,14 @@ class CliffordExtractor:
         elapsed = time.perf_counter() - start
         if term_list is None:
             term_list = source_sum.terms
+        metadata = {
+            "num_blocks": len(bounds) - 1,
+            "reorder_within_blocks": self.reorder_within_blocks,
+            "recursive_tree": self.recursive_tree,
+            "peephole_fused": self.fuse_peephole,
+        }
+        if stream is not None:
+            metadata["pre_optimization_cx"] = stream.appended_cx
         return ExtractionResult(
             optimized_circuit=optimized,
             extracted_clifford=extracted,
@@ -346,11 +377,7 @@ class CliffordExtractor:
             terms=term_list,
             rotation_count=rotation_count,
             elapsed_seconds=elapsed,
-            metadata={
-                "num_blocks": len(bounds) - 1,
-                "reorder_within_blocks": self.reorder_within_blocks,
-                "recursive_tree": self.recursive_tree,
-            },
+            metadata=metadata,
         )
 
     # ------------------------------------------------------------------ #

@@ -57,15 +57,21 @@ class PackedRowGuide:
         return self._LETTERS[x_bit | (z_bit << 1)]
 
 
-def chain_tree(tree_qubits: Sequence[int]) -> tuple[list[Gate], int]:
-    """A plain CNOT chain over ``tree_qubits``; the last qubit is the root."""
+def chain_tree(
+    tree_qubits: Sequence[int], out: list[Gate] | None = None
+) -> tuple[list[Gate], int]:
+    """A plain CNOT chain over ``tree_qubits``; the last qubit is the root.
+
+    ``out`` may be an existing gate list to append into (the recursive
+    synthesizer threads one shared accumulator through all sub-trees instead
+    of concatenating per-level lists).
+    """
     qubits = list(tree_qubits)
     if not qubits:
         raise SynthesisError("cannot synthesize a tree over an empty support")
-    gates = [
-        cached_gate("cx", (qubits[index], qubits[index + 1]))
-        for index in range(len(qubits) - 1)
-    ]
+    gates = out if out is not None else []
+    for index in range(len(qubits) - 1):
+        gates.append(cached_gate("cx", (qubits[index], qubits[index + 1])))
     return gates, qubits[-1]
 
 
@@ -168,6 +174,7 @@ def synthesize_tree(
     recursive: bool = True,
     depth: int = 0,
     max_depth: int | None = None,
+    out: list[Gate] | None = None,
 ) -> tuple[list[Gate], int]:
     """Synthesize a CNOT parity tree over ``tree_qubits``.
 
@@ -187,25 +194,29 @@ def synthesize_tree(
     max_depth:
         Optional cap on the recursion depth (how many future strings guide the
         tree).  ``None`` means unbounded.
+    out:
+        Optional gate list to append into; the recursion threads one shared
+        accumulator through every sub-tree, so no per-level lists are
+        concatenated.
 
     Returns
     -------
     (gates, root):
-        The CNOT gates in circuit (time) order and the root qubit where the
-        ``Rz`` rotation is placed.
+        The CNOT gates in circuit (time) order (the ``out`` list when one was
+        given) and the root qubit where the ``Rz`` rotation is placed.
     """
     qubits = list(tree_qubits)
     if not qubits:
         raise SynthesisError("cannot synthesize a tree over an empty support")
+    gates = out if out is not None else []
     if len(qubits) == 1:
-        return [], qubits[0]
+        return gates, qubits[0]
     if max_depth is not None and depth >= max_depth:
-        return chain_tree(qubits)
+        return chain_tree(qubits, out=gates)
     guide = lookahead(depth)
     if guide is None:
-        return chain_tree(qubits)
+        return chain_tree(qubits, out=gates)
 
-    gates: list[Gate] = []
     groups = _group_by_letter(qubits, guide)
     roots: dict[str, int] = {}
     for letter in _ROOT_PRIORITY:
@@ -215,18 +226,17 @@ def synthesize_tree(
         if len(members) == 1:
             roots[letter] = members[0]
         elif recursive:
-            sub_gates, sub_root = synthesize_tree(
+            _, sub_root = synthesize_tree(
                 members,
                 lookahead,
                 recursive=True,
                 depth=depth + 1,
                 max_depth=max_depth,
+                out=gates,
             )
-            gates.extend(sub_gates)
             roots[letter] = sub_root
         else:
-            sub_gates, sub_root = chain_tree(members)
-            gates.extend(sub_gates)
+            _, sub_root = chain_tree(members, out=gates)
             roots[letter] = sub_root
     root = _connect_roots(roots, gates)
     return gates, root

@@ -97,15 +97,21 @@ def cnot_balanced_tree_gates(support: list[int]) -> tuple[list[Gate], int]:
     return gates, active[0]
 
 
-def synthesize_pauli_rotation(
-    term: PauliTerm, tree: str = "chain"
-) -> QuantumCircuit:
-    """Synthesize ``exp(-i * coefficient / 2 * P)`` as a standalone circuit."""
+def synthesize_pauli_rotation(term: PauliTerm, tree: str = "chain", into=None):
+    """Synthesize ``exp(-i * coefficient / 2 * P)``.
+
+    With ``into=None`` a standalone :class:`QuantumCircuit` is returned.
+    ``into`` may be any gate sink with ``append``/``extend`` — another
+    circuit, or a :class:`~repro.circuits.circuit.CircuitBuilder` — in which
+    case the V-shaped block streams straight into it (the emission-fused
+    path: a peephole-optimizing builder folds the mirrored trees of adjacent
+    blocks away as they are appended) and the sink is returned.
+    """
     pauli = term.pauli
-    circuit = QuantumCircuit(pauli.num_qubits)
+    sink = into if into is not None else QuantumCircuit(pauli.num_qubits)
     if pauli.is_identity():
         # Identity rotations are global phases; nothing to synthesize.
-        return circuit
+        return sink
     sign = pauli.sign
     if sign not in (1, -1):
         raise SynthesisError(f"cannot exponentiate a non-Hermitian Pauli {pauli!r}")
@@ -120,9 +126,9 @@ def synthesize_pauli_rotation(
     else:
         raise SynthesisError(f"unknown tree style {tree!r}")
 
-    circuit.extend(basis)
-    circuit.extend(tree_gates)
-    circuit.rz(angle, root)
-    circuit.extend(gate.inverse() for gate in reversed(tree_gates))
-    circuit.extend(gate.inverse() for gate in reversed(basis))
-    return circuit
+    sink.extend(basis)
+    sink.extend(tree_gates)
+    sink.append(Gate("rz", (root,), (float(angle),)))
+    sink.extend(gate.inverse() for gate in reversed(tree_gates))
+    sink.extend(gate.inverse() for gate in reversed(basis))
+    return sink

@@ -20,17 +20,30 @@ from repro.synthesis.pauli_rotation import synthesize_pauli_rotation
 def synthesize_trotter_circuit(
     terms: Sequence[PauliTerm] | SparsePauliSum,
     tree: str = "chain",
+    peephole: bool = False,
 ) -> QuantumCircuit:
-    """Concatenate one Pauli-rotation block per term, in order."""
+    """Concatenate one Pauli-rotation block per term, in order.
+
+    With ``peephole=True`` the blocks stream through a peephole-optimizing
+    :class:`~repro.circuits.circuit.CircuitBuilder`, so the mirrored trees of
+    adjacent blocks cancel at emission time and the returned circuit is
+    already a local-rewrite fixpoint.
+    """
     term_list = list(terms)
     if not term_list:
         raise SynthesisError("cannot synthesize a circuit from zero Pauli terms")
     num_qubits = term_list[0].num_qubits
-    circuit = QuantumCircuit(num_qubits)
     for term in term_list:
         if term.num_qubits != num_qubits:
             raise SynthesisError("all Pauli terms must act on the same number of qubits")
-        circuit = circuit.compose(synthesize_pauli_rotation(term, tree=tree))
+    if peephole:
+        builder = QuantumCircuit.builder(num_qubits)
+        for term in term_list:
+            synthesize_pauli_rotation(term, tree=tree, into=builder)
+        return builder.build()
+    circuit = QuantumCircuit(num_qubits)
+    for term in term_list:
+        synthesize_pauli_rotation(term, tree=tree, into=circuit)
     return circuit
 
 

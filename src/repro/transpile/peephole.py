@@ -10,6 +10,16 @@ paper when reporting the combined QuCLEAR + local-optimization numbers:
 * removal of explicit identity gates.
 
 The passes are iterated until the circuit stops shrinking.
+
+.. note::
+   This module is the *unoptimized ground truth* (the repo pattern of
+   ``extraction_legacy`` / ``conjugation``): the iterated O(G^2)-worst-case
+   sweeps stay exactly as the paper's local-optimization stand-in describes
+   them.  The production path is
+   :class:`repro.transpile.wire_optimizer.GateStreamOptimizer`, which reaches
+   the same fixpoint in one streaming pass;
+   ``tests/test_transpile/test_peephole_equivalence.py`` diffs the two on
+   gate count and statevector.  Keep this module unoptimized.
 """
 
 from __future__ import annotations

@@ -1,0 +1,316 @@
+"""Streaming wire-indexed peephole optimization.
+
+:class:`GateStreamOptimizer` is the amortized-linear replacement for the
+iterated whole-list sweeps of :func:`repro.transpile.peephole.peephole_optimize`
+(which stays, unoptimized, as the equivalence ground truth — the repo pattern
+of ``extraction_legacy`` / ``conjugation``).  Instead of materializing a gate
+tail and then rescanning it up to ``max_iterations`` times, the optimizer
+applies every local rewrite *eagerly, at gate-append time*:
+
+* **inverse-pair cancellation** — an arriving parameterless gate walks
+  backward over the pending gates *on its own wires only* (per-qubit frontier
+  stacks; gates on disjoint qubits are never even visited) and cancels with
+  the nearest inverse partner reachable through commuting gates;
+* **same-axis rotation merging** — an arriving rotation merges its angle into
+  the nearest reachable rotation of the same name on the same (unordered,
+  for ``rzz``) qubits, normalizing with ``math.remainder(angle, 4*pi)`` and
+  deleting the survivor when the merged angle is (near-)zero;
+* **identity removal** — explicit ``i`` gates are dropped on arrival.
+
+Because a cancellation partner must itself commute through every gate it
+passes — and partner gates are commutation-equivalent to the gates they
+cancel/merge with — removing a pending gate can never unblock a rewrite
+between two gates that are *both* already pending.  Appending therefore needs
+no retroactive re-checks: one pass over the gate stream reaches the same
+fixpoint the legacy engine iterates toward, with no ``max_iterations`` cap
+(the randomized suite in ``tests/test_transpile/test_peephole_equivalence.py``
+diffs gate counts and statevectors against the legacy engine, including
+fixpoints the legacy default cap of 20 sweeps cannot reach).
+
+The walk visits only gates sharing a wire with the arriving gate, so the
+amortized cost per appended gate is the length of its blocked-commuting
+prefix on its own wires — O(G) total for the CNOT-tree tails Clifford
+extraction emits, where almost every cancellation partner sits at the top of
+a wire stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # the real import is deferred: circuit.py imports us back
+    from repro.circuits.circuit import QuantumCircuit
+
+from repro.circuits.gate import CX_EQUIVALENT_WEIGHT, Gate
+from repro.exceptions import CircuitError
+from repro.transpile.peephole import (
+    _INVERSE_PAIRS,
+    _ROTATIONS,
+    _SELF_INVERSE,
+    _SYMMETRIC_GATES,
+    _TWO_PI,
+    gates_commute,
+)
+
+#: rotations are normalized into ``[-2*pi, 2*pi]`` (two full turns are an
+#: identity for the ``exp(-i theta/2 P)`` convention), exactly as the legacy
+#: merge pass does
+_FOUR_PI = 2.0 * _TWO_PI
+
+#: angles this close to zero (after normalization) are dropped entirely
+_ZERO_EPS = 1e-12
+
+#: parameterless gate -> the name that cancels it
+_PARTNER_NAME: dict[str, str] = {name: name for name in _SELF_INVERSE}
+_PARTNER_NAME.update(dict(_INVERSE_PAIRS))
+
+#: rebuild bookkeeping once this many cancelled gates linger in the buffers
+_COMPACT_MIN_DEAD = 256
+
+
+class _Node:
+    """One pending gate: mutable so rotation merges update it in place."""
+
+    __slots__ = ("gate", "raw_angle", "seq", "alive")
+
+    def __init__(self, gate: Gate, raw_angle: float | None, seq: int):
+        self.gate = gate
+        #: un-normalized accumulated angle for rotations (the legacy merge
+        #: pass sums raw params before normalizing once; accumulating the raw
+        #: sum keeps the merged float bit-identical to the legacy result)
+        self.raw_angle = raw_angle
+        self.seq = seq
+        self.alive = True
+
+
+class GateStreamOptimizer:
+    """Maintains the peephole fixpoint of a gate stream, one append at a time.
+
+    Gates go in through :meth:`append` / :meth:`extend`; the surviving
+    optimized tail comes out of :meth:`gates` (original emission order, with
+    merged rotations sitting at their earliest position).  The optimizer is
+    single-use per tail: feed the whole stream, read the result.
+    """
+
+    def __init__(self, num_qubits: int):
+        if num_qubits < 1:
+            raise CircuitError("a gate stream needs at least one qubit")
+        self.num_qubits = int(num_qubits)
+        #: per-qubit frontier stacks of pending nodes (wire-indexed)
+        self._wires: list[list[_Node]] = [[] for _ in range(self.num_qubits)]
+        #: all nodes in arrival order (dead ones compacted away periodically)
+        self._order: list[_Node] = []
+        self._live = 0
+        self._dead = 0
+        self._seq = 0
+        self._appended = 0
+        self._appended_cx = 0
+        #: commutation verdicts are angle-independent, so they are memoized
+        #: per (name, qubits) pair; the synthesis hot loops emit the same few
+        #: gate shapes over and over
+        self._commute_cache: dict[tuple, bool] = {}
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        """Number of gates currently surviving."""
+        return self._live
+
+    @property
+    def appended(self) -> int:
+        """Total gates fed in (the unoptimized tail length)."""
+        return self._appended
+
+    @property
+    def appended_cx(self) -> int:
+        """CNOT-equivalent count of the *unoptimized* stream (SWAP costs 3).
+
+        Matches ``QuantumCircuit.cx_count()`` of the raw tail, so fused
+        emission can still report ``pre_optimization_cx``.
+        """
+        return self._appended_cx
+
+    def gates(self) -> list[Gate]:
+        """The surviving gates, in emission order."""
+        return [node.gate for node in self._order if node.alive]
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self.gates())
+
+    # ------------------------------------------------------------------ #
+    # Streaming input
+    # ------------------------------------------------------------------ #
+    def extend(self, gates: Iterable[Gate]) -> "GateStreamOptimizer":
+        for gate in gates:
+            self.append(gate)
+        return self
+
+    def append(self, gate: Gate) -> "GateStreamOptimizer":
+        self._appended += 1
+        name = gate.name
+        weight = CX_EQUIVALENT_WEIGHT.get(name)
+        if weight is not None:
+            self._appended_cx += weight
+        if name == "i":
+            return self
+        qubits = gate.qubits
+        # A rotation matches (merges with) its own name; a parameterless gate
+        # matches its inverse partner.  Gate names uniquely determine whether
+        # params are carried, so a name match is a full kind match.
+        rotation = name in _ROTATIONS
+        partner = name if rotation else _PARTNER_NAME.get(name)
+        flipped = (
+            (qubits[1], qubits[0])
+            if name in _SYMMETRIC_GATES
+            else None
+        )
+        if len(qubits) == 1:
+            node = self._scan_one(gate, qubits, partner, flipped)
+        else:
+            node = self._scan_two(gate, qubits, partner, flipped)
+        if rotation:
+            self._merge_rotation(gate, node)
+        elif node is not None:
+            self._kill(node)
+        else:
+            self._push(gate, None)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Wire-indexed backward scans
+    # ------------------------------------------------------------------ #
+    # Only the frontier stacks of the arriving gate's own wires are visited,
+    # so pending gates on disjoint qubits — which trivially commute — cost
+    # nothing, unlike the legacy whole-list sweep.  The scan stops at the
+    # first non-commuting pending gate; the match node (or None) is returned.
+
+    def _scan_one(self, gate, qubits, partner, flipped) -> "_Node | None":
+        stack = self._wires[qubits[0]]
+        cache = self._commute_cache
+        name = gate.name
+        for index in range(len(stack) - 1, -1, -1):
+            node = stack[index]
+            if not node.alive:
+                continue
+            other = node.gate
+            if other.name == partner and (
+                other.qubits == qubits or other.qubits == flipped
+            ):
+                return node
+            key = (name, qubits, other.name, other.qubits)
+            verdict = cache.get(key)
+            if verdict is None:
+                verdict = gates_commute(gate, other)
+                cache[key] = verdict
+            if not verdict:
+                return None
+        return None
+
+    def _scan_two(self, gate, qubits, partner, flipped) -> "_Node | None":
+        wires = self._wires
+        stack_a = wires[qubits[0]]
+        stack_b = wires[qubits[1]]
+        index_a = len(stack_a) - 1
+        index_b = len(stack_b) - 1
+        cache = self._commute_cache
+        name = gate.name
+        while True:
+            while index_a >= 0 and not stack_a[index_a].alive:
+                index_a -= 1
+            while index_b >= 0 and not stack_b[index_b].alive:
+                index_b -= 1
+            if index_a < 0 and index_b < 0:
+                return None
+            if index_b < 0 or (
+                index_a >= 0 and stack_a[index_a].seq >= stack_b[index_b].seq
+            ):
+                node = stack_a[index_a]
+                index_a -= 1
+                # a pending two-qubit gate sharing both wires sits on both
+                # stacks; step past it on both
+                if index_b >= 0 and stack_b[index_b] is node:
+                    index_b -= 1
+            else:
+                node = stack_b[index_b]
+                index_b -= 1
+            other = node.gate
+            if other.name == partner and (
+                other.qubits == qubits or other.qubits == flipped
+            ):
+                return node
+            key = (name, qubits, other.name, other.qubits)
+            verdict = cache.get(key)
+            if verdict is None:
+                verdict = gates_commute(gate, other)
+                cache[key] = verdict
+            if not verdict:
+                return None
+
+    # ------------------------------------------------------------------ #
+    # Rewrite application
+    # ------------------------------------------------------------------ #
+    def _merge_rotation(self, gate: Gate, node: "_Node | None") -> None:
+        """Fold the arriving rotation into ``node`` (or push it, normalized)."""
+        angle = gate.params[0]
+        if node is not None:
+            other = node.gate
+            raw = node.raw_angle + angle
+            merged = math.remainder(raw, _FOUR_PI)
+            if abs(merged) < _ZERO_EPS or abs(abs(merged) - _FOUR_PI) < _ZERO_EPS:
+                self._kill(node)
+            else:
+                node.raw_angle = raw
+                if merged != other.params[0]:
+                    node.gate = Gate(gate.name, other.qubits, (merged,))
+            return
+        normalized = math.remainder(angle, _FOUR_PI)
+        if abs(normalized) < _ZERO_EPS or abs(abs(normalized) - _FOUR_PI) < _ZERO_EPS:
+            return
+        if normalized != angle:
+            gate = Gate(gate.name, gate.qubits, (normalized,))
+        self._push(gate, angle)
+
+    # ------------------------------------------------------------------ #
+    # Buffer maintenance
+    # ------------------------------------------------------------------ #
+    def _push(self, gate: Gate, raw_angle: float | None) -> None:
+        node = _Node(gate, raw_angle, self._seq)
+        self._seq += 1
+        self._order.append(node)
+        for qubit in gate.qubits:
+            self._wires[qubit].append(node)
+        self._live += 1
+
+    def _kill(self, node: _Node) -> None:
+        node.alive = False
+        self._live -= 1
+        self._dead += 1
+        for qubit in node.gate.qubits:
+            stack = self._wires[qubit]
+            while stack and not stack[-1].alive:
+                stack.pop()
+        if self._dead > _COMPACT_MIN_DEAD and self._dead > self._live:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop dead nodes from all buffers (amortized against the kills)."""
+        self._order = [node for node in self._order if node.alive]
+        for qubit, stack in enumerate(self._wires):
+            self._wires[qubit] = [node for node in stack if node.alive]
+        self._dead = 0
+
+def streaming_peephole_optimize(circuit: "QuantumCircuit") -> "QuantumCircuit":
+    """Peephole-optimize a circuit in one streaming pass.
+
+    Reaches the same fixpoint as the legacy
+    :func:`~repro.transpile.peephole.peephole_optimize` (without its
+    ``max_iterations`` cap) by streaming the gate list through a
+    :class:`GateStreamOptimizer`.
+    """
+    from repro.circuits.circuit import QuantumCircuit
+
+    optimizer = GateStreamOptimizer(circuit.num_qubits)
+    optimizer.extend(circuit)
+    return QuantumCircuit.from_trusted_gates(circuit.num_qubits, optimizer.gates())

@@ -73,6 +73,79 @@ class TestCompileMany:
         assert [r.circuit for r in batch] == [r.circuit for r in reference]
 
 
+class TestBatchPlan:
+    """Overhead-aware executor resolution (the compile_many 0.93x fix)."""
+
+    def test_small_batch_falls_back_to_serial(self, rng):
+        from repro.compiler import plan_batch
+
+        # max_workers pinned so the verdict is the term-count cutoff, not the
+        # host's core count
+        plan = plan_batch(_programs(rng, count=4), max_workers=4)
+        assert plan.executor == "serial"
+        assert plan.total_terms == 24
+        assert "cutoff" in plan.reason
+
+    def test_single_program_is_serial_even_when_forced(self, rng):
+        from repro.compiler import plan_batch
+
+        plan = plan_batch(_programs(rng, count=1), executor="threads")
+        assert plan.executor == "serial"
+
+    def test_large_batch_picks_processes(self, rng):
+        from repro.compiler import plan_batch
+        from repro.compiler.api import PROCESS_BATCH_TERMS
+
+        program = random_pauli_terms(rng, 4, 500)
+        batch = [program] * (PROCESS_BATCH_TERMS // 500 + 1)
+        plan = plan_batch(batch, max_workers=4)
+        assert plan.executor == "processes"
+        assert plan.chunksize >= 1
+        assert plan.max_workers >= 1
+
+    def test_mid_batch_picks_threads(self, rng):
+        from repro.compiler import plan_batch
+        from repro.compiler.api import SERIAL_BATCH_TERMS
+
+        program = random_pauli_terms(rng, 4, SERIAL_BATCH_TERMS // 2 + 1)
+        plan = plan_batch([program, program], max_workers=4)
+        assert plan.executor == "threads"
+
+    def test_explicit_executor_honored(self, rng):
+        from repro.compiler import plan_batch
+
+        plan = plan_batch(_programs(rng, count=3), executor="processes", max_workers=2)
+        assert plan.executor == "processes"
+        assert plan.max_workers == 2
+
+    def test_invalid_executor_rejected(self, rng):
+        from repro.compiler import plan_batch
+
+        with pytest.raises(CompilerError):
+            plan_batch(_programs(rng, count=2), executor="fleet")
+
+    def test_auto_never_trades_a_shared_cache_for_processes(self, rng):
+        # a caller-supplied conjugation cache only pools work in-process: a
+        # process-sized batch must still come back with the cache attached
+        from repro.compiler.api import PROCESS_BATCH_TERMS
+
+        per_program = PROCESS_BATCH_TERMS // 2 + 1
+        terms = random_pauli_terms(rng, 4, 6)
+        programs = [terms * (per_program // len(terms) + 1)] * 2
+        cache = ConjugationCache()
+        batch = repro.compile_many(
+            programs, level=0, max_workers=2, conjugation_cache=cache
+        )
+        assert all(result.properties["conjugation_cache"] is cache for result in batch)
+
+    def test_auto_serial_matches_thread_results(self, rng):
+        # the fallback must be a pure strategy change, never a result change
+        programs = _programs(rng, count=3)
+        auto = repro.compile_many(programs, level=2)
+        threaded = repro.compile_many(programs, level=2, executor="threads", max_workers=2)
+        assert [r.circuit for r in auto] == [r.circuit for r in threaded]
+
+
 class TestSharedConjugationCache:
     def test_cache_attached_to_every_result(self, rng):
         programs = _programs(rng, count=3)
