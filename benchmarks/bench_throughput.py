@@ -29,6 +29,14 @@ It also times :func:`repro.compile_many` against a sequential compile loop
 over the tier's programs — recording the overhead-aware executor plan
 (:func:`repro.compiler.plan_batch`) that ``compile_many`` resolved for the
 batch — and records each workload's per-pass compile-time breakdown.
+
+The ``service`` block measures the compilation-as-a-service layer on H2O:
+cold-compile vs. warm-cache-hit latency through the
+:class:`~repro.service.cache.ArtifactCache` (memory layer and disk layer
+separately — the disk figure includes the full wire deserialization), and
+single-process requests/sec against a live in-process HTTP server on the
+warm-hit path.  ``warm_hit_speedup`` and ``requests_per_sec`` are
+strict-gated by the CI baselines like the per-workload throughput floors.
 Results are written as machine-readable JSON (``BENCH_throughput.json`` by
 default); ``scripts/check_bench_regression.py`` diffs two such files and is
 what the CI ``bench`` job gates on (small *and* medium tiers).
@@ -160,6 +168,66 @@ def bench_workload(name: str, min_time: float) -> dict:
     }
 
 
+#: workload measured by the service block (in both CI tiers)
+SERVICE_WORKLOAD = "H2O"
+
+
+def bench_service(http_requests: int = 50) -> dict:
+    """Cold-compile vs. warm-cache-hit latency, plus HTTP requests/sec."""
+    import tempfile
+
+    from repro.service.cache import ArtifactCache
+    from repro.service.client import Client
+    from repro.service.server import ServiceServer, run_server_in_thread
+
+    terms = get_benchmark(SERVICE_WORKLOAD).terms()
+
+    def _best_of(fn, repeats: int) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-service-") as cache_dir:
+        cache = ArtifactCache(cache_dir)
+        key = cache.key_for(terms, level=3)
+        cold_seconds = _best_of(lambda: repro.compile(terms, level=3), 3)
+        cache.put(key, repro.compile(terms, level=3))
+        warm_seconds = _best_of(lambda: cache.get(key), 10)
+
+        def disk_hit():
+            cache.forget_memory()
+            cache.get(key)
+
+        disk_seconds = _best_of(disk_hit, 5)
+
+        server = ServiceServer(cache=cache, window_seconds=0.001)
+        with run_server_in_thread(server):
+            with Client(port=server.port) as client:
+                client.compile(terms, include_result=False)  # prime connection
+                start = time.perf_counter()
+                for _ in range(http_requests):
+                    client.compile(terms, include_result=False)
+                http_seconds = time.perf_counter() - start
+        cache_stats = cache.stats()
+
+    return {
+        "workload": SERVICE_WORKLOAD,
+        "num_terms": len(terms),
+        "cold_compile_seconds": cold_seconds,
+        "warm_hit_seconds": warm_seconds,
+        "warm_hit_speedup": cold_seconds / warm_seconds if warm_seconds > 0 else 0.0,
+        "disk_hit_seconds": disk_seconds,
+        "disk_hit_speedup": cold_seconds / disk_seconds if disk_seconds > 0 else 0.0,
+        "http_requests": http_requests,
+        "requests_per_sec": http_requests / http_seconds if http_seconds > 0 else 0.0,
+        "cache_hits": cache_stats["hits"],
+        "cache_misses": cache_stats["misses"],
+    }
+
+
 def bench_batch_compile(names: list[str]) -> dict:
     programs = [get_benchmark(name).terms() for name in names]
     plan = plan_batch(programs)
@@ -209,6 +277,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--skip-batch", action="store_true", help="skip the compile_many comparison"
     )
+    parser.add_argument(
+        "--skip-service", action="store_true", help="skip the service latency block"
+    )
     args = parser.parse_args(argv)
 
     names = args.workloads if args.workloads else _tier_workloads(args.tier)
@@ -252,6 +323,18 @@ def main(argv: list[str] | None = None) -> int:
             f"    sequential {report['batch_compile']['sequential_seconds']:.2f}s | "
             f"compile_many {report['batch_compile']['compile_many_seconds']:.2f}s | "
             f"executor {report['batch_compile']['executor']}",
+            flush=True,
+        )
+    if not args.skip_service:
+        print("[bench] service cold vs warm-cache latency ...", flush=True)
+        report["service"] = bench_service()
+        print(
+            f"    cold {report['service']['cold_compile_seconds'] * 1e3:.1f}ms | "
+            f"warm hit {report['service']['warm_hit_seconds'] * 1e6:.0f}us "
+            f"({report['service']['warm_hit_speedup']:.0f}x) | "
+            f"disk hit {report['service']['disk_hit_seconds'] * 1e3:.2f}ms "
+            f"({report['service']['disk_hit_speedup']:.1f}x) | "
+            f"{report['service']['requests_per_sec']:.0f} req/s",
             flush=True,
         )
 

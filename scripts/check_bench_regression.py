@@ -26,6 +26,11 @@ For every workload present in the baseline the checker enforces:
   it is machine-independent; this is the primary regression signal and the
   paper-level acceptance gate (>= 5x).
 
+When the baseline commits a top-level ``service`` block, its
+``warm_hit_speedup`` (cold-compile vs. warm-artifact-cache-hit ratio — same
+machine, so machine-independent like ``speedup``) and ``requests_per_sec``
+floors are enforced with the same rules.
+
 ``--strict`` additionally fails when a floored metric is *missing*: a
 baseline floor with no matching value in the fresh bench output (the metric
 was renamed or silently dropped — without strict mode that reads as 0.0 and
@@ -50,6 +55,14 @@ METRICS = {
     "speedup": "higher",
 }
 
+#: gated metrics of the top-level "service" block (cold vs. warm-cache
+#: latency and HTTP throughput of the compilation service); same semantics
+#: as METRICS, applied once per report instead of once per workload
+SERVICE_METRICS = {
+    "warm_hit_speedup": "higher",
+    "requests_per_sec": "higher",
+}
+
 
 def load(path: str) -> dict:
     try:
@@ -60,6 +73,56 @@ def load(path: str) -> dict:
     if "workloads" not in report:
         raise SystemExit(f"{path!r} does not look like a throughput report (no 'workloads')")
     return report
+
+
+def _compare_metrics(
+    label: str,
+    base_entry: dict,
+    cur_entry: dict,
+    metrics: dict,
+    tolerance: float,
+    strict: bool,
+) -> tuple[list[dict], bool]:
+    """Gate one baseline/current entry pair over ``metrics``.
+
+    Shared by the per-workload rows and the top-level ``service`` block —
+    identical semantics: a floor with no fresh value is NOT MEASURED (strict),
+    a gated metric with no committed floor is NO FLOOR (strict; nothing would
+    gate it at all — the silent pass strict mode exists to catch), and a
+    non-strict absent metric reads as 0.0 (fails, but as an
+    indistinguishable "REGRESSION" row — the legacy behaviour).
+    """
+    rows: list[dict] = []
+    ok = True
+    for metric in metrics:
+        if metric not in base_entry:
+            if strict:
+                rows.append(
+                    {"workload": label, "metric": metric, "baseline": None,
+                     "current": float(cur_entry[metric]) if metric in cur_entry else None,
+                     "ratio": None, "status": "NO FLOOR"}
+                )
+                ok = False
+            continue
+        base_value = float(base_entry[metric])
+        if metric not in cur_entry:
+            if strict:
+                rows.append(
+                    {"workload": label, "metric": metric, "baseline": base_value,
+                     "current": None, "ratio": None, "status": "NOT MEASURED"}
+                )
+                ok = False
+                continue
+        cur_value = float(cur_entry.get(metric, 0.0))
+        ratio = cur_value / base_value if base_value else float("inf")
+        passed = cur_value >= base_value * (1.0 - tolerance)
+        rows.append(
+            {"workload": label, "metric": metric, "baseline": base_value,
+             "current": cur_value, "ratio": ratio,
+             "status": "ok" if passed else "REGRESSION"}
+        )
+        ok = ok and passed
+    return rows, ok
 
 
 def compare(
@@ -77,40 +140,38 @@ def compare(
             )
             ok = False
             continue
-        for metric in METRICS:
-            if metric not in base_entry:
-                if strict:
-                    # a gated metric with no committed floor: nothing gates
-                    # it at all, which is exactly the silent pass strict
-                    # mode exists to catch
-                    rows.append(
-                        {"workload": name, "metric": metric, "baseline": None,
-                         "current": float(cur_entry[metric]) if metric in cur_entry else None,
-                         "ratio": None, "status": "NO FLOOR"}
-                    )
-                    ok = False
-                continue
-            base_value = float(base_entry[metric])
-            if metric not in cur_entry:
-                if strict:
-                    rows.append(
-                        {"workload": name, "metric": metric, "baseline": base_value,
-                         "current": None, "ratio": None, "status": "NOT MEASURED"}
-                    )
-                    ok = False
-                    continue
-                # non-strict legacy behaviour: read the absent metric as 0.0
-                # (fails, but as an indistinguishable "REGRESSION" row)
-            cur_value = float(cur_entry.get(metric, 0.0))
-            ratio = cur_value / base_value if base_value else float("inf")
-            passed = cur_value >= base_value * (1.0 - tolerance)
-            rows.append(
-                {"workload": name, "metric": metric, "baseline": base_value,
-                 "current": cur_value, "ratio": ratio,
-                 "status": "ok" if passed else "REGRESSION"}
-            )
-            ok = ok and passed
-    return rows, ok
+        entry_rows, entry_ok = _compare_metrics(
+            name, base_entry, cur_entry, METRICS, tolerance, strict
+        )
+        rows.extend(entry_rows)
+        ok = ok and entry_ok
+    service_rows, service_ok = _compare_service(baseline, current, tolerance, strict)
+    rows.extend(service_rows)
+    return rows, ok and service_ok
+
+
+def _compare_service(
+    baseline: dict, current: dict, tolerance: float, strict: bool
+) -> tuple[list[dict], bool]:
+    """Gate the top-level ``service`` block with the per-workload semantics.
+
+    A report pair without any service block passes untouched (pre-service
+    baselines stay comparable); once either side carries one, the shared
+    strict rules of :func:`_compare_metrics` apply.
+    """
+    base_entry = baseline.get("service")
+    cur_entry = current.get("service")
+    if base_entry is None and cur_entry is None:
+        return [], True
+    if cur_entry is None:
+        return (
+            [{"workload": "(service)", "metric": "-", "baseline": None,
+              "current": None, "ratio": None, "status": "MISSING"}],
+            False,
+        )
+    return _compare_metrics(
+        "(service)", base_entry or {}, cur_entry, SERVICE_METRICS, tolerance, strict
+    )
 
 
 def print_table(rows: list[dict], tolerance: float) -> None:

@@ -1,0 +1,177 @@
+"""End-to-end smoke test of the compilation service, as CI runs it.
+
+Starts ``python -m repro.service`` as a real subprocess (ephemeral port,
+fresh cache dir), then checks the serving story the service PR promises:
+
+1. ``GET /healthz`` answers;
+2. compiling H2O over HTTP twice: the first response is a cold compile, the
+   second a cache hit, and both deserialize to the identical circuit as a
+   local ``repro.compile``;
+3. 32 concurrent ``POST /compile`` requests (16 identical + 16 distinct
+   programs) come back complete and uncorrupted;
+4. the server is restarted against the same cache dir and the H2O compile is
+   *still* a cache hit (the artifact store survives process restarts);
+5. ``GET /metrics`` reflects the traffic.
+
+Run with:  PYTHONPATH=src python scripts/service_smoke_test.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import repro  # noqa: E402
+from repro.service.client import Client  # noqa: E402
+from repro.workloads.registry import get_benchmark  # noqa: E402
+from repro.workloads.qaoa import maxcut_qaoa_terms, random_graph  # noqa: E402
+
+_LISTEN_LINE = re.compile(r"listening on http://([\d.]+):(\d+)")
+
+
+class ServerProcess:
+    """A ``python -m repro.service`` subprocess with a parsed port."""
+
+    def __init__(self, cache_dir: str):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        self.process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.service",
+                "--port",
+                "0",
+                "--cache-dir",
+                cache_dir,
+                "--window-ms",
+                "2",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        self.port = self._await_port()
+
+    def _await_port(self, timeout: float = 60.0) -> int:
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            line = self.process.stdout.readline()
+            if not line:
+                break
+            match = _LISTEN_LINE.search(line)
+            if match:
+                return int(match.group(2))
+        self.process.kill()
+        raise SystemExit("server subprocess never reported a listening port")
+
+    def stop(self) -> None:
+        self.process.terminate()
+        try:
+            self.process.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            self.process.wait()
+
+
+def check(condition: bool, label: str) -> None:
+    status = "ok" if condition else "FAIL"
+    print(f"[smoke] {label}: {status}", flush=True)
+    if not condition:
+        raise SystemExit(f"smoke test failed at: {label}")
+
+
+def main() -> int:
+    h2o = get_benchmark("H2O").terms()
+    reference = repro.compile(h2o, level=3)
+
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-cache-") as cache_dir:
+        server = ServerProcess(cache_dir)
+        try:
+            client = Client(port=server.port)
+            check(client.healthz()["status"] == "ok", "healthz")
+
+            first = client.compile(h2o)
+            check(not first.cache_hit, "first H2O compile is cold")
+            check(first.result.circuit == reference.circuit, "cold result matches local compile")
+
+            second = client.compile(h2o)
+            check(second.cache_hit, "second H2O compile is a cache hit")
+            check(second.result.circuit == reference.circuit, "warm result identical")
+            check(
+                second.result.extracted_clifford == reference.extracted_clifford,
+                "warm extracted tail identical",
+            )
+
+            # 32 concurrent requests: 16 identical H2O + 16 distinct QAOA
+            distinct = [
+                maxcut_qaoa_terms(random_graph(8, 12, seed=1000 + i)) for i in range(16)
+            ]
+            expected = {i: repro.compile(p, level=3).circuit for i, p in enumerate(distinct)}
+            programs = [("h2o", h2o)] * 16 + list(enumerate(distinct))
+            responses: list = [None] * len(programs)
+            errors: list = []
+
+            def worker(slot: int, program) -> None:
+                try:
+                    with Client(port=server.port) as worker_client:
+                        responses[slot] = worker_client.compile(program)
+                except Exception as error:  # noqa: BLE001 — recorded and reported
+                    errors.append((slot, repr(error)))
+
+            threads = [
+                threading.Thread(target=worker, args=(slot, program))
+                for slot, (_, program) in enumerate(programs)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=180)
+            check(not errors, f"32 concurrent requests, no errors {errors[:3]}")
+            check(all(r is not None for r in responses), "32 concurrent responses received")
+            corrupt = 0
+            for slot, (tag, _) in enumerate(programs):
+                want = reference.circuit if tag == "h2o" else expected[tag]
+                if responses[slot].result.circuit != want:
+                    corrupt += 1
+            check(corrupt == 0, "no corrupted concurrent responses")
+
+            metrics = client.metrics()
+            check(metrics["cache"]["hits"] >= 16, "metrics count the cache hits")
+            check(
+                metrics["telemetry"]["counters"]["service.http_requests"] >= 34,
+                "metrics count the requests",
+            )
+            client.close()
+        finally:
+            server.stop()
+
+        # restart against the same cache dir: the artifact must survive
+        server = ServerProcess(cache_dir)
+        try:
+            with Client(port=server.port) as client:
+                after_restart = client.compile(h2o)
+                check(after_restart.cache_hit, "H2O is a cache hit after server restart")
+                check(
+                    after_restart.result.circuit == reference.circuit,
+                    "restarted hit identical",
+                )
+        finally:
+            server.stop()
+
+    print("[smoke] service smoke test: PASS", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,10 @@ The public API centers on the composable pass-pipeline compiler:
   symplectic store (:class:`PackedPauliTable`, 64 qubits per ``uint64``
   word) that the vectorized Clifford-conjugation engine operates on.
 * :class:`QuantumCircuit`, :class:`Statevector` — the circuit substrate.
+* :mod:`repro.service` — compilation as a service: a versioned wire format
+  (``CompilationResult.to_dict()/from_dict()``), a persistent
+  content-addressed artifact cache, and a batching HTTP front-end
+  (``python -m repro.service``).
 * :mod:`repro.workloads` — the benchmark workload generators of Table II.
 * :mod:`repro.baselines` — re-implementations of the comparison compilers.
 

@@ -12,7 +12,7 @@ import math
 import re
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.gate import Gate
+from repro.circuits.gate import Gate, cached_gate
 from repro.exceptions import CircuitError
 
 _QASM_NAMES = {
@@ -58,13 +58,32 @@ def to_qasm(circuit: QuantumCircuit) -> str:
     return "\n".join(lines) + "\n"
 
 
+#: statement prefixes that carry no gate (skipped by the parser)
+_SKIPPED_PREFIXES = ("OPENQASM", "include", "creg", "barrier", "measure")
+
+
 def from_qasm(text: str) -> QuantumCircuit:
-    """Parse the OpenQASM 2.0 subset produced by :func:`to_qasm`."""
+    """Parse the OpenQASM 2.0 subset produced by :func:`to_qasm`.
+
+    The parser is on the service deserialization hot path (a cached
+    ``CompilationResult`` carries its circuits as QASM text), so the common
+    statement shape — ``name q[i];`` / ``name(angle) q[i], q[j];`` with plain
+    float literals — is handled with string splitting and interned
+    parameterless gates; the regex/expression machinery remains as the
+    fallback for hand-written programs (``pi``-expressions, odd whitespace).
+    """
     num_qubits: int | None = None
     gates: list[Gate] = []
+    reverse_names = _REVERSE_NAMES
     for raw_line in text.splitlines():
-        line = raw_line.split("//")[0].strip()
-        if not line or line.startswith("OPENQASM") or line.startswith("include"):
+        line = raw_line.strip()
+        if not line:
+            continue
+        if "//" in line:
+            line = line.split("//")[0].strip()
+            if not line:
+                continue
+        if line.startswith(_SKIPPED_PREFIXES):
             continue
         if line.startswith("qreg"):
             match = re.search(r"qreg\s+\w+\[(\d+)\];", line)
@@ -72,23 +91,66 @@ def from_qasm(text: str) -> QuantumCircuit:
                 raise CircuitError(f"cannot parse register declaration {line!r}")
             num_qubits = int(match.group(1))
             continue
-        if line.startswith("creg") or line.startswith("barrier") or line.startswith("measure"):
-            continue
-        match = _STATEMENT.match(line)
-        if match is None:
-            raise CircuitError(f"cannot parse OpenQASM statement {line!r}")
-        qasm_name = match.group("name")
-        if qasm_name not in _REVERSE_NAMES:
-            raise CircuitError(f"unsupported OpenQASM gate {qasm_name!r}")
-        params_text = match.group("params")
-        params: tuple[float, ...] = ()
-        if params_text:
-            params = tuple(_evaluate_parameter(p) for p in params_text.split(","))
-        qubits = tuple(int(index) for index in _OPERAND.findall(match.group("operands")))
-        gates.append(Gate(_REVERSE_NAMES[qasm_name], qubits, params))
+        gate = _parse_statement_fast(line, reverse_names)
+        if gate is None:
+            gate = _parse_statement_slow(line)
+        gates.append(gate)
     if num_qubits is None:
         raise CircuitError("the OpenQASM program declares no quantum register")
     return QuantumCircuit(num_qubits, gates)
+
+
+def _parse_statement_fast(line: str, reverse_names: dict) -> Gate | None:
+    """Parse one canonical ``to_qasm``-shaped statement, or None to fall back."""
+    if not line.endswith(";"):
+        return None
+    body = line[:-1]
+    params: tuple[float, ...] = ()
+    head, sep, operands = body.partition(" ")
+    if "(" in head:
+        name_text, _, params_text = head.partition("(")
+        if not params_text.endswith(")"):
+            return None
+        try:
+            params = (float(params_text[:-1]),)
+        except ValueError:
+            return None
+    else:
+        name_text = head
+    name = reverse_names.get(name_text)
+    if name is None or not sep:
+        return None
+    qubits = []
+    for token in operands.split(","):
+        token = token.strip()
+        if not (token.startswith("q[") and token.endswith("]")):
+            return None
+        try:
+            qubits.append(int(token[2:-1]))
+        except ValueError:
+            return None
+    try:
+        if params:
+            return Gate(name, tuple(qubits), params)
+        return cached_gate(name, tuple(qubits))
+    except CircuitError:
+        return None
+
+
+def _parse_statement_slow(line: str) -> Gate:
+    """The general regex/expression parser (``pi`` arithmetic, odd spacing)."""
+    match = _STATEMENT.match(line)
+    if match is None:
+        raise CircuitError(f"cannot parse OpenQASM statement {line!r}")
+    qasm_name = match.group("name")
+    if qasm_name not in _REVERSE_NAMES:
+        raise CircuitError(f"unsupported OpenQASM gate {qasm_name!r}")
+    params_text = match.group("params")
+    params: tuple[float, ...] = ()
+    if params_text:
+        params = tuple(_evaluate_parameter(p) for p in params_text.split(","))
+    qubits = tuple(int(index) for index in _OPERAND.findall(match.group("operands")))
+    return Gate(_REVERSE_NAMES[qasm_name], qubits, params)
 
 
 def _evaluate_parameter(text: str) -> float:

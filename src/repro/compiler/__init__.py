@@ -42,7 +42,13 @@ from repro.compiler.presets import (
     quclear_preset,
 )
 from repro.compiler.registry import DEFAULT_REGISTRY, CompilerRegistry, get_registry
-from repro.compiler.api import BatchPlan, compile, compile_many, plan_batch
+from repro.compiler.api import (
+    BatchPlan,
+    compile,
+    compile_many,
+    plan_batch,
+    validate_program,
+)
 
 __all__ = [
     "CompilationResult",
@@ -74,5 +80,6 @@ __all__ = [
     "compile_many",
     "BatchPlan",
     "plan_batch",
+    "validate_program",
     "with_routing",
 ]

@@ -13,13 +13,44 @@ from repro.compiler.presets import MAX_OPTIMIZATION_LEVEL, preset_pipeline
 from repro.compiler.registry import get_registry
 from repro.compiler.result import CompilationResult
 from repro.compiler.target import Target, as_target
-from repro.exceptions import CompilerError
+from repro.exceptions import CompilerError, InvalidProgramError
 from repro.paulis.sum import SparsePauliSum
 from repro.paulis.term import PauliTerm
 from repro.transpile.coupling import CouplingMap
 
 #: executor strategies accepted by :func:`compile_many`
 _EXECUTORS = ("auto", "threads", "processes", "serial")
+
+
+def validate_program(
+    program: Sequence[PauliTerm] | SparsePauliSum,
+    source: str = "repro.compile",
+    index: int | None = None,
+) -> None:
+    """Up-front program checks shared by every compile entry point.
+
+    Raises :class:`~repro.exceptions.InvalidProgramError` for an empty
+    program or one acting on zero qubits — the two malformed shapes that
+    otherwise surface as whatever deep internal error hits them first
+    (``terms[0]`` IndexError, packed-shape mismatches, ...).  ``source``
+    names the entry point and ``index`` the batch position, so the message
+    points at the offending request.
+    """
+    where = f"{source}: program" if index is None else f"{source}: program {index}"
+    if isinstance(program, SparsePauliSum):
+        num_terms = len(program)
+        num_qubits = program.num_qubits
+    else:
+        num_terms = len(program)
+        num_qubits = program[0].num_qubits if num_terms else 0
+    if num_terms == 0:
+        raise InvalidProgramError(
+            f"{where} is empty — a compilation needs at least one Pauli rotation"
+        )
+    if num_qubits < 1:
+        raise InvalidProgramError(
+            f"{where} acts on zero qubits — every Pauli term needs at least one qubit"
+        )
 
 
 def _resolve_pipeline(
@@ -61,6 +92,9 @@ def compile(
         :class:`~repro.compiler.pipeline.Pipeline` instance or the name of a
         registered compiler (``"quclear"``, ``"qiskit-like"``, ...).
     """
+    if not isinstance(terms, SparsePauliSum):
+        terms = list(terms)
+    validate_program(terms, source="repro.compile")
     resolved = _resolve_pipeline(pipeline, level)
     device = as_target(target)
     return ensure_device_routing(resolved, device).run(terms, target=device)
@@ -235,9 +269,14 @@ def compile_many(
         ``"processes"`` the conjugation cache is per-process and submissions
         are chunked to amortize pickling.
     """
-    program_list = list(programs)
+    program_list = [
+        program if isinstance(program, SparsePauliSum) else list(program)
+        for program in programs
+    ]
     if not program_list:
         return []
+    for index, program in enumerate(program_list):
+        validate_program(program, source="repro.compile_many", index=index)
     plan = plan_batch(program_list, max_workers=max_workers, executor=executor)
     if executor == "auto" and plan.executor == "processes" and conjugation_cache is not None:
         # the documented cache-sharing contract: a caller-supplied cache

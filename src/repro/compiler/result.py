@@ -92,6 +92,30 @@ class CompilationResult:
         }
 
     # ------------------------------------------------------------------ #
+    # Wire serialization (the service substrate)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """This result as a JSON-safe wire payload.
+
+        Circuits travel as OpenQASM, the conjugation tableau as its packed
+        generator rows, metadata and pass timings bit-exactly;
+        :meth:`from_dict` reverses it.  ``properties`` stay behind — they
+        hold process-local machinery (conjugation caches, lazy absorbers)
+        that the receiving side rebuilds on demand.  See
+        :mod:`repro.service.serialize` for the format definition.
+        """
+        from repro.service.serialize import result_to_wire
+
+        return result_to_wire(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CompilationResult":
+        """Rebuild a result serialized by :meth:`to_dict`."""
+        from repro.service.serialize import result_from_wire
+
+        return result_from_wire(payload)
+
+    # ------------------------------------------------------------------ #
     # Clifford Absorption helpers (extraction-based pipelines only)
     # ------------------------------------------------------------------ #
     def _require_extraction(self) -> "ExtractionResult":

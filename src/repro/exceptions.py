@@ -35,3 +35,34 @@ class WorkloadError(ReproError):
 
 class CompilerError(ReproError):
     """Raised for invalid pass-pipeline construction or execution."""
+
+
+class InvalidProgramError(CompilerError):
+    """Raised when a compile entry point receives an unusable program.
+
+    Every entry point — :func:`repro.compile`, :func:`repro.compile_many`,
+    and the service's ``POST /compile`` — performs the same up-front checks
+    (non-empty program, at least one qubit) and raises this one class, so a
+    malformed request fails with a clear message instead of whatever deep
+    internal error would surface first.
+    """
+
+
+class WireFormatError(ReproError):
+    """Raised for malformed or version-incompatible wire-format payloads."""
+
+
+class CacheError(ReproError):
+    """Raised for invalid artifact-cache keys or unusable cache state."""
+
+
+class ServiceError(ReproError):
+    """Raised by the service client for failed or undecodable HTTP exchanges.
+
+    ``status`` carries the HTTP status code when one was received (``None``
+    for transport-level failures).
+    """
+
+    def __init__(self, message: str, status: int | None = None):
+        super().__init__(message)
+        self.status = status

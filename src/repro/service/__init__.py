@@ -1,0 +1,86 @@
+"""Compilation-as-a-service: wire serialization, artifact cache, HTTP front-end.
+
+The compiler made the compile path fast (bit-packed conjugation, table-native
+extraction, streaming peephole, overhead-aware batching); this sub-package is
+the serving substrate on top of it:
+
+* :mod:`repro.service.serialize` — a compact versioned wire format.
+  Programs round-trip through their packed ``uint64`` words (base64 of the
+  raw word matrix plus the coefficient vector, no per-term repacking),
+  circuits through the OpenQASM path, and whole
+  :class:`~repro.compiler.result.CompilationResult` objects through
+  :func:`result_to_wire` / :func:`result_from_wire` — tableau, metadata and
+  pass timings bit-exact.
+* :mod:`repro.service.cache` — :class:`ArtifactCache`, a disk-backed
+  content-addressed store of compiled results (canonical program/target/
+  pipeline hash → serialized result) with an in-memory first layer, an index
+  file, an LRU size cap, and atomic writes so concurrent processes can share
+  one cache directory.
+* :mod:`repro.service.scheduler` — :class:`BatchingScheduler`, a request
+  coalescer that buffers concurrent submissions for a few milliseconds and
+  feeds them through :func:`repro.compile_many` as one planned batch.
+* :mod:`repro.service.server` / ``python -m repro.service`` — a stdlib-only
+  ``asyncio`` HTTP JSON API (``POST /compile``, ``POST /compile_batch``,
+  ``GET /result/<key>``, ``GET /healthz``, ``GET /metrics``).
+* :mod:`repro.service.client` — the thin synchronous :class:`Client` used by
+  the examples, the smoke test, and the benchmark.
+* :mod:`repro.service.telemetry` — counters and latency histograms surfaced
+  on ``/metrics``.
+
+Quick start::
+
+    $ PYTHONPATH=src python -m repro.service --port 8765 --cache-dir /tmp/repro-cache
+
+    >>> from repro.service import Client
+    >>> from repro.workloads.registry import get_benchmark
+    >>> client = Client("127.0.0.1", 8765)
+    >>> response = client.compile(get_benchmark("H2O").terms())
+    >>> response.cache_hit, response.result.cx_count()
+"""
+
+from repro.service.cache import ArtifactCache
+from repro.service.client import Client, ServiceResponse
+from repro.service.scheduler import BatchingScheduler, CompileJob, execute_batch
+from repro.service.serialize import (
+    WIRE_VERSION,
+    circuit_from_wire,
+    circuit_to_wire,
+    pauli_from_wire,
+    pauli_to_wire,
+    program_from_wire,
+    program_to_wire,
+    result_from_wire,
+    result_to_wire,
+    sum_from_wire,
+    sum_to_wire,
+    tableau_from_wire,
+    tableau_to_wire,
+)
+from repro.service.server import ServiceServer, run_server_in_thread
+from repro.service.telemetry import LatencyHistogram, Telemetry
+
+__all__ = [
+    "ArtifactCache",
+    "BatchingScheduler",
+    "Client",
+    "CompileJob",
+    "LatencyHistogram",
+    "ServiceResponse",
+    "ServiceServer",
+    "Telemetry",
+    "WIRE_VERSION",
+    "circuit_from_wire",
+    "circuit_to_wire",
+    "execute_batch",
+    "pauli_from_wire",
+    "pauli_to_wire",
+    "program_from_wire",
+    "program_to_wire",
+    "result_from_wire",
+    "result_to_wire",
+    "run_server_in_thread",
+    "sum_from_wire",
+    "sum_to_wire",
+    "tableau_from_wire",
+    "tableau_to_wire",
+]

@@ -1,0 +1,90 @@
+"""``python -m repro.service`` — run the compilation service.
+
+Example::
+
+    PYTHONPATH=src python -m repro.service --port 8765 --cache-dir /var/cache/repro
+
+The server prints one ``repro.service listening on http://host:port`` line
+once it is accepting connections (machine-parsable: the smoke test reads the
+ephemeral port from it when started with ``--port 0``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import os
+import sys
+
+from repro.service.cache import DEFAULT_MAX_BYTES
+from repro.service.scheduler import DEFAULT_MAX_BATCH, DEFAULT_WINDOW_SECONDS
+from repro.service.server import ServiceServer
+
+DEFAULT_CACHE_DIR = os.path.join("~", ".cache", "repro-service")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default %(default)s)")
+    parser.add_argument(
+        "--port", type=int, default=8765, help="TCP port; 0 picks an ephemeral one"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR),
+        help="artifact cache directory (REPRO_CACHE_DIR env; default %(default)s); "
+        "'none' disables caching",
+    )
+    parser.add_argument(
+        "--max-cache-mb",
+        type=float,
+        default=DEFAULT_MAX_BYTES / (1024 * 1024),
+        help="disk budget of the artifact cache in MiB (default %(default)s)",
+    )
+    parser.add_argument(
+        "--window-ms",
+        type=float,
+        default=DEFAULT_WINDOW_SECONDS * 1000.0,
+        help="request-coalescing window in milliseconds (default %(default)s)",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=DEFAULT_MAX_BATCH,
+        help="flush a window early once this many requests buffered",
+    )
+    return parser
+
+
+async def _serve(server: ServiceServer) -> None:
+    await server.start()
+    print(f"repro.service listening on {server.address}", flush=True)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.aclose()
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    cache_dir = None if args.cache_dir.lower() == "none" else os.path.expanduser(args.cache_dir)
+    server = ServiceServer(
+        cache_dir=cache_dir,
+        host=args.host,
+        port=args.port,
+        window_seconds=args.window_ms / 1000.0,
+        max_batch=args.max_batch,
+        max_cache_bytes=int(args.max_cache_mb * 1024 * 1024),
+    )
+    with contextlib.suppress(KeyboardInterrupt):
+        asyncio.run(_serve(server))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

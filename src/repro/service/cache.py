@@ -1,0 +1,370 @@
+"""Disk-backed content-addressed store of compiled artifacts.
+
+The cache key is a canonical SHA-256 over everything that determines a
+compilation's output: the program's **packed** words / phases / coefficient
+bytes (the exact store the compiler consumes, so a term list and the
+equivalent :class:`~repro.paulis.sum.SparsePauliSum` share one artifact), a
+target fingerprint (name, qubit count, coupling edges, basis gates), and the
+level / registered-pipeline spec.  Values are wire-serialized
+:class:`~repro.compiler.result.CompilationResult` payloads
+(:mod:`repro.service.serialize`), one JSON file per key.
+
+Layering (fastest first):
+
+1. an in-memory LRU of deserialized results — a warm hit costs a dict
+   lookup, which is what lets a repeat request come back orders of magnitude
+   faster than the cold compile;
+2. the disk store — survives process restarts and is shared by concurrent
+   processes: every object and index write goes through a temp file plus
+   :func:`os.replace` (atomic on POSIX and Windows), so readers never see a
+   torn file, and the LRU size cap evicts by file mtime (touched on every
+   disk hit);
+3. in front of the existing in-memory
+   :class:`~repro.clifford.engine.ConjugationCache`: the cache owns one and
+   the service threads it through every ``compile_many`` call, so even cache
+   *misses* pool their tableau freezes.
+
+``index.json`` is an advisory snapshot (key → size / stored-at) rebuilt from
+the object directory on every write; the object files themselves are the
+source of truth, so two processes racing on the index can only lose a
+snapshot update, never an artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+import time
+from collections import OrderedDict
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.clifford.engine import ConjugationCache
+from repro.compiler.api import validate_program
+from repro.compiler.result import CompilationResult
+from repro.compiler.target import Target, as_target
+from repro.exceptions import CacheError, ReproError
+from repro.paulis.packed import PackedPauliTable
+from repro.paulis.sum import SparsePauliSum
+from repro.paulis.term import PauliTerm
+from repro.service.serialize import result_from_wire, result_to_wire
+from repro.transpile.coupling import CouplingMap
+
+#: default disk budget for one cache directory
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+#: default number of deserialized results kept in the in-memory layer
+DEFAULT_MEMORY_ENTRIES = 128
+
+
+def target_fingerprint(target: Target | CouplingMap | str | None) -> str:
+    """A canonical, content-based description of a compilation target.
+
+    Two targets with the same connectivity and basis gates fingerprint
+    identically even if constructed separately; ``None`` (all-to-all) has its
+    own stable token.
+    """
+    device = as_target(target)
+    if device is None:
+        return "target:none"
+    edges = (
+        "full"
+        if device.coupling is None
+        else ";".join(
+            f"{a}-{b}"
+            for a, b in sorted((min(a, b), max(a, b)) for a, b in device.coupling.edges)
+        )
+    )
+    gates = ",".join(sorted(device.basis_gates))
+    return f"target:{device.name}:{device.num_qubits}:{edges}:{gates}"
+
+
+def pipeline_fingerprint(level: int, pipeline: str | None) -> str:
+    """The level / registered-pipeline-name part of the cache key.
+
+    Only registry *names* (and preset levels) are accepted: an ad-hoc
+    :class:`~repro.compiler.pipeline.Pipeline` object can carry arbitrary
+    pass flags that a name-based fingerprint cannot see, and a content hash
+    that silently collides across configurations would serve wrong artifacts.
+    """
+    if pipeline is None:
+        return f"level:{int(level)}"
+    if isinstance(pipeline, str):
+        return f"pipeline:{pipeline}"
+    raise CacheError(
+        "artifact caching needs a reproducible pipeline spec: pass a preset "
+        f"level or a registered pipeline name, not {type(pipeline).__name__}"
+    )
+
+
+def cache_key(
+    program: Sequence[PauliTerm] | SparsePauliSum,
+    target: Target | CouplingMap | str | None = None,
+    level: int = 3,
+    pipeline: str | None = None,
+) -> str:
+    """Canonical SHA-256 key of one compile request (hex digest)."""
+    validate_program(program, source="repro.service.cache")
+    if isinstance(program, SparsePauliSum):
+        table = program.packed_table
+        coefficients = program.coefficient_vector()
+    else:
+        table = PackedPauliTable.from_paulis(term.pauli for term in program)
+        coefficients = np.array([term.coefficient for term in program], dtype=float)
+    digest = hashlib.sha256()
+    digest.update(f"repro-artifact/v1:{table.num_qubits}:{table.num_rows}".encode())
+    digest.update(np.ascontiguousarray(table.x_words, dtype="<u8").tobytes())
+    digest.update(np.ascontiguousarray(table.z_words, dtype="<u8").tobytes())
+    digest.update(np.ascontiguousarray(table.phases % 4, dtype="<i8").tobytes())
+    digest.update(np.ascontiguousarray(coefficients, dtype="<f8").tobytes())
+    digest.update(target_fingerprint(target).encode())
+    digest.update(b"|")
+    digest.update(pipeline_fingerprint(level, pipeline).encode())
+    return digest.hexdigest()
+
+
+class ArtifactCache:
+    """Persistent content-addressed cache of :class:`CompilationResult`.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory shared by every process using this cache; created on
+        demand.
+    max_bytes:
+        Disk budget; least-recently-used artifacts (by file mtime, touched
+        on every disk hit) are evicted after a write pushes the total over.
+    memory_entries:
+        Size of the in-memory LRU of deserialized results (0 disables it).
+    """
+
+    def __init__(
+        self,
+        cache_dir: str | os.PathLike,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        memory_entries: int = DEFAULT_MEMORY_ENTRIES,
+    ):
+        self.cache_dir = Path(cache_dir)
+        self.objects_dir = self.cache_dir / "objects"
+        self.index_path = self.cache_dir / "index.json"
+        self.max_bytes = int(max_bytes)
+        self.memory_entries = int(memory_entries)
+        self.objects_dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._memory: OrderedDict[str, CompilationResult] = OrderedDict()
+        #: the in-memory conjugation cache this store layers in front of;
+        #: the service threads it through every compile_many call
+        self.conjugation_cache = ConjugationCache()
+        self.hits = 0
+        self.misses = 0
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------ #
+    key_for = staticmethod(cache_key)
+
+    def _object_path(self, key: str) -> Path:
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise CacheError(f"malformed artifact key {key!r}")
+        return self.objects_dir / f"{key}.json"
+
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> CompilationResult | None:
+        """The cached result for ``key``, or ``None`` on a miss.
+
+        Memory first; a disk hit is deserialized, promoted into the memory
+        layer, and its file mtime refreshed so LRU eviction sees the use.
+        """
+        with self._lock:
+            cached = self._memory.get(key)
+            if cached is not None:
+                self._memory.move_to_end(key)
+                self.hits += 1
+                self.memory_hits += 1
+                return cached
+        path = self._object_path(key)
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            with self._lock:
+                self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError) as error:
+            # a torn write is impossible (os.replace), but a truncated disk
+            # or concurrent eviction mid-read degrades to a miss
+            with self._lock:
+                self.misses += 1
+            if isinstance(error, json.JSONDecodeError):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            return None
+        try:
+            result = result_from_wire(payload)
+        except ReproError:
+            # incompatible or corrupt artifact (wire-format mismatch, or a
+            # structurally valid payload whose contents fail reconstruction):
+            # drop it and recompile
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            with self._lock:
+                self.misses += 1
+            return None
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        with self._lock:
+            self.hits += 1
+            self.disk_hits += 1
+            self._remember(key, result)
+        return result
+
+    def put(self, key: str, result: CompilationResult) -> None:
+        """Store ``result`` under ``key`` (atomic write + LRU eviction)."""
+        payload = result_to_wire(result)
+        encoded = json.dumps(payload, separators=(",", ":"))
+        path = self._object_path(key)
+        self._atomic_write(path, encoded)
+        with self._lock:
+            self._remember(key, result)
+        # one directory scan feeds both eviction and the index snapshot
+        entries = self._evict_over_budget(self._scan_objects())
+        self._write_index(entries)
+
+    def forget_memory(self) -> None:
+        """Drop the in-memory layer (disk untouched) — restart simulation."""
+        with self._lock:
+            self._memory.clear()
+
+    # ------------------------------------------------------------------ #
+    def _remember(self, key: str, result: CompilationResult) -> None:
+        if self.memory_entries <= 0:
+            return
+        self._memory[key] = result
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+
+    def _atomic_write(self, path: Path, text: str) -> None:
+        fd, tmp_name = tempfile.mkstemp(dir=self.objects_dir, prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def _scan_objects(self) -> list[tuple[float, int, Path]]:
+        """(mtime, size, path) of every committed artifact file."""
+        entries = []
+        try:
+            names = os.listdir(self.objects_dir)
+        except OSError:
+            return []
+        for name in names:
+            if name.startswith(".tmp-") or not name.endswith(".json"):
+                continue
+            path = self.objects_dir / name
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # concurrently evicted by another process
+            entries.append((stat.st_mtime, stat.st_size, path))
+        return entries
+
+    def _evict_over_budget(
+        self, entries: list[tuple[float, int, Path]]
+    ) -> list[tuple[float, int, Path]]:
+        """Evict oldest-mtime artifacts until under budget; returns survivors."""
+        total = sum(size for _, size, _ in entries)
+        if total <= self.max_bytes:
+            return entries
+        survivors = list(entries)
+        for entry in sorted(entries):
+            _, size, path = entry
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            survivors.remove(entry)
+            key = path.stem
+            with self._lock:
+                self._memory.pop(key, None)
+                self.evictions += 1
+            total -= size
+            if total <= self.max_bytes:
+                break
+        return survivors
+
+    def _write_index(self, entries: "list[tuple[float, int, Path]] | None" = None) -> None:
+        """Refresh the advisory ``index.json`` snapshot from the object dir."""
+        if entries is None:
+            entries = self._scan_objects()
+        index = {
+            "schema": "repro-artifact-index/v1",
+            "written": time.time(),
+            "total_bytes": sum(size for _, size, _ in entries),
+            "max_bytes": self.max_bytes,
+            "artifacts": {
+                path.stem: {"bytes": size, "mtime": mtime}
+                for mtime, size, path in sorted(entries)
+            },
+        }
+        fd, tmp_name = tempfile.mkstemp(dir=self.cache_dir, prefix=".tmp-index-")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(index, handle, indent=2, sort_keys=True)
+            os.replace(tmp_name, self.index_path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------ #
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            if key in self._memory:
+                return True
+        return self._object_path(key).exists()
+
+    def __len__(self) -> int:
+        return len(self._scan_objects())
+
+    def stats(self) -> dict:
+        entries = self._scan_objects()
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "memory_hits": self.memory_hits,
+                "disk_hits": self.disk_hits,
+                "evictions": self.evictions,
+                "memory_entries": len(self._memory),
+                "disk_entries": len(entries),
+                "disk_bytes": sum(size for _, size, _ in entries),
+                "max_bytes": self.max_bytes,
+                "conjugation_cache": self.conjugation_cache.stats(),
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"ArtifactCache(dir={str(self.cache_dir)!r}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )

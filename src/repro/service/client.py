@@ -1,0 +1,163 @@
+"""Thin synchronous HTTP client for the compilation service.
+
+Wraps :mod:`http.client` (stdlib) around the wire format: programs are
+serialized with :func:`~repro.service.serialize.program_to_wire`, responses
+deserialized back into :class:`~repro.compiler.result.CompilationResult`.
+One :class:`Client` holds one keep-alive connection and is **not**
+thread-safe — give each thread its own instance (they are cheap).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.compiler.result import CompilationResult
+from repro.exceptions import ServiceError
+from repro.paulis.sum import SparsePauliSum
+from repro.paulis.term import PauliTerm
+from repro.service.serialize import program_to_wire, result_from_wire
+
+
+@dataclass
+class ServiceResponse:
+    """One compile response: the artifact key, hit flag, and the result."""
+
+    key: str | None
+    cache_hit: bool
+    result: CompilationResult | None
+    metrics: dict | None = None
+    compiler: str | None = None
+
+
+class Client:
+    """Synchronous client for one ``repro.service`` server."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765, timeout: float = 120.0):
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self._connection: "http.client.HTTPConnection | None" = None
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        body = None if payload is None else json.dumps(payload).encode()
+        headers = {"Content-Type": "application/json"} if body is not None else {}
+        for attempt in (0, 1):
+            if self._connection is None:
+                self._connection = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+            try:
+                self._connection.request(method, path, body=body, headers=headers)
+                response = self._connection.getresponse()
+                raw = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, BrokenPipeError):
+                # a dropped keep-alive connection: reconnect once
+                self.close()
+                if attempt:
+                    raise
+        if response.getheader("Connection", "").lower() == "close":
+            self.close()
+        try:
+            decoded = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ServiceError(
+                f"{method} {path} returned undecodable body (status {response.status})",
+                status=response.status,
+            ) from error
+        if response.status != 200:
+            message = decoded.get("error", raw.decode("utf-8", "replace"))
+            kind = decoded.get("type")
+            if kind:
+                message = f"{message} [{kind}]"
+            raise ServiceError(
+                f"{method} {path} failed with {response.status}: {message}",
+                status=response.status,
+            )
+        return decoded
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _parse_entry(entry: dict) -> ServiceResponse:
+        if "error" in entry:
+            raise ServiceError(f"compile failed: {entry['error']} ({entry.get('type')})")
+        wire = entry.get("result")
+        return ServiceResponse(
+            key=entry.get("key"),
+            cache_hit=bool(entry.get("cache_hit", False)),
+            result=None if wire is None else result_from_wire(wire),
+            metrics=entry.get("metrics"),
+            compiler=entry.get("compiler"),
+        )
+
+    def compile(
+        self,
+        program: "Sequence[PauliTerm] | SparsePauliSum",
+        target: str | None = None,
+        level: int = 3,
+        pipeline: str | None = None,
+        use_cache: bool = True,
+        include_result: bool = True,
+    ) -> ServiceResponse:
+        """Compile one program on the server (``POST /compile``)."""
+        payload = {
+            "program": program_to_wire(program),
+            "target": target,
+            "level": level,
+            "pipeline": pipeline,
+            "use_cache": use_cache,
+            "include_result": include_result,
+        }
+        return self._parse_entry(self._request("POST", "/compile", payload))
+
+    def compile_batch(
+        self,
+        programs: "Sequence[Sequence[PauliTerm] | SparsePauliSum]",
+        target: str | None = None,
+        level: int = 3,
+        pipeline: str | None = None,
+        use_cache: bool = True,
+        include_result: bool = True,
+    ) -> list[ServiceResponse]:
+        """Compile a batch in one request (``POST /compile_batch``)."""
+        payload = {
+            "programs": [program_to_wire(program) for program in programs],
+            "target": target,
+            "level": level,
+            "pipeline": pipeline,
+            "use_cache": use_cache,
+            "include_result": include_result,
+        }
+        decoded = self._request("POST", "/compile_batch", payload)
+        return [self._parse_entry(entry) for entry in decoded.get("results", [])]
+
+    def result(self, key: str) -> CompilationResult | None:
+        """Fetch a cached artifact by key; ``None`` when not stored."""
+        try:
+            decoded = self._request("GET", f"/result/{key}")
+        except ServiceError as error:
+            if error.status == 404:
+                return None
+            raise
+        return result_from_wire(decoded["result"])
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")

@@ -1,0 +1,279 @@
+"""Request coalescing: buffer concurrent submissions, compile them as one batch.
+
+The server accepts requests one at a time, but the compiler is at its best
+over *batches* — :func:`repro.compiler.plan_batch` resolves the
+overhead-aware executor (serial / threads / chunked processes) from the
+batch's total term count, and a shared
+:class:`~repro.clifford.engine.ConjugationCache` pools tableau freezes across
+programs.  :class:`BatchingScheduler` bridges the two: a submission parks an
+``asyncio`` future and starts (or joins) a short collection window — a few
+milliseconds, the knob is ``window_seconds`` — after which everything that
+accumulated is handed to a worker thread and compiled by
+:func:`execute_batch` as one planned batch.
+
+:func:`execute_batch` is deliberately synchronous and server-free so tests
+and offline tools can drive it directly.  It groups jobs by compilation
+config (target / level / pipeline), resolves each group against the
+:class:`~repro.service.cache.ArtifactCache`, deduplicates identical programs
+*within* the batch (32 concurrent requests for the same Hamiltonian compile
+once), feeds the remaining misses through :func:`repro.compile_many`, and
+stores the fresh artifacts back.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import repro
+from repro.compiler.api import validate_program
+from repro.exceptions import ReproError
+from repro.paulis.sum import SparsePauliSum
+from repro.paulis.term import PauliTerm
+from repro.service.cache import ArtifactCache
+from repro.service.telemetry import Telemetry
+
+#: default collection window, seconds ("a few ms")
+DEFAULT_WINDOW_SECONDS = 0.002
+
+#: a full batch flushes immediately instead of waiting out the window
+DEFAULT_MAX_BATCH = 256
+
+
+@dataclass
+class CompileJob:
+    """One buffered compile request."""
+
+    program: "Sequence[PauliTerm] | SparsePauliSum"
+    target: str | None = None
+    level: int = 3
+    pipeline: str | None = None
+    use_cache: bool = True
+    future: "asyncio.Future | None" = field(default=None, repr=False)
+
+    def config(self) -> tuple:
+        """The compilation-config group this job batches with."""
+        return (self.target, self.level, self.pipeline)
+
+
+@dataclass
+class CompletedJob:
+    """What :func:`execute_batch` produces per job, in submission order."""
+
+    key: str | None
+    result: "repro.CompilationResult | None"
+    cache_hit: bool = False
+    error: Exception | None = None
+
+
+def execute_batch(
+    jobs: list[CompileJob],
+    cache: ArtifactCache | None = None,
+    telemetry: Telemetry | None = None,
+) -> list[CompletedJob]:
+    """Compile a batch of jobs against the cache, as one planned batch per config.
+
+    Per-job failures (invalid programs, unknown pipelines) land in that job's
+    :attr:`CompletedJob.error` instead of failing the whole batch — one bad
+    request must not poison the 31 good ones coalesced with it.
+    """
+    telemetry = telemetry if telemetry is not None else Telemetry()
+    completed: list[CompletedJob] = [CompletedJob(None, None) for _ in jobs]
+
+    groups: dict[tuple, list[int]] = {}
+    for index, job in enumerate(jobs):
+        groups.setdefault(job.config(), []).append(index)
+
+    for indices in groups.values():
+        _execute_group(jobs, indices, completed, cache, telemetry)
+    return completed
+
+
+def _execute_group(
+    jobs: list[CompileJob],
+    indices: list[int],
+    completed: list[CompletedJob],
+    cache: ArtifactCache | None,
+    telemetry: Telemetry,
+) -> None:
+    target = jobs[indices[0]].target
+    level = jobs[indices[0]].level
+    pipeline = jobs[indices[0]].pipeline
+
+    # Key + cache phase: validate every program up front (per-job isolation —
+    # cheap length/qubit checks, raised here so one malformed request cannot
+    # fail the rest of the group), dedupe identical programs within the
+    # batch, and resolve what the artifact store already has.
+    missing: dict[str | None, list[int]] = {}
+    uncached_serial = 0  # distinct anonymous (no-cache) programs
+    for index in indices:
+        job = jobs[index]
+        key = None
+        try:
+            validate_program(job.program, source="repro.service")
+            if cache is not None:
+                with telemetry.timed("service.key_seconds"):
+                    key = cache.key_for(
+                        job.program, target=target, level=level, pipeline=pipeline
+                    )
+        except ReproError as error:
+            completed[index] = CompletedJob(None, None, error=error)
+            telemetry.inc("service.invalid_requests")
+            continue
+        if key is not None:
+            completed[index].key = key
+            if job.use_cache:
+                with telemetry.timed("service.cache_lookup_seconds"):
+                    cached = cache.get(key)
+                if cached is not None:
+                    completed[index] = CompletedJob(key, cached, cache_hit=True)
+                    telemetry.inc("service.cache_hits")
+                    continue
+            telemetry.inc("service.cache_misses")
+            missing.setdefault(key, []).append(index)
+        else:
+            # no cache: every job compiles individually
+            missing[f"__uncached_{uncached_serial}"] = [index]
+            uncached_serial += 1
+
+    if not missing:
+        return
+
+    # Compile phase: every distinct missing program through compile_many as
+    # one planned batch (plan_batch resolves serial/threads/processes), with
+    # the cache's shared conjugation cache pooling tableau freezes.
+    ordered_keys = list(missing)
+    programs = [jobs[missing[key][0]].program for key in ordered_keys]
+    conjugation_cache = cache.conjugation_cache if cache is not None else None
+    try:
+        with telemetry.timed("service.compile_seconds"):
+            results = repro.compile_many(
+                programs,
+                target=target,
+                level=level,
+                pipeline=pipeline,
+                conjugation_cache=conjugation_cache,
+            )
+    except ReproError:
+        # the planned batch failed as a whole — a config-level error
+        # (unknown pipeline/target) or a program defect the up-front checks
+        # don't see. Retry each program alone so only the culprits fail.
+        telemetry.inc("service.failed_batches")
+        results = []
+        for key in ordered_keys:
+            try:
+                results.append(
+                    repro.compile(
+                        jobs[missing[key][0]].program,
+                        target=target,
+                        level=level,
+                        pipeline=pipeline,
+                    )
+                )
+            except ReproError as error:
+                results.append(error)
+
+    compiled = 0
+    for key, result in zip(ordered_keys, results):
+        job_indices = missing[key]
+        stored_key = completed[job_indices[0]].key
+        if isinstance(result, ReproError):
+            for index in job_indices:
+                completed[index] = CompletedJob(stored_key, None, error=result)
+            continue
+        compiled += 1
+        if cache is not None and stored_key is not None:
+            with telemetry.timed("service.cache_store_seconds"):
+                cache.put(stored_key, result)
+        for index in job_indices:
+            completed[index] = CompletedJob(stored_key, result, cache_hit=False)
+    telemetry.inc("service.compiled_programs", compiled)
+
+
+class BatchingScheduler:
+    """Coalesce concurrent ``submit`` calls into windowed compile batches.
+
+    Must be used from a running ``asyncio`` event loop.  The first submission
+    of a window arms a flush timer (``window_seconds`` later); subsequent
+    submissions pile onto the same pending list, and a full batch
+    (``max_batch``) flushes immediately.  The flush hands the whole batch to
+    a worker thread (the loop's default executor) running
+    :func:`execute_batch`, then resolves every parked future.
+    """
+
+    def __init__(
+        self,
+        cache: ArtifactCache | None = None,
+        telemetry: Telemetry | None = None,
+        window_seconds: float = DEFAULT_WINDOW_SECONDS,
+        max_batch: int = DEFAULT_MAX_BATCH,
+    ):
+        self.cache = cache
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.window_seconds = float(window_seconds)
+        self.max_batch = int(max_batch)
+        self._pending: list[CompileJob] = []
+        self._flush_handle: "asyncio.TimerHandle | None" = None
+        self.batches_flushed = 0
+        self.jobs_submitted = 0
+
+    # ------------------------------------------------------------------ #
+    async def submit(
+        self,
+        program: "Sequence[PauliTerm] | SparsePauliSum",
+        target: str | None = None,
+        level: int = 3,
+        pipeline: str | None = None,
+        use_cache: bool = True,
+    ) -> CompletedJob:
+        """Queue one compile request; resolves when its batch completes."""
+        loop = asyncio.get_running_loop()
+        job = CompileJob(
+            program=program,
+            target=target,
+            level=level,
+            pipeline=pipeline,
+            use_cache=use_cache,
+            future=loop.create_future(),
+        )
+        self._pending.append(job)
+        self.jobs_submitted += 1
+        if len(self._pending) >= self.max_batch:
+            self._flush(loop)
+        elif self._flush_handle is None:
+            self._flush_handle = loop.call_later(
+                self.window_seconds, self._flush, loop
+            )
+        completed: CompletedJob = await job.future
+        if completed.error is not None:
+            raise completed.error
+        return completed
+
+    def _flush(self, loop: "asyncio.AbstractEventLoop") -> None:
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        if not self._pending:
+            return
+        batch, self._pending = self._pending, []
+        self.batches_flushed += 1
+        self.telemetry.inc("service.batches")
+        self.telemetry.observe("service.batch_size", len(batch))
+        loop.create_task(self._run_batch(loop, batch))
+
+    async def _run_batch(
+        self, loop: "asyncio.AbstractEventLoop", batch: list[CompileJob]
+    ) -> None:
+        try:
+            completed = await loop.run_in_executor(
+                None, execute_batch, batch, self.cache, self.telemetry
+            )
+        except BaseException as error:  # defensive: execute_batch traps per-job
+            for job in batch:
+                if not job.future.done():
+                    job.future.set_exception(error)
+            return
+        for job, outcome in zip(batch, completed):
+            if not job.future.done():
+                job.future.set_result(outcome)

@@ -1,0 +1,374 @@
+"""Compact versioned wire format for programs, circuits, and compile results.
+
+Every payload is a JSON-safe ``dict`` tagged with a ``"format"`` string of the
+shape ``"repro.<kind>/v<version>"``; :func:`check_format` rejects anything
+else with a :class:`~repro.exceptions.WireFormatError`, so a future format
+bump degrades into a clear error instead of silent misparsing.
+
+Bit-exactness is the design constraint, not prettiness:
+
+* Pauli programs (:class:`~repro.paulis.sum.SparsePauliSum` or term lists)
+  travel as base64 of their **packed** ``uint64`` word matrices plus the raw
+  ``float64`` coefficient vector — the store the whole compiler operates on,
+  with no per-term repacking on either side.  ``deserialize(serialize(x))``
+  reproduces the packed words, phases and coefficients byte-for-byte.
+* Circuits travel through the existing OpenQASM path
+  (:func:`repro.circuits.qasm.to_qasm` / ``from_qasm``); float parameters are
+  emitted with ``repr`` and parsed with ``float``, which round-trips every
+  IEEE-754 double exactly.
+* Clifford tableaus travel as their packed generator rows.
+* Whole :class:`~repro.compiler.result.CompilationResult` objects round-trip
+  through :func:`result_to_wire` / :func:`result_from_wire` — circuit,
+  extracted tail, conjugation tableau, metadata and pass timings included.
+  (Python's ``json`` emits floats with ``repr``, so timing floats survive a
+  JSON round-trip bit-exactly too.)
+
+Arrays are encoded with explicit little-endian dtypes so payloads are
+portable across hosts.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.qasm import from_qasm, to_qasm
+from repro.clifford.tableau import CliffordTableau
+from repro.compiler.context import PropertySet
+from repro.compiler.result import CompilationResult
+from repro.core.extraction import ExtractionResult
+from repro.exceptions import WireFormatError
+from repro.paulis.packed import PackedPauliTable, words_for_qubits
+from repro.paulis.pauli import PauliString
+from repro.paulis.sum import SparsePauliSum
+from repro.paulis.term import PauliTerm
+
+#: wire-format version shared by every payload kind
+WIRE_VERSION = 1
+
+PROGRAM_FORMAT = f"repro.program/v{WIRE_VERSION}"
+PAULI_FORMAT = f"repro.pauli/v{WIRE_VERSION}"
+CIRCUIT_FORMAT = f"repro.circuit/v{WIRE_VERSION}"
+TABLEAU_FORMAT = f"repro.tableau/v{WIRE_VERSION}"
+RESULT_FORMAT = f"repro.result/v{WIRE_VERSION}"
+
+
+def check_format(payload: dict, expected: str) -> None:
+    """Reject payloads that are not dicts tagged with ``expected``."""
+    if not isinstance(payload, dict):
+        raise WireFormatError(
+            f"expected a {expected!r} payload, got {type(payload).__name__}"
+        )
+    tag = payload.get("format")
+    if tag != expected:
+        raise WireFormatError(f"expected format {expected!r}, got {tag!r}")
+
+
+def _field(payload: dict, key: str, kind: str):
+    """A required payload field, as a :class:`WireFormatError` on absence.
+
+    Every structural lookup in the decoders goes through here so that a
+    truncated or hand-built payload degrades into the one exception type the
+    cache's drop-and-recompile recovery handles, never a bare ``KeyError``.
+    """
+    try:
+        return payload[key]
+    except (KeyError, TypeError) as error:
+        raise WireFormatError(f"{kind} payload lacks required field {key!r}") from error
+
+
+# ---------------------------------------------------------------------- #
+# Array encoding
+# ---------------------------------------------------------------------- #
+def encode_array(array: np.ndarray, dtype: str) -> dict:
+    """Base64 of ``array`` in explicit little-endian ``dtype``, with shape."""
+    contiguous = np.ascontiguousarray(array, dtype=np.dtype(dtype))
+    return {
+        "shape": list(contiguous.shape),
+        "data": base64.b64encode(contiguous.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(payload: dict, dtype: str) -> np.ndarray:
+    """Inverse of :func:`encode_array`."""
+    try:
+        shape = tuple(int(axis) for axis in _field(payload, "shape", "array"))
+        raw = base64.b64decode(
+            _field(payload, "data", "array").encode("ascii"), validate=True
+        )
+    except (TypeError, ValueError, AttributeError) as error:
+        raise WireFormatError(f"malformed array payload: {error}") from error
+    spec = np.dtype(dtype)
+    expected = spec.itemsize * int(np.prod(shape, dtype=np.int64)) if shape else spec.itemsize
+    if len(raw) != expected:
+        raise WireFormatError(
+            f"array payload holds {len(raw)} bytes, shape {shape} needs {expected}"
+        )
+    return np.frombuffer(raw, dtype=spec).reshape(shape).copy()
+
+
+def _packed_table_fields(table: PackedPauliTable) -> dict:
+    return {
+        "num_qubits": table.num_qubits,
+        "x_words": encode_array(table.x_words, "<u8"),
+        "z_words": encode_array(table.z_words, "<u8"),
+        "phases": encode_array(table.phases, "<i8"),
+    }
+
+
+def _packed_table_from_fields(payload: dict) -> PackedPauliTable:
+    try:
+        num_qubits = int(_field(payload, "num_qubits", "packed-table"))
+    except (TypeError, ValueError) as error:
+        raise WireFormatError(f"malformed packed-table payload: {error}") from error
+    x_words = decode_array(_field(payload, "x_words", "packed-table"), "<u8")
+    z_words = decode_array(_field(payload, "z_words", "packed-table"), "<u8")
+    phases = decode_array(_field(payload, "phases", "packed-table"), "<i8")
+    words = words_for_qubits(num_qubits)
+    if x_words.ndim != 2 or x_words.shape[1] != words or x_words.shape != z_words.shape:
+        raise WireFormatError(
+            f"packed words {x_words.shape}/{z_words.shape} do not fit "
+            f"{num_qubits} qubits ({words} words per row)"
+        )
+    return PackedPauliTable(num_qubits, x_words, z_words, phases)
+
+
+# ---------------------------------------------------------------------- #
+# Pauli strings and programs
+# ---------------------------------------------------------------------- #
+def pauli_to_wire(pauli: PauliString) -> dict:
+    """One Pauli string as packed words plus its phase exponent."""
+    return {
+        "format": PAULI_FORMAT,
+        "num_qubits": pauli.num_qubits,
+        "x_words": encode_array(pauli.x_words, "<u8"),
+        "z_words": encode_array(pauli.z_words, "<u8"),
+        "phase": int(pauli.phase),
+    }
+
+
+def pauli_from_wire(payload: dict) -> PauliString:
+    check_format(payload, PAULI_FORMAT)
+    num_qubits = int(_field(payload, "num_qubits", "Pauli"))
+    x_words = decode_array(_field(payload, "x_words", "Pauli"), "<u8")
+    z_words = decode_array(_field(payload, "z_words", "Pauli"), "<u8")
+    try:
+        return PauliString.from_words(
+            num_qubits, x_words, z_words, int(_field(payload, "phase", "Pauli"))
+        )
+    except Exception as error:
+        raise WireFormatError(f"malformed Pauli payload: {error}") from error
+
+
+def program_to_wire(program: Sequence[PauliTerm] | SparsePauliSum) -> dict:
+    """A whole Pauli-rotation program (or observable sum) in one payload.
+
+    A :class:`SparsePauliSum` ships its canonical packed store directly; a
+    term list is packed once here (the same one-time cost
+    :func:`repro.compile` pays).  ``kind`` records which container to
+    rebuild, so ``program_from_wire`` hands the compiler exactly the shape
+    the client submitted.
+    """
+    if isinstance(program, SparsePauliSum):
+        kind = "sum"
+        table = program.packed_table
+        coefficients = program.coefficient_vector()
+    else:
+        term_list = list(program)
+        if not term_list:
+            raise WireFormatError("cannot serialize an empty program")
+        kind = "terms"
+        table = PackedPauliTable.from_paulis(term.pauli for term in term_list)
+        coefficients = np.array([term.coefficient for term in term_list], dtype=float)
+    payload = {"format": PROGRAM_FORMAT, "kind": kind}
+    payload.update(_packed_table_fields(table))
+    payload["coefficients"] = encode_array(coefficients, "<f8")
+    return payload
+
+
+def program_from_wire(payload: dict) -> list[PauliTerm] | SparsePauliSum:
+    check_format(payload, PROGRAM_FORMAT)
+    kind = payload.get("kind")
+    table = _packed_table_from_fields(payload)
+    coefficients = decode_array(_field(payload, "coefficients", "program"), "<f8")
+    if coefficients.shape != (table.num_rows,):
+        raise WireFormatError(
+            f"{coefficients.shape[0] if coefficients.ndim else 0} coefficients "
+            f"for {table.num_rows} packed rows"
+        )
+    if kind == "sum":
+        try:
+            return SparsePauliSum.from_packed(table, coefficients)
+        except Exception as error:
+            raise WireFormatError(f"malformed sum payload: {error}") from error
+    if kind == "terms":
+        return [
+            PauliTerm(table.row(index), float(coefficients[index]))
+            for index in range(table.num_rows)
+        ]
+    raise WireFormatError(f"unknown program kind {kind!r}")
+
+
+def sum_to_wire(observable: SparsePauliSum) -> dict:
+    """Alias of :func:`program_to_wire` restricted to sums."""
+    if not isinstance(observable, SparsePauliSum):
+        raise WireFormatError(f"expected a SparsePauliSum, got {type(observable).__name__}")
+    return program_to_wire(observable)
+
+
+def sum_from_wire(payload: dict) -> SparsePauliSum:
+    restored = program_from_wire(payload)
+    if not isinstance(restored, SparsePauliSum):
+        raise WireFormatError("payload holds a term-list program, not a sum")
+    return restored
+
+
+# ---------------------------------------------------------------------- #
+# Circuits and tableaus
+# ---------------------------------------------------------------------- #
+def circuit_to_wire(circuit: QuantumCircuit) -> dict:
+    """A circuit as its OpenQASM 2.0 text (the platform-independent path)."""
+    return {
+        "format": CIRCUIT_FORMAT,
+        "num_qubits": circuit.num_qubits,
+        "qasm": to_qasm(circuit),
+    }
+
+
+def circuit_from_wire(payload: dict) -> QuantumCircuit:
+    check_format(payload, CIRCUIT_FORMAT)
+    try:
+        circuit = from_qasm(_field(payload, "qasm", "circuit"))
+    except TypeError as error:
+        raise WireFormatError(f"malformed circuit payload: {error}") from error
+    declared = int(payload.get("num_qubits", circuit.num_qubits))
+    if circuit.num_qubits != declared:
+        raise WireFormatError(
+            f"circuit payload declares {declared} qubits but its QASM "
+            f"register holds {circuit.num_qubits}"
+        )
+    return circuit
+
+
+def tableau_to_wire(tableau: CliffordTableau) -> dict:
+    """A Clifford tableau as its ``2n`` packed generator-image rows."""
+    payload = {"format": TABLEAU_FORMAT}
+    payload.update(_packed_table_fields(tableau.packed_rows()))
+    return payload
+
+
+def tableau_from_wire(payload: dict) -> CliffordTableau:
+    check_format(payload, TABLEAU_FORMAT)
+    rows = _packed_table_from_fields(payload)
+    try:
+        return CliffordTableau.from_packed_rows(rows)
+    except Exception as error:
+        raise WireFormatError(f"malformed tableau payload: {error}") from error
+
+
+# ---------------------------------------------------------------------- #
+# Compilation results
+# ---------------------------------------------------------------------- #
+def _optional(value, to_wire):
+    return None if value is None else to_wire(value)
+
+
+def result_to_wire(result: CompilationResult) -> dict:
+    """A :class:`CompilationResult` as one JSON-safe payload.
+
+    The extraction block deduplicates against the top-level circuits: on the
+    unrouted presets ``extraction.optimized_circuit`` *is* ``result.circuit``
+    (and the two extracted tails match), so those are stored once and marked
+    with a reference instead of serializing ~half the payload twice.
+    ``properties`` are deliberately not shipped — they hold process-local
+    machinery (conjugation caches, lazy absorbers) that the receiving side
+    rebuilds on demand.
+    """
+    payload = {
+        "format": RESULT_FORMAT,
+        "name": result.name,
+        "compile_seconds": float(result.compile_seconds),
+        "metadata": result.metadata,
+        "circuit": circuit_to_wire(result.circuit),
+        "extracted_clifford": _optional(result.extracted_clifford, circuit_to_wire),
+        "extraction": None,
+    }
+    extraction = result.extraction
+    if extraction is not None:
+        if extraction.optimized_circuit == result.circuit:
+            optimized = {"same_as": "circuit"}
+        else:
+            optimized = circuit_to_wire(extraction.optimized_circuit)
+        if (
+            result.extracted_clifford is not None
+            and extraction.extracted_clifford == result.extracted_clifford
+        ):
+            tail = {"same_as": "extracted_clifford"}
+        else:
+            tail = circuit_to_wire(extraction.extracted_clifford)
+        payload["extraction"] = {
+            "optimized_circuit": optimized,
+            "extracted_clifford": tail,
+            "conjugation": tableau_to_wire(extraction.conjugation),
+            "terms": program_to_wire(extraction.terms) if extraction.terms else None,
+            "rotation_count": int(extraction.rotation_count),
+            "elapsed_seconds": float(extraction.elapsed_seconds),
+            "metadata": extraction.metadata,
+        }
+    return payload
+
+
+def _circuit_or_reference(payload: dict, references: dict) -> QuantumCircuit:
+    if isinstance(payload, dict) and "same_as" in payload:
+        name = payload["same_as"]
+        resolved = references.get(name)
+        if resolved is None:
+            raise WireFormatError(f"extraction payload references unknown circuit {name!r}")
+        return resolved
+    return circuit_from_wire(payload)
+
+
+def result_from_wire(payload: dict) -> CompilationResult:
+    check_format(payload, RESULT_FORMAT)
+    circuit = circuit_from_wire(_field(payload, "circuit", "result"))
+    extracted = payload.get("extracted_clifford")
+    extracted_clifford = None if extracted is None else circuit_from_wire(extracted)
+    metadata = payload.get("metadata") or {}
+    if not isinstance(metadata, dict):
+        raise WireFormatError("result metadata must be a JSON object")
+
+    extraction = None
+    extraction_payload = payload.get("extraction")
+    if extraction_payload is not None:
+        references = {"circuit": circuit, "extracted_clifford": extracted_clifford}
+        terms_payload = extraction_payload.get("terms")
+        terms = [] if terms_payload is None else program_from_wire(terms_payload)
+        if isinstance(terms, SparsePauliSum):
+            terms = terms.terms
+        extraction = ExtractionResult(
+            optimized_circuit=_circuit_or_reference(
+                _field(extraction_payload, "optimized_circuit", "extraction"), references
+            ),
+            extracted_clifford=_circuit_or_reference(
+                _field(extraction_payload, "extracted_clifford", "extraction"), references
+            ),
+            conjugation=tableau_from_wire(
+                _field(extraction_payload, "conjugation", "extraction")
+            ),
+            terms=terms,
+            rotation_count=int(extraction_payload.get("rotation_count", 0)),
+            elapsed_seconds=float(extraction_payload.get("elapsed_seconds", 0.0)),
+            metadata=extraction_payload.get("metadata") or {},
+        )
+    return CompilationResult(
+        circuit=circuit,
+        extracted_clifford=extracted_clifford,
+        extraction=extraction,
+        compile_seconds=float(payload.get("compile_seconds", 0.0)),
+        name=str(payload.get("name", "quclear")),
+        metadata=metadata,
+        properties=PropertySet(),
+    )

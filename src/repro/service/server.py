@@ -1,0 +1,411 @@
+"""Stdlib-only ``asyncio`` HTTP JSON front-end for the compiler.
+
+Endpoints (all JSON bodies/responses):
+
+* ``POST /compile`` — one wire-format program (plus ``target`` / ``level`` /
+  ``pipeline`` / ``use_cache`` / ``include_result`` options); responds with
+  the artifact ``key``, a ``cache_hit`` flag, summary ``metrics``, and the
+  serialized result.
+* ``POST /compile_batch`` — ``{"programs": [...]}`` with shared options; the
+  entries coalesce into the same scheduler window and compile as one planned
+  batch.  Per-entry errors are reported per entry.
+* ``GET /result/<key>`` — fetch a cached artifact by key (404 on miss).
+* ``GET /healthz`` — liveness.
+* ``GET /metrics`` — telemetry counters/histograms plus cache statistics.
+
+The server is a single ``asyncio`` process: request handling stays on the
+event loop, while compilation runs on worker threads via the
+:class:`~repro.service.scheduler.BatchingScheduler`, so concurrent
+``POST /compile`` requests buffer for a few milliseconds and execute as one
+:func:`repro.compile_many` batch.  HTTP/1.1 keep-alive is supported (one
+request at a time per connection).
+
+Start it with ``python -m repro.service``; drive it with
+:class:`repro.service.client.Client`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+
+from repro.exceptions import ReproError
+from repro.service.cache import ArtifactCache
+from repro.service.scheduler import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_WINDOW_SECONDS,
+    BatchingScheduler,
+    CompletedJob,
+)
+from repro.service.serialize import program_from_wire, result_to_wire
+from repro.service.telemetry import Telemetry
+
+#: largest accepted request body (64 MiB — a ~100k-term wire program is ~4 MiB)
+DEFAULT_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class _HttpError(Exception):
+    """Internal: carries an HTTP status + JSON error payload to the writer."""
+
+    def __init__(self, status: int, message: str, kind: str = "error"):
+        super().__init__(message)
+        self.status = status
+        self.payload = {"error": message, "type": kind}
+
+
+def _bad_request(error: Exception) -> _HttpError:
+    return _HttpError(400, str(error), kind=type(error).__name__)
+
+
+class ServiceServer:
+    """The compilation service: cache + scheduler + HTTP front-end."""
+
+    def __init__(
+        self,
+        cache_dir: str | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache: ArtifactCache | None = None,
+        window_seconds: float = DEFAULT_WINDOW_SECONDS,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_cache_bytes: int | None = None,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    ):
+        if cache is None and cache_dir is not None:
+            cache_kwargs = {} if max_cache_bytes is None else {"max_bytes": max_cache_bytes}
+            cache = ArtifactCache(cache_dir, **cache_kwargs)
+        self.cache = cache
+        self.host = host
+        self.port = int(port)  # replaced by the bound port after start()
+        self.telemetry = Telemetry()
+        self.scheduler = BatchingScheduler(
+            cache=self.cache,
+            telemetry=self.telemetry,
+            window_seconds=window_seconds,
+            max_batch=max_batch,
+        )
+        self.max_body_bytes = int(max_body_bytes)
+        self._server: "asyncio.AbstractServer | None" = None
+        self._connections: "set[asyncio.Task]" = set()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Bind and start accepting connections (fills in :attr:`port`)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # keep-alive connections idle in readline() outlive the listener;
+        # cancel them so the loop shuts down clean
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._connections.clear()
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------ #
+    # HTTP plumbing
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while True:
+                keep_alive = await self._handle_one_request(reader, writer)
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.CancelledError,
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.LimitOverrunError,
+        ):
+            pass  # client went away mid-request, or the server is closing
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _handle_one_request(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        request_line = await reader.readline()
+        if not request_line:
+            return False
+        try:
+            method, path, version = request_line.decode("latin-1").split()
+        except ValueError:
+            await self._respond(writer, 400, {"error": "malformed request line"}, False)
+            return False
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        keep_alive = (
+            headers.get("connection", "keep-alive" if version == "HTTP/1.1" else "close")
+            .lower()
+            != "close"
+        )
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            length = -1
+        if length < 0:
+            await self._respond(
+                writer, 400, {"error": "malformed Content-Length header"}, False
+            )
+            return False
+        if length > self.max_body_bytes:
+            await self._respond(
+                writer,
+                413,
+                {"error": f"body of {length} bytes exceeds the {self.max_body_bytes} cap"},
+                False,
+            )
+            return False
+        body = await reader.readexactly(length) if length else b""
+
+        self.telemetry.inc("service.http_requests")
+        with self.telemetry.timed("service.request_seconds"):
+            try:
+                status, payload = await self._dispatch(method, path, body)
+            except _HttpError as error:
+                status, payload = error.status, error.payload
+            except ReproError as error:
+                status, payload = 400, {"error": str(error), "type": type(error).__name__}
+            except Exception as error:  # noqa: BLE001 — the server must not die
+                self.telemetry.inc("service.http_500")
+                status, payload = 500, {"error": str(error), "type": type(error).__name__}
+        if status != 200:
+            self.telemetry.inc(f"service.http_{status}")
+        await self._respond(writer, status, payload, keep_alive)
+        return keep_alive
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        keep_alive: bool,
+    ) -> None:
+        body = json.dumps(payload, separators=(",", ":")).encode()
+        connection = "keep-alive" if keep_alive else "close"
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {connection}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    async def _dispatch(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+        path = path.split("?", 1)[0]
+        if method == "GET":
+            if path == "/healthz":
+                return 200, self._healthz()
+            if path == "/metrics":
+                return 200, self._metrics()
+            if path.startswith("/result/"):
+                return self._get_result(path[len("/result/"):])
+            raise _HttpError(404, f"unknown path {path!r}", kind="NotFound")
+        if method == "POST":
+            payload = self._parse_json(body)
+            if path == "/compile":
+                return await self._post_compile(payload)
+            if path == "/compile_batch":
+                return await self._post_compile_batch(payload)
+            raise _HttpError(404, f"unknown path {path!r}", kind="NotFound")
+        raise _HttpError(405, f"method {method} not supported", kind="MethodNotAllowed")
+
+    def _parse_json(self, body: bytes) -> dict:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _HttpError(400, f"request body is not valid JSON: {error}") from error
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "request body must be a JSON object")
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # Handlers
+    # ------------------------------------------------------------------ #
+    def _healthz(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_seconds": self.telemetry.snapshot()["uptime_seconds"],
+            "caching": self.cache is not None,
+        }
+
+    def _metrics(self) -> dict:
+        payload = {
+            "telemetry": self.telemetry.snapshot(),
+            "scheduler": {
+                "jobs_submitted": self.scheduler.jobs_submitted,
+                "batches_flushed": self.scheduler.batches_flushed,
+                "window_seconds": self.scheduler.window_seconds,
+                "max_batch": self.scheduler.max_batch,
+            },
+        }
+        if self.cache is not None:
+            payload["cache"] = self.cache.stats()
+        return payload
+
+    def _get_result(self, key: str) -> tuple[int, dict]:
+        if self.cache is None:
+            raise _HttpError(404, "the server runs without an artifact cache", "NoCache")
+        try:
+            result = self.cache.get(key)
+        except ReproError as error:
+            raise _bad_request(error) from error
+        if result is None:
+            raise _HttpError(404, f"no artifact stored under {key!r}", "NotFound")
+        return 200, {"key": key, "result": result_to_wire(result)}
+
+    @staticmethod
+    def _compile_options(payload: dict) -> dict:
+        level = payload.get("level", 3)
+        if not isinstance(level, int) or isinstance(level, bool):
+            raise _HttpError(400, f"level must be an integer, got {level!r}")
+        pipeline = payload.get("pipeline")
+        if pipeline is not None and not isinstance(pipeline, str):
+            raise _HttpError(400, "pipeline must be a registered pipeline name")
+        target = payload.get("target")
+        if target is not None and not isinstance(target, str):
+            raise _HttpError(400, "target must be a known device name")
+        return {
+            "level": level,
+            "pipeline": pipeline,
+            "target": target,
+            "use_cache": bool(payload.get("use_cache", True)),
+        }
+
+    def _job_payload(self, outcome: CompletedJob, include_result: bool) -> dict:
+        entry: dict = {"key": outcome.key, "cache_hit": outcome.cache_hit}
+        if outcome.result is not None:
+            entry["metrics"] = outcome.result.metrics()
+            entry["compiler"] = outcome.result.name
+            if include_result:
+                entry["result"] = result_to_wire(outcome.result)
+        return entry
+
+    async def _post_compile(self, payload: dict) -> tuple[int, dict]:
+        wire_program = payload.get("program")
+        if wire_program is None:
+            raise _HttpError(400, "payload lacks a 'program' field")
+        options = self._compile_options(payload)
+        include_result = bool(payload.get("include_result", True))
+        try:
+            program = program_from_wire(wire_program)
+        except ReproError as error:
+            raise _bad_request(error) from error
+        outcome = await self.scheduler.submit(program, **options)
+        return 200, self._job_payload(outcome, include_result)
+
+    async def _post_compile_batch(self, payload: dict) -> tuple[int, dict]:
+        wire_programs = payload.get("programs")
+        if not isinstance(wire_programs, list) or not wire_programs:
+            raise _HttpError(400, "payload needs a non-empty 'programs' list")
+        options = self._compile_options(payload)
+        include_result = bool(payload.get("include_result", True))
+
+        async def _one(wire_program) -> dict:
+            try:
+                program = program_from_wire(wire_program)
+                outcome = await self.scheduler.submit(program, **options)
+            except ReproError as error:
+                return {"error": str(error), "type": type(error).__name__}
+            return self._job_payload(outcome, include_result)
+
+        # submitted in one loop tick, so the scheduler coalesces the whole
+        # batch into a single window
+        entries = await asyncio.gather(*(_one(wire) for wire in wire_programs))
+        return 200, {"results": list(entries)}
+
+
+# ---------------------------------------------------------------------- #
+# In-process server harness (tests, benchmarks, examples)
+# ---------------------------------------------------------------------- #
+@contextlib.contextmanager
+def run_server_in_thread(server: ServiceServer, startup_timeout: float = 10.0):
+    """Run ``server`` on a dedicated event-loop thread; yields it started.
+
+    The server binds before the context body runs, so ``server.port`` is the
+    real (possibly ephemeral) port.  On exit the server is closed and the
+    loop thread joined.
+    """
+    loop = asyncio.new_event_loop()
+    ready = threading.Event()
+    startup_error: list[BaseException] = []
+
+    def _runner() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(server.start())
+        except BaseException as error:  # noqa: BLE001 — reported to the caller
+            startup_error.append(error)
+            ready.set()
+            return
+        ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.run_until_complete(loop.shutdown_default_executor())
+            loop.close()
+
+    thread = threading.Thread(target=_runner, name="repro-service", daemon=True)
+    thread.start()
+    if not ready.wait(startup_timeout):
+        raise TimeoutError("service server failed to start in time")
+    if startup_error:
+        thread.join()
+        raise startup_error[0]
+    try:
+        yield server
+    finally:
+        asyncio.run_coroutine_threadsafe(server.aclose(), loop).result(startup_timeout)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(startup_timeout)

@@ -146,6 +146,147 @@ class TestBatchPlan:
         assert [r.circuit for r in auto] == [r.circuit for r in threaded]
 
 
+class TestBatchPlanBoundaries:
+    """Exact threshold behavior of the overhead-aware executor resolution.
+
+    ``plan_batch`` only reads ``len(program)`` per entry, so the boundary
+    programs are built by repeating one term — the term *count* is what's
+    under test, not the synthesis.
+    """
+
+    @staticmethod
+    def _program_of(rng, total_terms):
+        seed = random_pauli_terms(rng, 4, 1)
+        return seed * total_terms
+
+    def test_exactly_at_serial_cutoff_is_threads(self, rng):
+        from repro.compiler import plan_batch
+        from repro.compiler.api import SERIAL_BATCH_TERMS
+
+        half = SERIAL_BATCH_TERMS // 2
+        plan = plan_batch(
+            [self._program_of(rng, half), self._program_of(rng, SERIAL_BATCH_TERMS - half)],
+            max_workers=4,
+        )
+        assert plan.total_terms == SERIAL_BATCH_TERMS
+        assert plan.executor == "threads"
+
+    def test_one_below_serial_cutoff_is_serial(self, rng):
+        from repro.compiler import plan_batch
+        from repro.compiler.api import SERIAL_BATCH_TERMS
+
+        half = SERIAL_BATCH_TERMS // 2
+        plan = plan_batch(
+            [
+                self._program_of(rng, half),
+                self._program_of(rng, SERIAL_BATCH_TERMS - half - 1),
+            ],
+            max_workers=4,
+        )
+        assert plan.total_terms == SERIAL_BATCH_TERMS - 1
+        assert plan.executor == "serial"
+        assert plan.max_workers == 1
+
+    def test_exactly_at_process_cutoff_is_processes(self, rng):
+        from repro.compiler import plan_batch
+        from repro.compiler.api import PROCESS_BATCH_TERMS
+
+        half = PROCESS_BATCH_TERMS // 2
+        plan = plan_batch(
+            [
+                self._program_of(rng, half),
+                self._program_of(rng, PROCESS_BATCH_TERMS - half),
+            ],
+            max_workers=4,
+        )
+        assert plan.total_terms == PROCESS_BATCH_TERMS
+        assert plan.executor == "processes"
+
+    def test_one_below_process_cutoff_is_threads(self, rng):
+        from repro.compiler import plan_batch
+        from repro.compiler.api import PROCESS_BATCH_TERMS
+
+        half = PROCESS_BATCH_TERMS // 2
+        plan = plan_batch(
+            [
+                self._program_of(rng, half),
+                self._program_of(rng, PROCESS_BATCH_TERMS - half - 1),
+            ],
+            max_workers=4,
+        )
+        assert plan.total_terms == PROCESS_BATCH_TERMS - 1
+        assert plan.executor == "threads"
+
+    def test_explicit_serial_override_beats_process_sized_batch(self, rng):
+        from repro.compiler import plan_batch
+        from repro.compiler.api import PROCESS_BATCH_TERMS
+
+        programs = [self._program_of(rng, PROCESS_BATCH_TERMS)] * 2
+        plan = plan_batch(programs, max_workers=4, executor="serial")
+        assert plan.executor == "serial"
+        assert "explicit" in plan.reason
+
+    def test_explicit_threads_override_beats_process_sized_batch(self, rng):
+        from repro.compiler import plan_batch
+        from repro.compiler.api import PROCESS_BATCH_TERMS
+
+        programs = [self._program_of(rng, PROCESS_BATCH_TERMS)] * 2
+        plan = plan_batch(programs, max_workers=4, executor="threads")
+        assert plan.executor == "threads"
+        assert "explicit" in plan.reason
+
+    def test_explicit_processes_override_beats_tiny_batch(self, rng):
+        from repro.compiler import plan_batch
+
+        plan = plan_batch(
+            [self._program_of(rng, 3), self._program_of(rng, 3)],
+            max_workers=4,
+            executor="processes",
+        )
+        assert plan.executor == "processes"
+
+    def test_explicit_override_still_degenerates_to_serial_alone(self, rng):
+        # the one documented exception: nothing to parallelize
+        from repro.compiler import plan_batch
+
+        plan = plan_batch([self._program_of(rng, 50)], executor="processes")
+        assert plan.executor == "serial"
+        plan = plan_batch(
+            [self._program_of(rng, 50)] * 3, max_workers=1, executor="threads"
+        )
+        assert plan.executor == "serial"
+
+    def test_explicit_processes_never_shares_the_caller_cache(self, rng):
+        # the shared-cache-never-with-processes invariant, explicit flavor:
+        # workers keep private per-process caches, results come back with the
+        # cache stripped, and the caller's object stays untouched
+        programs = [random_pauli_terms(rng, 4, 5) for _ in range(2)]
+        cache = ConjugationCache()
+        batch = repro.compile_many(
+            programs,
+            level=3,
+            executor="processes",
+            max_workers=2,
+            conjugation_cache=cache,
+        )
+        assert all(r.properties["conjugation_cache"] is not cache for r in batch)
+        assert all(r.properties["conjugation_cache"] is None for r in batch)
+        assert cache.stats()["entries"] == 0
+
+    def test_auto_downgrade_reason_mentions_the_cache(self, rng):
+        # the auto path's cache-preserving downgrade is observable via the
+        # results: every result must carry the caller's cache object
+        from repro.compiler.api import PROCESS_BATCH_TERMS
+
+        per_program = PROCESS_BATCH_TERMS // 2 + 1
+        programs = [self._program_of(rng, per_program)] * 2
+        cache = ConjugationCache()
+        batch = repro.compile_many(
+            programs, level=0, max_workers=2, conjugation_cache=cache
+        )
+        assert all(r.properties["conjugation_cache"] is cache for r in batch)
+
+
 class TestSharedConjugationCache:
     def test_cache_attached_to_every_result(self, rng):
         programs = _programs(rng, count=3)

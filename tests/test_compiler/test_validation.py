@@ -1,0 +1,79 @@
+"""Consistent input validation at every compile entry point (InvalidProgramError)."""
+
+import pytest
+
+import repro
+from repro.compiler.api import validate_program
+from repro.exceptions import CompilerError, InvalidProgramError, ReproError
+from repro.paulis.pauli import PauliString
+from repro.paulis.sum import SparsePauliSum
+from repro.paulis.term import PauliTerm
+
+from tests.conftest import random_pauli_terms
+
+
+def _zero_qubit_program():
+    return [PauliTerm(PauliString([], []), 1.0)]
+
+
+class TestValidateProgram:
+    def test_accepts_normal_programs(self, rng):
+        validate_program(random_pauli_terms(rng, 4, 5))
+        validate_program(SparsePauliSum(random_pauli_terms(rng, 4, 5)))
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(InvalidProgramError, match="empty"):
+            validate_program([])
+
+    def test_rejects_zero_qubit_terms(self):
+        with pytest.raises(InvalidProgramError, match="zero qubits"):
+            validate_program(_zero_qubit_program())
+
+    def test_message_names_source_and_index(self):
+        with pytest.raises(InvalidProgramError, match=r"repro\.compile_many: program 2"):
+            validate_program([], source="repro.compile_many", index=2)
+
+    def test_is_a_compiler_and_repro_error(self):
+        # callers that already catch CompilerError keep working
+        assert issubclass(InvalidProgramError, CompilerError)
+        assert issubclass(InvalidProgramError, ReproError)
+
+
+class TestCompileEntryPoint:
+    def test_empty_program_raises_invalid_program(self):
+        with pytest.raises(InvalidProgramError):
+            repro.compile([])
+
+    def test_zero_qubit_program_raises_invalid_program(self):
+        with pytest.raises(InvalidProgramError):
+            repro.compile(_zero_qubit_program())
+
+    @pytest.mark.parametrize("level", [0, 1, 2, 3])
+    def test_every_level_validates(self, level):
+        with pytest.raises(InvalidProgramError):
+            repro.compile([], level=level)
+
+    def test_generator_programs_still_compile(self, rng):
+        terms = random_pauli_terms(rng, 4, 5)
+        result = repro.compile(iter(terms), level=1)
+        assert result.circuit == repro.compile(terms, level=1).circuit
+
+
+class TestCompileManyEntryPoint:
+    def test_empty_batch_is_still_allowed(self):
+        # an empty *batch* is a no-op, not an error — only empty programs are
+        assert repro.compile_many([]) == []
+
+    def test_empty_program_in_batch_names_its_index(self, rng):
+        programs = [random_pauli_terms(rng, 4, 5), [], random_pauli_terms(rng, 4, 5)]
+        with pytest.raises(InvalidProgramError, match="program 1"):
+            repro.compile_many(programs)
+
+    def test_zero_qubit_program_in_batch_rejected(self, rng):
+        with pytest.raises(InvalidProgramError):
+            repro.compile_many([random_pauli_terms(rng, 4, 5), _zero_qubit_program()])
+
+    def test_validation_happens_before_any_compilation(self, rng):
+        # the failure must be immediate and total: no partial results
+        with pytest.raises(InvalidProgramError):
+            repro.compile_many([[], random_pauli_terms(rng, 4, 5)])

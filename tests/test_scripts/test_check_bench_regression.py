@@ -98,10 +98,11 @@ class TestStrictMode:
 
     def test_committed_baselines_have_every_gated_floor(self):
         # the committed floors must stay strict-clean: every METRICS entry
-        # needs a floor in both tier baselines
+        # needs a floor in both tier baselines, and the service block needs
+        # every SERVICE_METRICS floor
         sys.path.insert(0, str(REPO_ROOT / "scripts"))
         try:
-            from check_bench_regression import METRICS
+            from check_bench_regression import METRICS, SERVICE_METRICS
         finally:
             sys.path.pop(0)
         for tier_file in (
@@ -114,3 +115,49 @@ class TestStrictMode:
             for workload, entry in committed["workloads"].items():
                 for metric in METRICS:
                     assert metric in entry, f"{tier_file}: {workload} lacks {metric}"
+            assert "service" in committed, f"{tier_file} lacks the service block"
+            for metric in SERVICE_METRICS:
+                assert metric in committed["service"], f"{tier_file}: service lacks {metric}"
+
+
+SERVICE_BASELINE = dict(
+    BASELINE, service={"warm_hit_speedup": 100.0, "requests_per_sec": 50.0}
+)
+SERVICE_CURRENT = dict(
+    CURRENT_OK, service={"warm_hit_speedup": 5000.0, "requests_per_sec": 200.0}
+)
+
+
+class TestServiceGate:
+    def test_passes_above_service_floors(self, tmp_path):
+        result = _run(tmp_path, SERVICE_BASELINE, SERVICE_CURRENT, "--strict")
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_fails_on_service_regression(self, tmp_path):
+        slow = json.loads(json.dumps(SERVICE_CURRENT))
+        slow["service"]["warm_hit_speedup"] = 3.0
+        result = _run(tmp_path, SERVICE_BASELINE, slow)
+        assert result.returncode == 1
+        assert "REGRESSION" in result.stdout
+
+    def test_reports_without_service_blocks_still_pass(self, tmp_path):
+        # pre-service baselines stay comparable, strict or not
+        result = _run(tmp_path, BASELINE, CURRENT_OK, "--strict")
+        assert result.returncode == 0
+
+    def test_strict_fails_when_service_block_vanishes(self, tmp_path):
+        result = _run(tmp_path, SERVICE_BASELINE, CURRENT_OK, "--strict")
+        assert result.returncode == 1
+        assert "MISSING" in result.stdout
+
+    def test_strict_fails_when_service_has_no_floor(self, tmp_path):
+        result = _run(tmp_path, BASELINE, SERVICE_CURRENT, "--strict")
+        assert result.returncode == 1
+        assert "NO FLOOR" in result.stdout
+
+    def test_strict_fails_when_one_service_metric_unmeasured(self, tmp_path):
+        partial = json.loads(json.dumps(SERVICE_CURRENT))
+        del partial["service"]["requests_per_sec"]
+        result = _run(tmp_path, SERVICE_BASELINE, partial, "--strict")
+        assert result.returncode == 1
+        assert "NOT MEASURED" in result.stdout

@@ -1,0 +1,240 @@
+"""The content-addressed artifact cache: keys, layering, persistence, LRU."""
+
+import json
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.exceptions import CacheError, InvalidProgramError
+from repro.paulis.sum import SparsePauliSum
+from repro.service.cache import ArtifactCache, cache_key, target_fingerprint
+from repro.workloads.registry import get_benchmark
+
+from tests.conftest import random_pauli_terms
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ArtifactCache(tmp_path / "cache")
+
+
+class TestCacheKey:
+    def test_same_program_same_key(self, rng):
+        terms = random_pauli_terms(rng, 5, 8)
+        assert cache_key(terms) == cache_key(list(terms))
+
+    def test_sum_and_term_list_share_a_key(self, rng):
+        terms = random_pauli_terms(rng, 5, 8)
+        assert cache_key(terms) == cache_key(SparsePauliSum(terms))
+
+    def test_key_depends_on_coefficients(self, rng):
+        terms = random_pauli_terms(rng, 5, 8)
+        rescaled = [t.with_coefficient(t.coefficient * 2.0) for t in terms]
+        assert cache_key(terms) != cache_key(rescaled)
+
+    def test_key_depends_on_level_pipeline_target(self, rng):
+        terms = random_pauli_terms(rng, 5, 8)
+        keys = {
+            cache_key(terms, level=3),
+            cache_key(terms, level=2),
+            cache_key(terms, pipeline="quclear"),
+            cache_key(terms, target="sycamore"),
+        }
+        assert len(keys) == 4
+
+    def test_equivalent_targets_fingerprint_identically(self):
+        from repro.compiler.target import Target
+
+        assert target_fingerprint(Target.sycamore()) == target_fingerprint("sycamore")
+        assert target_fingerprint(None) == "target:none"
+
+    def test_pipeline_objects_rejected(self, rng):
+        from repro.compiler.presets import preset_pipeline
+
+        with pytest.raises(CacheError):
+            cache_key(random_pauli_terms(rng, 4, 4), pipeline=preset_pipeline(3))
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(InvalidProgramError):
+            cache_key([])
+
+
+class TestCacheStore:
+    def test_miss_then_hit(self, cache, rng):
+        terms = random_pauli_terms(rng, 4, 6)
+        key = cache.key_for(terms, level=3)
+        assert cache.get(key) is None
+        result = repro.compile(terms, level=3)
+        cache.put(key, result)
+        hit = cache.get(key)
+        assert hit is not None
+        assert hit.circuit == result.circuit
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_disk_hit_after_memory_drop(self, cache, rng):
+        terms = random_pauli_terms(rng, 4, 6)
+        key = cache.key_for(terms)
+        result = repro.compile(terms, level=3)
+        cache.put(key, result)
+        cache.forget_memory()
+        hit = cache.get(key)
+        assert hit.circuit == result.circuit
+        assert hit.extracted_clifford == result.extracted_clifford
+        assert cache.stats()["disk_hits"] == 1
+
+    def test_persists_across_cache_instances(self, tmp_path, rng):
+        terms = random_pauli_terms(rng, 4, 6)
+        first = ArtifactCache(tmp_path / "shared")
+        key = first.key_for(terms)
+        first.put(key, repro.compile(terms, level=3))
+        second = ArtifactCache(tmp_path / "shared")
+        hit = second.get(key)
+        assert hit is not None and hit.circuit.num_qubits == 4
+
+    def test_index_file_snapshot(self, cache, rng):
+        terms = random_pauli_terms(rng, 4, 6)
+        key = cache.key_for(terms)
+        cache.put(key, repro.compile(terms, level=3))
+        index = json.loads(cache.index_path.read_text())
+        assert index["schema"] == "repro-artifact-index/v1"
+        assert key in index["artifacts"]
+        assert index["total_bytes"] > 0
+
+    def test_corrupt_artifact_degrades_to_miss(self, cache, rng):
+        terms = random_pauli_terms(rng, 4, 6)
+        key = cache.key_for(terms)
+        cache.put(key, repro.compile(terms, level=3))
+        cache.forget_memory()
+        (cache.objects_dir / f"{key}.json").write_text("{not json")
+        assert cache.get(key) is None
+        # the poisoned file is dropped so the next put can heal it
+        assert not (cache.objects_dir / f"{key}.json").exists()
+
+    def test_structurally_incomplete_artifact_degrades_to_miss(self, cache, rng):
+        # valid JSON with the right format tag but a missing required field
+        # must read as a miss (and be dropped), not raise out of get()
+        terms = random_pauli_terms(rng, 4, 6)
+        key = cache.key_for(terms)
+        cache.put(key, repro.compile(terms, level=3))
+        cache.forget_memory()
+        path = cache.objects_dir / f"{key}.json"
+        artifact = json.loads(path.read_text())
+        del artifact["extraction"]["optimized_circuit"]
+        path.write_text(json.dumps(artifact))
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_malformed_key_rejected(self, cache):
+        with pytest.raises(CacheError):
+            cache.get("../../etc/passwd")
+
+    def test_lru_eviction_respects_size_cap(self, tmp_path, rng):
+        small = ArtifactCache(tmp_path / "small", max_bytes=1)
+        programs = [random_pauli_terms(rng, 4, 5) for _ in range(3)]
+        keys = []
+        for program in programs:
+            key = small.key_for(program)
+            small.put(key, repro.compile(program, level=1))
+            keys.append(key)
+        # a 1-byte budget keeps at most the newest artifact on disk
+        assert len(small) <= 1
+        assert small.stats()["evictions"] >= 2
+
+    def test_recently_used_survives_eviction(self, tmp_path, rng):
+        programs = [random_pauli_terms(rng, 4, 5) for _ in range(3)]
+        results = [repro.compile(p, level=1) for p in programs]
+        probe = ArtifactCache(tmp_path / "lru")
+        keys = [probe.key_for(p) for p in programs]
+        probe.put(keys[0], results[0])
+        one_size = probe.stats()["disk_bytes"]
+        # room for two artifacts: storing a third must evict the stalest
+        lru = ArtifactCache(tmp_path / "lru2", max_bytes=int(one_size * 2.5))
+        lru.put(keys[0], results[0])
+        time.sleep(0.02)
+        lru.put(keys[1], results[1])
+        time.sleep(0.02)
+        lru.forget_memory()
+        assert lru.get(keys[0]) is not None  # refreshes key 0's mtime
+        time.sleep(0.02)
+        lru.put(keys[2], results[2])
+        lru.forget_memory()
+        assert lru.get(keys[0]) is not None
+        assert lru.get(keys[1]) is None  # the stalest was evicted
+
+    def test_concurrent_puts_are_safe(self, cache, rng):
+        programs = [random_pauli_terms(rng, 4, 5) for _ in range(8)]
+        results = [repro.compile(p, level=1) for p in programs]
+        keys = [cache.key_for(p, level=1) for p in programs]
+
+        def store(index):
+            cache.put(keys[index], results[index])
+
+        threads = [threading.Thread(target=store, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        cache.forget_memory()
+        for index, key in enumerate(keys):
+            assert cache.get(key).circuit == results[index].circuit
+
+
+class TestAcceptance:
+    """The PR's cache acceptance criteria, asserted directly."""
+
+    def test_h2o_warm_hit_at_least_20x_faster_than_cold(self, tmp_path):
+        terms = get_benchmark("H2O").terms()
+        cache = ArtifactCache(tmp_path / "h2o")
+        key = cache.key_for(terms, level=3)
+
+        cold = min(_timed(lambda: repro.compile(terms, level=3)) for _ in range(3))
+        cache.put(key, repro.compile(terms, level=3))
+        warm = min(_timed(lambda: cache.get(key)) for _ in range(5))
+        hit = cache.get(key)
+        assert hit.circuit == repro.compile(terms, level=3).circuit
+        assert cold / warm >= 20.0, f"warm hit only {cold / warm:.1f}x faster"
+
+    def test_cache_survives_process_restart(self, tmp_path):
+        terms = get_benchmark("H2O").terms()
+        cache = ArtifactCache(tmp_path / "restart")
+        key = cache.key_for(terms, level=3)
+        result = repro.compile(terms, level=3)
+        cache.put(key, result)
+        # a fresh interpreter against the same cache dir must hit, and the
+        # artifact must deserialize to the identical circuit
+        script = (
+            "import sys, json\n"
+            "from repro.service.cache import ArtifactCache\n"
+            "from repro.workloads.registry import get_benchmark\n"
+            "import repro\n"
+            f"cache = ArtifactCache({str(tmp_path / 'restart')!r})\n"
+            "terms = get_benchmark('H2O').terms()\n"
+            "key = cache.key_for(terms, level=3)\n"
+            f"assert key == {key!r}, 'key not reproducible across processes'\n"
+            "hit = cache.get(key)\n"
+            "assert hit is not None, 'no hit after restart'\n"
+            "assert hit.circuit == repro.compile(terms, level=3).circuit\n"
+            "print('RESTART-HIT-OK')\n"
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(REPO_SRC), "PATH": "/usr/bin:/bin"},
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "RESTART-HIT-OK" in completed.stdout
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
