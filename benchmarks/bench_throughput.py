@@ -37,6 +37,13 @@ separately — the disk figure includes the full wire deserialization), and
 single-process requests/sec against a live in-process HTTP server on the
 warm-hit path.  ``warm_hit_speedup`` and ``requests_per_sec`` are
 strict-gated by the CI baselines like the per-workload throughput floors.
+
+The ``parametric`` block measures the :mod:`repro.parametric` fast path on
+the same workload: one-time template compilation, per-binding replay
+latency, the ``bind_speedup`` ratio against a from-scratch level-3 compile
+of the identical bound program, and single-client ``POST /bind`` HTTP
+throughput (``bind_requests_per_sec``, also copied into the ``service``
+block).  ``bind_speedup`` and ``bind_requests_per_sec`` are strict-gated.
 Results are written as machine-readable JSON (``BENCH_throughput.json`` by
 default); ``scripts/check_bench_regression.py`` diffs two such files and is
 what the CI ``bench`` job gates on (small *and* medium tiers).
@@ -168,8 +175,17 @@ def bench_workload(name: str, min_time: float) -> dict:
     }
 
 
-#: workload measured by the service block (in both CI tiers)
+#: workload measured by the service and parametric blocks (in both CI tiers)
 SERVICE_WORKLOAD = "H2O"
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
 
 
 def bench_service(http_requests: int = 50) -> dict:
@@ -181,14 +197,6 @@ def bench_service(http_requests: int = 50) -> dict:
     from repro.service.server import ServiceServer, run_server_in_thread
 
     terms = get_benchmark(SERVICE_WORKLOAD).terms()
-
-    def _best_of(fn, repeats: int) -> float:
-        best = float("inf")
-        for _ in range(repeats):
-            start = time.perf_counter()
-            fn()
-            best = min(best, time.perf_counter() - start)
-        return best
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-service-") as cache_dir:
         cache = ArtifactCache(cache_dir)
@@ -225,6 +233,75 @@ def bench_service(http_requests: int = 50) -> dict:
         "requests_per_sec": http_requests / http_seconds if http_seconds > 0 else 0.0,
         "cache_hits": cache_stats["hits"],
         "cache_misses": cache_stats["misses"],
+    }
+
+
+def bench_parametric(http_requests: int = 200) -> dict:
+    """One-time template compilation vs. per-binding replay on H2O.
+
+    Measures the tentpole claim of :mod:`repro.parametric`: tracing the
+    preset pipeline once (``template_compile_seconds``) turns every
+    subsequent angle binding into a microsecond replay (``bind_seconds``),
+    ``bind_speedup`` being the ratio against a from-scratch level-3 compile
+    of the identical bound program — same machine, so machine-independent
+    like ``speedup``.  ``bind_requests_per_sec`` is single-client HTTP
+    throughput of ``POST /bind`` against the server's cached template (the
+    request is served inline on the event loop, never the batching window).
+    """
+    import tempfile
+
+    from repro.parametric import ParametricProgram, compile_template
+    from repro.service.cache import ArtifactCache
+    from repro.service.client import Client
+    from repro.service.server import ServiceServer, run_server_in_thread
+
+    terms = get_benchmark(SERVICE_WORKLOAD).terms()
+    # one parameter per term — the most general (and slowest-to-bind) ansatz
+    program = ParametricProgram.from_terms(terms, list(range(len(terms))))
+    params = 0.1 + 0.8 * np.arange(program.num_params) / program.num_params
+
+    template_seconds = _best_of(lambda: compile_template(program, level=3), 3)
+    template = compile_template(program, level=3)
+    cold_seconds = _best_of(
+        lambda: repro.compile(program.to_sum(params), level=3), 3
+    )
+    bind_seconds = _best_of(lambda: template.bind(params), 200)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-parametric-") as cache_dir:
+        server = ServiceServer(cache=ArtifactCache(cache_dir), window_seconds=0.001)
+        with run_server_in_thread(server):
+            with Client(port=server.port) as client:
+                handle = client.compile_template(program, level=3)
+                wire_params = [float(value) for value in params]
+                # prime the keep-alive connection before timing
+                client.bind(
+                    wire_params,
+                    template_key=handle.template_key,
+                    include_result=False,
+                )
+                start = time.perf_counter()
+                for _ in range(http_requests):
+                    client.bind(
+                        wire_params,
+                        template_key=handle.template_key,
+                        include_result=False,
+                    )
+                http_seconds = time.perf_counter() - start
+
+    return {
+        "workload": SERVICE_WORKLOAD,
+        "num_terms": len(terms),
+        "num_params": program.num_params,
+        "skeleton_gates": template.skeleton_gate_count,
+        "template_compile_seconds": template_seconds,
+        "cold_compile_seconds": cold_seconds,
+        "bind_seconds": bind_seconds,
+        "bind_speedup": cold_seconds / bind_seconds if bind_seconds > 0 else 0.0,
+        "fallback_binds": template.fallback_binds,
+        "http_bind_requests": http_requests,
+        "bind_requests_per_sec": (
+            http_requests / http_seconds if http_seconds > 0 else 0.0
+        ),
     }
 
 
@@ -279,6 +356,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--skip-service", action="store_true", help="skip the service latency block"
+    )
+    parser.add_argument(
+        "--skip-parametric",
+        action="store_true",
+        help="skip the parametric template/bind block",
     )
     args = parser.parse_args(argv)
 
@@ -335,6 +417,22 @@ def main(argv: list[str] | None = None) -> int:
             f"disk hit {report['service']['disk_hit_seconds'] * 1e3:.2f}ms "
             f"({report['service']['disk_hit_speedup']:.1f}x) | "
             f"{report['service']['requests_per_sec']:.0f} req/s",
+            flush=True,
+        )
+    if not args.skip_parametric:
+        print("[bench] parametric template compile vs bind ...", flush=True)
+        report["parametric"] = bench_parametric()
+        if "service" in report:
+            # the bind throughput also gates under the service block: it is a
+            # serving-path metric, and SERVICE_METRICS is where CI looks first
+            report["service"]["bind_requests_per_sec"] = report["parametric"][
+                "bind_requests_per_sec"
+            ]
+        print(
+            f"    template {report['parametric']['template_compile_seconds'] * 1e3:.1f}ms | "
+            f"bind {report['parametric']['bind_seconds'] * 1e6:.0f}us "
+            f"({report['parametric']['bind_speedup']:.0f}x vs cold) | "
+            f"{report['parametric']['bind_requests_per_sec']:.0f} bind req/s",
             flush=True,
         )
 

@@ -28,8 +28,12 @@ For every workload present in the baseline the checker enforces:
 
 When the baseline commits a top-level ``service`` block, its
 ``warm_hit_speedup`` (cold-compile vs. warm-artifact-cache-hit ratio — same
-machine, so machine-independent like ``speedup``) and ``requests_per_sec``
-floors are enforced with the same rules.
+machine, so machine-independent like ``speedup``), ``requests_per_sec`` and
+``bind_requests_per_sec`` floors are enforced with the same rules.  A
+top-level ``parametric`` block gates the :mod:`repro.parametric` fast path:
+``bind_speedup`` (template bind vs. from-scratch compile of the identical
+bound program, machine-independent) and ``bind_requests_per_sec``
+(single-client ``POST /bind`` HTTP throughput).
 
 ``--strict`` additionally fails when a floored metric is *missing*: a
 baseline floor with no matching value in the fresh bench output (the metric
@@ -61,6 +65,15 @@ METRICS = {
 SERVICE_METRICS = {
     "warm_hit_speedup": "higher",
     "requests_per_sec": "higher",
+    "bind_requests_per_sec": "higher",
+}
+
+#: gated metrics of the top-level "parametric" block (template compilation
+#: and microsecond angle binding); bind_speedup is the bind-vs-cold-compile
+#: ratio on the same machine, machine-independent like "speedup"
+PARAMETRIC_METRICS = {
+    "bind_speedup": "higher",
+    "bind_requests_per_sec": "higher",
 }
 
 
@@ -145,32 +158,45 @@ def compare(
         )
         rows.extend(entry_rows)
         ok = ok and entry_ok
-    service_rows, service_ok = _compare_service(baseline, current, tolerance, strict)
-    rows.extend(service_rows)
-    return rows, ok and service_ok
+    for block, metrics in (
+        ("service", SERVICE_METRICS),
+        ("parametric", PARAMETRIC_METRICS),
+    ):
+        block_rows, block_ok = _compare_block(
+            baseline, current, block, metrics, tolerance, strict
+        )
+        rows.extend(block_rows)
+        ok = ok and block_ok
+    return rows, ok
 
 
-def _compare_service(
-    baseline: dict, current: dict, tolerance: float, strict: bool
+def _compare_block(
+    baseline: dict,
+    current: dict,
+    block: str,
+    metrics: dict,
+    tolerance: float,
+    strict: bool,
 ) -> tuple[list[dict], bool]:
-    """Gate the top-level ``service`` block with the per-workload semantics.
+    """Gate a top-level report block with the per-workload semantics.
 
-    A report pair without any service block passes untouched (pre-service
-    baselines stay comparable); once either side carries one, the shared
-    strict rules of :func:`_compare_metrics` apply.
+    A report pair without the block passes untouched (older baselines stay
+    comparable); once either side carries one, the shared strict rules of
+    :func:`_compare_metrics` apply.
     """
-    base_entry = baseline.get("service")
-    cur_entry = current.get("service")
+    base_entry = baseline.get(block)
+    cur_entry = current.get(block)
+    label = f"({block})"
     if base_entry is None and cur_entry is None:
         return [], True
     if cur_entry is None:
         return (
-            [{"workload": "(service)", "metric": "-", "baseline": None,
+            [{"workload": label, "metric": "-", "baseline": None,
               "current": None, "ratio": None, "status": "MISSING"}],
             False,
         )
     return _compare_metrics(
-        "(service)", base_entry or {}, cur_entry, SERVICE_METRICS, tolerance, strict
+        label, base_entry or {}, cur_entry, metrics, tolerance, strict
     )
 
 

@@ -9,9 +9,13 @@ fresh cache dir), then checks the serving story the service PR promises:
    local ``repro.compile``;
 3. 32 concurrent ``POST /compile`` requests (16 identical + 16 distinct
    programs) come back complete and uncorrupted;
-4. the server is restarted against the same cache dir and the H2O compile is
-   *still* a cache hit (the artifact store survives process restarts);
-5. ``GET /metrics`` reflects the traffic.
+4. the parametric path: ``POST /compile_template`` traces an H2O ansatz
+   once, ``POST /bind`` replays it at concrete angles, and the bound result
+   is identical to a local ``repro.compile`` of the same binding;
+5. the server is restarted against the same cache dir and the H2O compile is
+   *still* a cache hit — and a ``POST /bind`` against the pre-restart
+   ``template_key`` still answers (templates survive restarts too);
+6. ``GET /metrics`` reflects the traffic.
 
 Run with:  PYTHONPATH=src python scripts/service_smoke_test.py
 """
@@ -31,6 +35,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 import repro  # noqa: E402
+from repro.parametric import ParametricProgram  # noqa: E402
 from repro.service.client import Client  # noqa: E402
 from repro.workloads.registry import get_benchmark  # noqa: E402
 from repro.workloads.qaoa import maxcut_qaoa_terms, random_graph  # noqa: E402
@@ -146,17 +151,43 @@ def main() -> int:
                     corrupt += 1
             check(corrupt == 0, "no corrupted concurrent responses")
 
+            # the parametric path: trace the ansatz once, bind in microseconds
+            program = ParametricProgram.from_terms(h2o, list(range(len(h2o))))
+            params = [0.1 + 0.01 * i for i in range(program.num_params)]
+            bound_reference = repro.compile(program.to_sum(params), level=3)
+
+            handle = client.compile_template(program, level=3)
+            check(handle.template_key is not None, "compile_template returns a key")
+            check(not handle.cache_hit, "first template compile is cold")
+            again = client.compile_template(program, level=3)
+            check(again.cache_hit, "second template compile is a cache hit")
+            check(again.template_key == handle.template_key, "template key is stable")
+
+            bound = client.bind(params, template_key=handle.template_key)
+            check(
+                bound.result.circuit == bound_reference.circuit,
+                "bound result matches local compile of the binding",
+            )
+            check(
+                bound.result.extracted_clifford == bound_reference.extracted_clifford,
+                "bound extracted tail identical",
+            )
+
             metrics = client.metrics()
             check(metrics["cache"]["hits"] >= 16, "metrics count the cache hits")
             check(
                 metrics["telemetry"]["counters"]["service.http_requests"] >= 34,
                 "metrics count the requests",
             )
+            check(
+                metrics["telemetry"]["counters"]["service.bind_requests"] >= 1,
+                "metrics count the bind requests",
+            )
             client.close()
         finally:
             server.stop()
 
-        # restart against the same cache dir: the artifact must survive
+        # restart against the same cache dir: artifacts AND templates survive
         server = ServerProcess(cache_dir)
         try:
             with Client(port=server.port) as client:
@@ -165,6 +196,11 @@ def main() -> int:
                 check(
                     after_restart.result.circuit == reference.circuit,
                     "restarted hit identical",
+                )
+                rebound = client.bind(params, template_key=handle.template_key)
+                check(
+                    rebound.result.circuit == bound_reference.circuit,
+                    "bind by template_key survives server restart",
                 )
         finally:
             server.stop()

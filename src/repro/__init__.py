@@ -17,6 +17,10 @@ The public API centers on the composable pass-pipeline compiler:
   symplectic store (:class:`PackedPauliTable`, 64 qubits per ``uint64``
   word) that the vectorized Clifford-conjugation engine operates on.
 * :class:`QuantumCircuit`, :class:`Statevector` — the circuit substrate.
+* :mod:`repro.parametric` — template compilation for VQE/QAOA traffic:
+  :func:`repro.compile_template` runs the pipeline once per ansatz
+  structure, :meth:`CompiledTemplate.bind` substitutes angles in
+  microseconds with results bit-identical to a full compile.
 * :mod:`repro.service` — compilation as a service: a versioned wire format
   (``CompilationResult.to_dict()/from_dict()``), a persistent
   content-addressed artifact cache, and a batching HTTP front-end
@@ -72,8 +76,14 @@ from repro.compiler import (
     get_registry,
     preset_pipeline,
 )
+from repro.parametric import (
+    BoundProgram,
+    CompiledTemplate,
+    ParametricProgram,
+    compile_template,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Gate",
@@ -103,5 +113,9 @@ __all__ = [
     "compile_many",
     "get_registry",
     "preset_pipeline",
+    "BoundProgram",
+    "CompiledTemplate",
+    "ParametricProgram",
+    "compile_template",
     "__version__",
 ]

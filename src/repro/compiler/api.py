@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import math
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence
+
+import numpy as np
 
 from repro.clifford.engine import ConjugationCache
 from repro.compiler.pipeline import Pipeline, ensure_device_routing
@@ -30,9 +33,10 @@ def validate_program(
     """Up-front program checks shared by every compile entry point.
 
     Raises :class:`~repro.exceptions.InvalidProgramError` for an empty
-    program or one acting on zero qubits — the two malformed shapes that
-    otherwise surface as whatever deep internal error hits them first
-    (``terms[0]`` IndexError, packed-shape mismatches, ...).  ``source``
+    program, one acting on zero qubits, or one carrying NaN/inf rotation
+    coefficients — the malformed shapes that otherwise surface as whatever
+    deep internal error hits them first (``terms[0]`` IndexError,
+    packed-shape mismatches, NaN-poisoned cache keys, ...).  ``source``
     names the entry point and ``index`` the batch position, so the message
     points at the offending request.
     """
@@ -50,6 +54,15 @@ def validate_program(
     if num_qubits < 1:
         raise InvalidProgramError(
             f"{where} acts on zero qubits — every Pauli term needs at least one qubit"
+        )
+    if isinstance(program, SparsePauliSum):
+        finite = bool(np.isfinite(program.coefficient_vector()).all())
+    else:
+        finite = all(math.isfinite(term.coefficient) for term in program)
+    if not finite:
+        raise InvalidProgramError(
+            f"{where} contains NaN/inf rotation coefficients — refusing to "
+            "compile (they would flow into the packed store and poison cache keys)"
         )
 
 
@@ -182,9 +195,29 @@ def plan_batch(
     """
     if executor not in _EXECUTORS:
         raise CompilerError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
+    from repro.parametric.program import BoundProgram
+
     program_list = list(programs)
-    sizes = [len(program) for program in program_list]
+    # a bound template replays a pre-compiled skeleton in microseconds — it
+    # contributes no synthesis work for a pool to amortize, so it plans as
+    # zero terms
+    sizes = [
+        0 if isinstance(program, BoundProgram) else len(program)
+        for program in program_list
+    ]
     total_terms = sum(sizes)
+    if program_list and all(
+        isinstance(program, BoundProgram) for program in program_list
+    ):
+        return BatchPlan(
+            "serial",
+            1,
+            1,
+            len(program_list),
+            0,
+            "every program is a bound template; binds replay inline in "
+            "microseconds, no pool can help",
+        )
     workers = (
         max_workers if max_workers is not None else _default_worker_count(len(program_list))
     )
@@ -254,7 +287,9 @@ def compile_many(
     ----------
     programs:
         The batch; each entry is what :func:`repro.compile` accepts as
-        ``terms``.
+        ``terms``, or a :class:`~repro.parametric.BoundProgram` (a compiled
+        template plus one parameter vector), which binds inline instead of
+        joining the worker pool.
     target, level, pipeline:
         As in :func:`repro.compile`, applied to every program.
     max_workers:
@@ -269,12 +304,51 @@ def compile_many(
         ``"processes"`` the conjugation cache is per-process and submissions
         are chunked to amortize pickling.
     """
+    from repro.parametric.program import BoundProgram
+
     program_list = [
-        program if isinstance(program, SparsePauliSum) else list(program)
+        program
+        if isinstance(program, (SparsePauliSum, BoundProgram))
+        else list(program)
         for program in programs
     ]
     if not program_list:
         return []
+
+    # Bound templates ride along in a mixed batch but never join the worker
+    # pool: each one replays its template's skeleton inline (microseconds,
+    # already validated at construction), while the regular programs flow
+    # through the planned batch below.  ``target``/``level``/``pipeline``
+    # do not apply to a bind — those were fixed when its template compiled.
+    bind_indices = [
+        index
+        for index, program in enumerate(program_list)
+        if isinstance(program, BoundProgram)
+    ]
+    if bind_indices:
+        results: "list[CompilationResult | None]" = [None] * len(program_list)
+        for index in bind_indices:
+            bound = program_list[index]
+            results[index] = bound.template.bind(bound.params)
+        regular = [
+            (index, program)
+            for index, program in enumerate(program_list)
+            if not isinstance(program, BoundProgram)
+        ]
+        if regular:
+            compiled = compile_many(
+                [program for _, program in regular],
+                target=target,
+                level=level,
+                pipeline=pipeline,
+                max_workers=max_workers,
+                executor=executor,
+                conjugation_cache=conjugation_cache,
+            )
+            for (index, _), result in zip(regular, compiled):
+                results[index] = result
+        return results
+
     for index, program in enumerate(program_list):
         validate_program(program, source="repro.compile_many", index=index)
     plan = plan_batch(program_list, max_workers=max_workers, executor=executor)

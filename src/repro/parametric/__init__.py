@@ -1,0 +1,26 @@
+"""Template compilation for parametric (VQE/QAOA) workloads.
+
+The pipeline's decisions depend only on Pauli structure, never on rotation
+angles — so an ansatz is compiled **once** into a
+:class:`~repro.parametric.template.CompiledTemplate` and every parameter
+update binds in microseconds:
+
+>>> program = ParametricProgram.from_terms(ansatz_terms, slots)
+>>> template = compile_template(program, level=3)
+>>> result = template.bind(theta)          # per-optimizer-iteration
+"""
+
+from repro.parametric.program import (
+    BoundProgram,
+    ParametricProgram,
+    validate_parameters,
+)
+from repro.parametric.template import CompiledTemplate, compile_template
+
+__all__ = [
+    "BoundProgram",
+    "CompiledTemplate",
+    "ParametricProgram",
+    "compile_template",
+    "validate_parameters",
+]

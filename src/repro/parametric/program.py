@@ -1,0 +1,300 @@
+"""Parametric Pauli programs: fixed structure, symbolic coefficients.
+
+A :class:`ParametricProgram` is the ansatz shape of VQE/QAOA traffic: a fixed
+list of Pauli strings (held bit-packed, exactly like
+:class:`~repro.paulis.sum.SparsePauliSum`) whose coefficients are *symbolic*
+— term ``i`` evaluates to ``scales[i] * params[slots[i]]`` (or the constant
+``scales[i]`` when ``slots[i] == -1``) once a concrete parameter vector is
+supplied.  Everything the Clifford-extraction pipeline decides — grouping,
+reordering, tree shapes, cancellations — depends only on this structure, so
+a template compiled once (:func:`repro.parametric.compile_template`) serves
+every binding of the ansatz.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidProgramError
+from repro.paulis.packed import PackedPauliTable
+from repro.paulis.pauli import PauliString
+from repro.paulis.sum import SparsePauliSum
+from repro.paulis.term import PauliTerm
+
+if TYPE_CHECKING:
+    from repro.parametric.template import CompiledTemplate
+
+
+def validate_parameters(
+    params: Sequence[float] | np.ndarray,
+    num_params: int,
+    source: str = "repro.parametric",
+) -> np.ndarray:
+    """Check and canonicalize a bind-parameter vector.
+
+    Returns the parameters as a fresh ``float64`` array; raises
+    :class:`~repro.exceptions.InvalidProgramError` on wrong arity or
+    non-finite (NaN/inf) entries — the same up-front rejection every compile
+    entry point applies to coefficients.
+    """
+    try:
+        array = np.array(params, dtype=np.float64)
+    except (TypeError, ValueError) as error:
+        raise InvalidProgramError(
+            f"{source}: parameters are not a real vector: {error}"
+        ) from error
+    if array.ndim != 1 or array.shape[0] != num_params:
+        raise InvalidProgramError(
+            f"{source}: expected {num_params} parameter(s), got shape {array.shape}"
+        )
+    if num_params and not np.isfinite(array).all():
+        raise InvalidProgramError(
+            f"{source}: parameters contain NaN/inf values — refusing to bind"
+        )
+    return array
+
+
+class ParametricProgram:
+    """A Pauli-rotation program with symbolic coefficient slots.
+
+    Parameters
+    ----------
+    paulis:
+        The fixed Pauli structure: an iterable of
+        :class:`~repro.paulis.pauli.PauliString` or a whole
+        :class:`~repro.paulis.packed.PackedPauliTable` (copied).  Rows must
+        be Hermitian; a ``-1`` label sign is folded into the term's scale.
+    slots:
+        One integer per term: the index of the parameter feeding the term's
+        coefficient, or ``-1`` for a constant term.
+    scales:
+        Per-term multiplier (default all ones).  Term ``i`` evaluates to
+        ``scales[i] * params[slots[i]]``, or just ``scales[i]`` when
+        ``slots[i] == -1``.
+    num_params:
+        Parameter-vector arity; defaults to ``max(slots) + 1``.
+    """
+
+    def __init__(
+        self,
+        paulis: Iterable[PauliString] | PackedPauliTable,
+        slots: Sequence[int] | np.ndarray,
+        scales: Sequence[float] | np.ndarray | None = None,
+        num_params: int | None = None,
+    ):
+        if isinstance(paulis, PackedPauliTable):
+            table = paulis.copy()
+        else:
+            pauli_list = list(paulis)
+            if not pauli_list:
+                raise InvalidProgramError(
+                    "repro.parametric: program is empty — a template needs at "
+                    "least one Pauli term"
+                )
+            table = PackedPauliTable.from_paulis(pauli_list)
+        if table.num_qubits < 1:
+            raise InvalidProgramError(
+                "repro.parametric: program acts on zero qubits"
+            )
+        if len(table) == 0:
+            raise InvalidProgramError(
+                "repro.parametric: program is empty — a template needs at "
+                "least one Pauli term"
+            )
+        if not table.hermitian_mask().all():
+            raise InvalidProgramError(
+                "repro.parametric: program contains non-Hermitian Pauli rows"
+            )
+
+        slot_array = np.asarray(slots)
+        if slot_array.dtype.kind not in "iu":
+            raise InvalidProgramError(
+                f"repro.parametric: slots must be integers, got dtype "
+                f"{slot_array.dtype}"
+            )
+        slot_array = slot_array.astype(np.int64, copy=True)
+        if slot_array.shape != (len(table),):
+            raise InvalidProgramError(
+                f"repro.parametric: need one slot per term: {len(table)} terms, "
+                f"slots shape {slot_array.shape}"
+            )
+        if slot_array.size and int(slot_array.min()) < -1:
+            raise InvalidProgramError(
+                "repro.parametric: slots must be parameter indices or -1 "
+                "(constant term)"
+            )
+        highest = int(slot_array.max()) if slot_array.size else -1
+        if num_params is None:
+            num_params = highest + 1
+        num_params = int(num_params)
+        if num_params < 0 or highest >= num_params:
+            raise InvalidProgramError(
+                f"repro.parametric: slot {highest} out of range for "
+                f"{num_params} parameter(s)"
+            )
+
+        if scales is None:
+            scale_array = np.ones(len(table), dtype=np.float64)
+        else:
+            try:
+                scale_array = np.array(scales, dtype=np.float64)
+            except (TypeError, ValueError) as error:
+                raise InvalidProgramError(
+                    f"repro.parametric: scales are not a real vector: {error}"
+                ) from error
+        if scale_array.shape != (len(table),):
+            raise InvalidProgramError(
+                f"repro.parametric: need one scale per term: {len(table)} terms, "
+                f"scales shape {scale_array.shape}"
+            )
+        if not np.isfinite(scale_array).all():
+            raise InvalidProgramError(
+                "repro.parametric: scales contain NaN/inf values — refusing to "
+                "build a template"
+            )
+
+        # Canonical store: bare rows, label signs folded into the scales —
+        # the same normalization SparsePauliSum.from_packed applies, so a
+        # template and the concrete sums it binds agree on coefficients.
+        sign_exponents = table.signs()
+        if np.any(sign_exponents):
+            scale_array = scale_array * np.where(sign_exponents == 0, 1.0, -1.0)
+            table = table.bare()
+        self._table = table
+        self._slots = slot_array
+        self._scales = scale_array
+        self._num_params = num_params
+        bound = np.nonzero(slot_array >= 0)[0]
+        self._bound_index = bound
+        self._bound_slots = slot_array[bound]
+        self._bound_scales = scale_array[bound]
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_terms(
+        cls,
+        terms: Sequence[PauliTerm],
+        slots: Sequence[int] | np.ndarray,
+        num_params: int | None = None,
+    ) -> "ParametricProgram":
+        """Build from :class:`PauliTerm` entries; coefficients become scales."""
+        term_list = list(terms)
+        if not term_list:
+            raise InvalidProgramError(
+                "repro.parametric: program is empty — a template needs at "
+                "least one Pauli term"
+            )
+        return cls(
+            (term.pauli for term in term_list),
+            slots,
+            scales=[term.coefficient for term in term_list],
+            num_params=num_params,
+        )
+
+    @classmethod
+    def from_sum(
+        cls,
+        observable: SparsePauliSum,
+        slots: Sequence[int] | np.ndarray,
+        num_params: int | None = None,
+    ) -> "ParametricProgram":
+        """Build from a sum's packed store; coefficients become scales."""
+        return cls(
+            observable.packed_table.copy(),
+            slots,
+            scales=observable.coefficient_vector(),
+            num_params=num_params,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def table(self) -> PackedPauliTable:
+        """The canonical bare packed store (do not mutate)."""
+        return self._table
+
+    @property
+    def slots(self) -> np.ndarray:
+        """Per-term parameter indices (``-1`` = constant); do not mutate."""
+        return self._slots
+
+    @property
+    def scales(self) -> np.ndarray:
+        """Per-term coefficient multipliers; do not mutate."""
+        return self._scales
+
+    @property
+    def num_params(self) -> int:
+        return self._num_params
+
+    @property
+    def num_qubits(self) -> int:
+        return self._table.num_qubits
+
+    @property
+    def num_terms(self) -> int:
+        return len(self._table)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __repr__(self) -> str:
+        return (
+            f"ParametricProgram({self.num_terms} terms, "
+            f"{self.num_qubits} qubits, {self.num_params} params)"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(self, params: Sequence[float] | np.ndarray) -> np.ndarray:
+        """The concrete coefficient vector at ``params`` (validated)."""
+        array = validate_parameters(params, self._num_params)
+        return self._evaluate_validated(array)
+
+    def _evaluate_validated(self, params: np.ndarray) -> np.ndarray:
+        coefficients = self._scales.copy()
+        if self._bound_index.size:
+            coefficients[self._bound_index] = (
+                self._bound_scales * params[self._bound_slots]
+            )
+        return coefficients
+
+    def to_sum(self, params: Sequence[float] | np.ndarray) -> SparsePauliSum:
+        """The concrete :class:`SparsePauliSum` at ``params``.
+
+        This is exactly the program a from-scratch ``repro.compile`` of the
+        same binding would receive — the bit-identity reference.
+        """
+        return SparsePauliSum.from_packed(self._table, self.evaluate(params))
+
+
+class BoundProgram:
+    """A compiled template plus one concrete parameter vector.
+
+    Accepted by :func:`repro.compile_many` alongside regular programs: the
+    batch planner counts a bound program as zero synthesis terms (binding
+    replays a pre-compiled skeleton in microseconds) and executes it inline
+    via :meth:`CompiledTemplate.bind`.
+    """
+
+    __slots__ = ("template", "params")
+
+    def __init__(
+        self, template: "CompiledTemplate", params: Sequence[float] | np.ndarray
+    ):
+        self.template = template
+        self.params = validate_parameters(
+            params, template.num_params, source="repro.parametric.BoundProgram"
+        )
+
+    def __len__(self) -> int:
+        return self.template.num_terms
+
+    def __repr__(self) -> str:
+        return f"BoundProgram({self.template!r}, {self.params!r})"

@@ -21,7 +21,10 @@ the serving substrate on top of it:
   feeds them through :func:`repro.compile_many` as one planned batch.
 * :mod:`repro.service.server` / ``python -m repro.service`` — a stdlib-only
   ``asyncio`` HTTP JSON API (``POST /compile``, ``POST /compile_batch``,
-  ``GET /result/<key>``, ``GET /healthz``, ``GET /metrics``).
+  ``POST /compile_template``, ``POST /bind``, ``GET /result/<key>``,
+  ``DELETE /result/<key>``, ``GET /healthz``, ``GET /metrics``).  Bind
+  requests replay a pre-compiled :mod:`repro.parametric` template inline on
+  the event loop — microseconds per request, never the batching window.
 * :mod:`repro.service.client` — the thin synchronous :class:`Client` used by
   the examples, the smoke test, and the benchmark.
 * :mod:`repro.service.telemetry` — counters and latency histograms surfaced
@@ -39,12 +42,21 @@ Quick start::
 """
 
 from repro.service.cache import ArtifactCache
-from repro.service.client import Client, ServiceResponse
-from repro.service.scheduler import BatchingScheduler, CompileJob, execute_batch
+from repro.service.client import Client, ServiceResponse, TemplateResponse
+from repro.service.scheduler import (
+    BatchingScheduler,
+    CompileJob,
+    execute_batch,
+    execute_bind,
+)
 from repro.service.serialize import (
     WIRE_VERSION,
+    bind_request_from_wire,
+    bind_request_to_wire,
     circuit_from_wire,
     circuit_to_wire,
+    parametric_program_from_wire,
+    parametric_program_to_wire,
     pauli_from_wire,
     pauli_to_wire,
     program_from_wire,
@@ -55,6 +67,8 @@ from repro.service.serialize import (
     sum_to_wire,
     tableau_from_wire,
     tableau_to_wire,
+    template_from_wire,
+    template_to_wire,
 )
 from repro.service.server import ServiceServer, run_server_in_thread
 from repro.service.telemetry import LatencyHistogram, Telemetry
@@ -68,10 +82,16 @@ __all__ = [
     "ServiceResponse",
     "ServiceServer",
     "Telemetry",
+    "TemplateResponse",
     "WIRE_VERSION",
+    "bind_request_from_wire",
+    "bind_request_to_wire",
     "circuit_from_wire",
     "circuit_to_wire",
     "execute_batch",
+    "execute_bind",
+    "parametric_program_from_wire",
+    "parametric_program_to_wire",
     "pauli_from_wire",
     "pauli_to_wire",
     "program_from_wire",
@@ -83,4 +103,6 @@ __all__ = [
     "sum_to_wire",
     "tableau_from_wire",
     "tableau_to_wire",
+    "template_from_wire",
+    "template_to_wire",
 ]

@@ -52,7 +52,12 @@ from repro.exceptions import CacheError, ReproError
 from repro.paulis.packed import PackedPauliTable
 from repro.paulis.sum import SparsePauliSum
 from repro.paulis.term import PauliTerm
-from repro.service.serialize import result_from_wire, result_to_wire
+from repro.service.serialize import (
+    result_from_wire,
+    result_to_wire,
+    template_from_wire,
+    template_to_wire,
+)
 from repro.transpile.coupling import CouplingMap
 
 #: default disk budget for one cache directory
@@ -128,6 +133,41 @@ def cache_key(
     return digest.hexdigest()
 
 
+def template_cache_key(
+    program,
+    target: Target | CouplingMap | str | None = None,
+    level: int = 3,
+) -> str:
+    """Canonical SHA-256 key of one compiled template (hex digest).
+
+    Keys on the ansatz *structure* alone — packed words, phases, slot
+    assignments, scales and arity, never a concrete angle — so every binding
+    of one ansatz resolves to the same template artifact.
+    """
+    from repro.parametric.program import ParametricProgram
+
+    if not isinstance(program, ParametricProgram):
+        raise CacheError(
+            f"template keys are derived from a ParametricProgram, got "
+            f"{type(program).__name__}"
+        )
+    table = program.table
+    digest = hashlib.sha256()
+    digest.update(
+        f"repro-template/v1:{table.num_qubits}:{table.num_rows}:"
+        f"{program.num_params}".encode()
+    )
+    digest.update(np.ascontiguousarray(table.x_words, dtype="<u8").tobytes())
+    digest.update(np.ascontiguousarray(table.z_words, dtype="<u8").tobytes())
+    digest.update(np.ascontiguousarray(table.phases % 4, dtype="<i8").tobytes())
+    digest.update(np.ascontiguousarray(program.slots, dtype="<i8").tobytes())
+    digest.update(np.ascontiguousarray(program.scales, dtype="<f8").tobytes())
+    digest.update(target_fingerprint(target).encode())
+    digest.update(b"|")
+    digest.update(pipeline_fingerprint(level, None).encode())
+    return digest.hexdigest()
+
+
 class ArtifactCache:
     """Persistent content-addressed cache of :class:`CompilationResult`.
 
@@ -151,12 +191,18 @@ class ArtifactCache:
     ):
         self.cache_dir = Path(cache_dir)
         self.objects_dir = self.cache_dir / "objects"
+        #: compiled templates live beside the result objects but outside the
+        #: mtime-LRU budget: one template serves every binding of an ansatz,
+        #: so evicting it to make room for single results would be backwards
+        self.templates_dir = self.cache_dir / "templates"
         self.index_path = self.cache_dir / "index.json"
         self.max_bytes = int(max_bytes)
         self.memory_entries = int(memory_entries)
         self.objects_dir.mkdir(parents=True, exist_ok=True)
+        self.templates_dir.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
         self._memory: OrderedDict[str, CompilationResult] = OrderedDict()
+        self._template_memory: OrderedDict[str, object] = OrderedDict()
         #: the in-memory conjugation cache this store layers in front of;
         #: the service threads it through every compile_many call
         self.conjugation_cache = ConjugationCache()
@@ -165,9 +211,13 @@ class ArtifactCache:
         self.memory_hits = 0
         self.disk_hits = 0
         self.evictions = 0
+        self.deletes = 0
+        self.template_hits = 0
+        self.template_misses = 0
 
     # ------------------------------------------------------------------ #
     key_for = staticmethod(cache_key)
+    template_key_for = staticmethod(template_cache_key)
 
     def _object_path(self, key: str) -> Path:
         if not key or any(c not in "0123456789abcdef" for c in key):
@@ -242,10 +292,96 @@ class ArtifactCache:
         entries = self._evict_over_budget(self._scan_objects())
         self._write_index(entries)
 
+    def delete(self, key: str) -> bool:
+        """Explicitly remove the artifact under ``key`` from every layer.
+
+        Returns whether anything was removed (memory or disk); the index
+        snapshot is refreshed so the advisory view drops the entry too.
+        """
+        path = self._object_path(key)
+        with self._lock:
+            in_memory = self._memory.pop(key, None) is not None
+        try:
+            path.unlink()
+            on_disk = True
+        except FileNotFoundError:
+            on_disk = False
+        except OSError:
+            on_disk = False
+        removed = in_memory or on_disk
+        if removed:
+            with self._lock:
+                self.deletes += 1
+            if on_disk:
+                self._write_index()
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # Compiled templates (repro.parametric)
+    # ------------------------------------------------------------------ #
+    def _template_path(self, key: str) -> Path:
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise CacheError(f"malformed template key {key!r}")
+        return self.templates_dir / f"{key}.json"
+
+    def get_template(self, key: str):
+        """The cached :class:`CompiledTemplate` for ``key``, or ``None``.
+
+        Memory first, then disk — a disk hit pays one wire deserialization
+        and is promoted, so repeat binds against a restarted service go back
+        to dict-lookup cost.  The in-memory object is shared across requests
+        (templates are value-immutable; only their bind counters move).
+        """
+        with self._lock:
+            cached = self._template_memory.get(key)
+            if cached is not None:
+                self._template_memory.move_to_end(key)
+                self.template_hits += 1
+                return cached
+        path = self._template_path(key)
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            with self._lock:
+                self.template_misses += 1
+            return None
+        try:
+            template = template_from_wire(payload)
+        except ReproError:
+            # incompatible or corrupt template: drop it and re-trace
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            with self._lock:
+                self.template_misses += 1
+            return None
+        with self._lock:
+            self.template_hits += 1
+            self._remember_template(key, template)
+        return template
+
+    def put_template(self, key: str, template) -> None:
+        """Store a compiled template under ``key`` (atomic write, no LRU)."""
+        encoded = json.dumps(template_to_wire(template), separators=(",", ":"))
+        self._atomic_write(self._template_path(key), encoded)
+        with self._lock:
+            self._remember_template(key, template)
+
+    def _remember_template(self, key: str, template) -> None:
+        if self.memory_entries <= 0:
+            return
+        self._template_memory[key] = template
+        self._template_memory.move_to_end(key)
+        while len(self._template_memory) > self.memory_entries:
+            self._template_memory.popitem(last=False)
+
     def forget_memory(self) -> None:
-        """Drop the in-memory layer (disk untouched) — restart simulation."""
+        """Drop the in-memory layers (disk untouched) — restart simulation."""
         with self._lock:
             self._memory.clear()
+            self._template_memory.clear()
 
     # ------------------------------------------------------------------ #
     def _remember(self, key: str, result: CompilationResult) -> None:
@@ -257,7 +393,7 @@ class ArtifactCache:
             self._memory.popitem(last=False)
 
     def _atomic_write(self, path: Path, text: str) -> None:
-        fd, tmp_name = tempfile.mkstemp(dir=self.objects_dir, prefix=".tmp-")
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
         try:
             with os.fdopen(fd, "w") as handle:
                 handle.write(text)
@@ -356,12 +492,28 @@ class ArtifactCache:
                 "memory_hits": self.memory_hits,
                 "disk_hits": self.disk_hits,
                 "evictions": self.evictions,
+                "deletes": self.deletes,
+                "template_hits": self.template_hits,
+                "template_misses": self.template_misses,
                 "memory_entries": len(self._memory),
+                "template_memory_entries": len(self._template_memory),
+                "template_disk_entries": len(self._list_templates()),
                 "disk_entries": len(entries),
                 "disk_bytes": sum(size for _, size, _ in entries),
                 "max_bytes": self.max_bytes,
                 "conjugation_cache": self.conjugation_cache.stats(),
             }
+
+    def _list_templates(self) -> list[str]:
+        try:
+            names = os.listdir(self.templates_dir)
+        except OSError:
+            return []
+        return [
+            name
+            for name in names
+            if name.endswith(".json") and not name.startswith(".tmp-")
+        ]
 
     def __repr__(self) -> str:
         return (

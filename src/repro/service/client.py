@@ -18,7 +18,13 @@ from repro.compiler.result import CompilationResult
 from repro.exceptions import ServiceError
 from repro.paulis.sum import SparsePauliSum
 from repro.paulis.term import PauliTerm
-from repro.service.serialize import program_to_wire, result_from_wire
+from repro.service.serialize import (
+    bind_request_to_wire,
+    parametric_program_to_wire,
+    program_to_wire,
+    result_from_wire,
+    template_from_wire,
+)
 
 
 @dataclass
@@ -30,6 +36,26 @@ class ServiceResponse:
     result: CompilationResult | None
     metrics: dict | None = None
     compiler: str | None = None
+
+
+@dataclass
+class TemplateResponse:
+    """One ``POST /compile_template`` response.
+
+    ``template`` is populated only when the request asked for the wire
+    payload (``include_template=True``); binding by ``template_key`` is the
+    normal serving flow.
+    """
+
+    template_key: str | None
+    cache_hit: bool
+    name: str | None = None
+    level: int | None = None
+    num_qubits: int | None = None
+    num_terms: int | None = None
+    num_params: int | None = None
+    skeleton_gates: int | None = None
+    template: "object | None" = None
 
 
 class Client:
@@ -145,6 +171,79 @@ class Client:
         }
         decoded = self._request("POST", "/compile_batch", payload)
         return [self._parse_entry(entry) for entry in decoded.get("results", [])]
+
+    def compile_template(
+        self,
+        program,
+        target: str | None = None,
+        level: int = 3,
+        use_cache: bool = True,
+        include_template: bool = False,
+    ) -> TemplateResponse:
+        """Trace a parametric program once (``POST /compile_template``).
+
+        The returned ``template_key`` is the handle for subsequent
+        :meth:`bind` calls; it keys on ansatz structure alone, so every
+        binding of the ansatz — and every re-submission of the same program —
+        resolves to one stored template.
+        """
+        payload = {
+            "program": parametric_program_to_wire(program),
+            "target": target,
+            "level": level,
+            "use_cache": use_cache,
+            "include_template": include_template,
+        }
+        decoded = self._request("POST", "/compile_template", payload)
+        wire = decoded.get("template")
+        return TemplateResponse(
+            template_key=decoded.get("template_key"),
+            cache_hit=bool(decoded.get("cache_hit", False)),
+            name=decoded.get("name"),
+            level=decoded.get("level"),
+            num_qubits=decoded.get("num_qubits"),
+            num_terms=decoded.get("num_terms"),
+            num_params=decoded.get("num_params"),
+            skeleton_gates=decoded.get("skeleton_gates"),
+            template=None if wire is None else template_from_wire(wire),
+        )
+
+    def bind(
+        self,
+        params: Sequence[float],
+        template_key: str | None = None,
+        template=None,
+        include_result: bool = True,
+    ) -> ServiceResponse:
+        """Bind concrete angles against a compiled template (``POST /bind``).
+
+        Name the template by ``template_key`` (the server's cached copy,
+        the fast path) or ship a :class:`~repro.parametric.CompiledTemplate`
+        inline.  The response's ``key`` field carries the template key back.
+        """
+        payload = bind_request_to_wire(
+            params, template_key=template_key, template=template
+        )
+        payload["include_result"] = include_result
+        decoded = self._request("POST", "/bind", payload)
+        wire = decoded.get("result")
+        return ServiceResponse(
+            key=decoded.get("template_key"),
+            cache_hit=bool(decoded.get("cache_hit", False)),
+            result=None if wire is None else result_from_wire(wire),
+            metrics=decoded.get("metrics"),
+            compiler=decoded.get("compiler"),
+        )
+
+    def delete_result(self, key: str) -> bool:
+        """Evict a cached artifact (``DELETE /result/<key>``); False on 404."""
+        try:
+            self._request("DELETE", f"/result/{key}")
+        except ServiceError as error:
+            if error.status == 404:
+                return False
+            raise
+        return True
 
     def result(self, key: str) -> CompilationResult | None:
         """Fetch a cached artifact by key; ``None`` when not stored."""

@@ -12,7 +12,12 @@ accumulated is handed to a worker thread and compiled by
 :func:`execute_batch` as one planned batch.
 
 :func:`execute_batch` is deliberately synchronous and server-free so tests
-and offline tools can drive it directly.  It groups jobs by compilation
+and offline tools can drive it directly.
+
+Bind requests (:mod:`repro.parametric`) never enter the batching window:
+:func:`execute_bind` replays a pre-compiled template skeleton in
+microseconds, so parking one behind even a 2 ms collection window would cost
+10x its own latency.  The server calls it inline on the event loop.  It groups jobs by compilation
 config (target / level / pipeline), resolves each group against the
 :class:`~repro.service.cache.ArtifactCache`, deduplicates identical programs
 *within* the batch (32 concurrent requests for the same Hamiltonian compile
@@ -189,6 +194,31 @@ def _execute_group(
         for index in job_indices:
             completed[index] = CompletedJob(stored_key, result, cache_hit=False)
     telemetry.inc("service.compiled_programs", compiled)
+
+
+def execute_bind(
+    template,
+    params,
+    telemetry: Telemetry | None = None,
+) -> "repro.CompilationResult":
+    """Bind one parameter vector against a compiled template (fast path).
+
+    Synchronous and scheduler-free by design: a bind replays the template's
+    merge chains in microseconds, so it runs inline instead of joining a
+    batching window.  Counts ``service.bind_requests`` /
+    ``service.bind_seconds`` and, when the binding was degenerate and fell
+    back to a full compile, ``service.degenerate_binds``.  Validation errors
+    (wrong arity, NaN/inf) propagate as
+    :class:`~repro.exceptions.InvalidProgramError`.
+    """
+    telemetry = telemetry if telemetry is not None else Telemetry()
+    telemetry.inc("service.bind_requests")
+    fallbacks_before = template.fallback_binds
+    with telemetry.timed("service.bind_seconds"):
+        result = template.bind(params)
+    if template.fallback_binds != fallbacks_before:
+        telemetry.inc("service.degenerate_binds")
+    return result
 
 
 class BatchingScheduler:

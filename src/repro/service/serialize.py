@@ -54,6 +54,7 @@ PAULI_FORMAT = f"repro.pauli/v{WIRE_VERSION}"
 CIRCUIT_FORMAT = f"repro.circuit/v{WIRE_VERSION}"
 TABLEAU_FORMAT = f"repro.tableau/v{WIRE_VERSION}"
 RESULT_FORMAT = f"repro.result/v{WIRE_VERSION}"
+PARAMETRIC_FORMAT = f"repro.parametric/v{WIRE_VERSION}"
 
 
 def check_format(payload: dict, expected: str) -> None:
@@ -372,3 +373,199 @@ def result_from_wire(payload: dict) -> CompilationResult:
         metadata=metadata,
         properties=PropertySet(),
     )
+
+# ---------------------------------------------------------------------- #
+# Parametric programs and compiled templates (repro.parametric/v1)
+# ---------------------------------------------------------------------- #
+def parametric_program_to_wire(program) -> dict:
+    """A :class:`~repro.parametric.ParametricProgram` as packed words + slots."""
+    payload = {"format": PARAMETRIC_FORMAT, "kind": "program"}
+    payload.update(_packed_table_fields(program.table))
+    payload["slots"] = encode_array(program.slots, "<i8")
+    payload["scales"] = encode_array(program.scales, "<f8")
+    payload["num_params"] = int(program.num_params)
+    return payload
+
+
+def parametric_program_from_wire(payload: dict):
+    from repro.parametric.program import ParametricProgram
+
+    check_format(payload, PARAMETRIC_FORMAT)
+    if payload.get("kind") != "program":
+        raise WireFormatError(
+            f"expected a parametric program payload, got kind {payload.get('kind')!r}"
+        )
+    table = _packed_table_from_fields(payload)
+    slots = decode_array(_field(payload, "slots", "parametric program"), "<i8")
+    scales = decode_array(_field(payload, "scales", "parametric program"), "<f8")
+    try:
+        return ParametricProgram(
+            table,
+            slots,
+            scales=scales,
+            num_params=int(_field(payload, "num_params", "parametric program")),
+        )
+    except WireFormatError:
+        raise
+    except Exception as error:
+        raise WireFormatError(
+            f"malformed parametric program payload: {error}"
+        ) from error
+
+
+def template_to_wire(template) -> dict:
+    """A :class:`~repro.parametric.CompiledTemplate` as one payload.
+
+    The merge chains are flattened into three arrays (CSR-style offsets plus
+    per-entry term indices and signs); the skeleton travels as QASM, whose
+    ``repr``-exact floats keep the sentinel placeholders bit-exact.
+    """
+    chains = template._chains
+    offsets = np.zeros(len(chains) + 1, dtype=np.int64)
+    for index, chain in enumerate(chains):
+        offsets[index + 1] = offsets[index] + len(chain)
+    chain_terms = np.array(
+        [term for chain in chains for term, _ in chain], dtype=np.int64
+    )
+    chain_signs = np.array(
+        [sign for chain in chains for _, sign in chain], dtype=np.int8
+    )
+    target = template.target
+    return {
+        "format": PARAMETRIC_FORMAT,
+        "kind": "template",
+        "program": parametric_program_to_wire(template.program),
+        "level": int(template.level),
+        "name": template.name,
+        "target": None if target is None else {"num_qubits": target.num_qubits},
+        "normalize": bool(template._normalize),
+        "always_fallback": bool(template._always_fallback),
+        "rotation_count": int(template._rotation_count),
+        "skeleton": circuit_to_wire(
+            QuantumCircuit.from_trusted_gates(template.num_qubits, template._skeleton)
+        ),
+        "positions": encode_array(np.asarray(template._positions, dtype=np.int64), "<i8"),
+        "chain_offsets": encode_array(offsets, "<i8"),
+        "chain_terms": encode_array(chain_terms, "<i8"),
+        "chain_signs": encode_array(chain_signs, "<i1"),
+        "tail": _optional(template._tail, circuit_to_wire),
+        "conjugation": _optional(template._conjugation, tableau_to_wire),
+        "metadata_base": template._metadata_base,
+        "extraction_metadata": template._extraction_metadata,
+    }
+
+
+def template_from_wire(payload: dict):
+    from repro.compiler.target import Target
+    from repro.parametric.template import CompiledTemplate
+
+    check_format(payload, PARAMETRIC_FORMAT)
+    if payload.get("kind") != "template":
+        raise WireFormatError(
+            f"expected a template payload, got kind {payload.get('kind')!r}"
+        )
+    program = parametric_program_from_wire(_field(payload, "program", "template"))
+    skeleton_circuit = circuit_from_wire(_field(payload, "skeleton", "template"))
+    positions = decode_array(_field(payload, "positions", "template"), "<i8")
+    offsets = decode_array(_field(payload, "chain_offsets", "template"), "<i8")
+    chain_terms = decode_array(_field(payload, "chain_terms", "template"), "<i8")
+    chain_signs = decode_array(_field(payload, "chain_signs", "template"), "<i1")
+    if (
+        offsets.ndim != 1
+        or len(offsets) != len(positions) + 1
+        or chain_terms.shape != chain_signs.shape
+        or (len(offsets) and int(offsets[-1]) != len(chain_terms))
+    ):
+        raise WireFormatError("template payload has inconsistent chain arrays")
+    chains = [
+        [
+            (int(chain_terms[entry]), float(chain_signs[entry]))
+            for entry in range(int(offsets[index]), int(offsets[index + 1]))
+        ]
+        for index in range(len(positions))
+    ]
+    target_payload = payload.get("target")
+    if target_payload is None:
+        target = None
+    else:
+        try:
+            target = Target.fully_connected(
+                int(_field(target_payload, "num_qubits", "template target"))
+            )
+        except WireFormatError:
+            raise
+        except Exception as error:
+            raise WireFormatError(f"malformed template target: {error}") from error
+    tail_payload = payload.get("tail")
+    conjugation_payload = payload.get("conjugation")
+    metadata_base = payload.get("metadata_base") or {}
+    extraction_metadata = payload.get("extraction_metadata") or {}
+    if not isinstance(metadata_base, dict) or not isinstance(extraction_metadata, dict):
+        raise WireFormatError("template metadata must be JSON objects")
+    try:
+        return CompiledTemplate.restore(
+            program=program,
+            level=int(_field(payload, "level", "template")),
+            target=target,
+            skeleton=list(skeleton_circuit),
+            positions=[int(position) for position in positions],
+            chains=chains,
+            normalize=bool(_field(payload, "normalize", "template")),
+            tail=None if tail_payload is None else circuit_from_wire(tail_payload),
+            conjugation=(
+                None
+                if conjugation_payload is None
+                else tableau_from_wire(conjugation_payload)
+            ),
+            rotation_count=int(payload.get("rotation_count", 0)),
+            name=str(payload.get("name", "template")),
+            metadata_base=metadata_base,
+            extraction_metadata=extraction_metadata,
+            always_fallback=bool(payload.get("always_fallback", False)),
+        )
+    except WireFormatError:
+        raise
+    except Exception as error:
+        raise WireFormatError(f"malformed template payload: {error}") from error
+
+
+def bind_request_to_wire(params, template_key: str | None = None, template=None) -> dict:
+    """A bind request: concrete parameters plus the template (by key or inline)."""
+    if (template_key is None) == (template is None):
+        raise WireFormatError(
+            "a bind request names its template by key or ships it inline, "
+            "never both and never neither"
+        )
+    return {
+        "format": PARAMETRIC_FORMAT,
+        "kind": "bind",
+        "template_key": template_key,
+        "template": None if template is None else template_to_wire(template),
+        "params": [float(value) for value in np.asarray(params, dtype=np.float64)],
+    }
+
+
+def bind_request_from_wire(payload: dict) -> tuple[str | None, dict | None, list]:
+    """Decode a bind request into ``(template_key, template_payload, params)``.
+
+    The template payload (if inline) is returned undecoded so the service can
+    key its template cache on the wire bytes before paying reconstruction.
+    """
+    check_format(payload, PARAMETRIC_FORMAT)
+    if payload.get("kind") != "bind":
+        raise WireFormatError(
+            f"expected a bind payload, got kind {payload.get('kind')!r}"
+        )
+    template_key = payload.get("template_key")
+    if template_key is not None and not isinstance(template_key, str):
+        raise WireFormatError("bind template_key must be a string")
+    template_payload = payload.get("template")
+    if (template_key is None) == (template_payload is None):
+        raise WireFormatError(
+            "a bind request names its template by key or ships it inline, "
+            "never both and never neither"
+        )
+    params = _field(payload, "params", "bind")
+    if not isinstance(params, list):
+        raise WireFormatError("bind params must be a JSON list of numbers")
+    return template_key, template_payload, params

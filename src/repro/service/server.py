@@ -9,7 +9,17 @@ Endpoints (all JSON bodies/responses):
 * ``POST /compile_batch`` — ``{"programs": [...]}`` with shared options; the
   entries coalesce into the same scheduler window and compile as one planned
   batch.  Per-entry errors are reported per entry.
+* ``POST /compile_template`` — one ``repro.parametric/v1`` program; traces
+  the pipeline once into a compiled template, stores it under a
+  structure-only key (``template_key``), optionally returns the template
+  wire payload (``include_template``).
+* ``POST /bind`` — a ``repro.parametric/v1`` bind request (template named by
+  ``template_key`` or shipped inline) plus a ``params`` vector; replays the
+  template skeleton **inline on the event loop** — a bind takes microseconds,
+  so it never waits out the batching window.
 * ``GET /result/<key>`` — fetch a cached artifact by key (404 on miss).
+* ``DELETE /result/<key>`` — explicitly evict a cached artifact (404 on
+  miss); counted on ``/metrics`` as ``service.results_deleted``.
 * ``GET /healthz`` — liveness.
 * ``GET /metrics`` — telemetry counters/histograms plus cache statistics.
 
@@ -38,8 +48,16 @@ from repro.service.scheduler import (
     DEFAULT_WINDOW_SECONDS,
     BatchingScheduler,
     CompletedJob,
+    execute_bind,
 )
-from repro.service.serialize import program_from_wire, result_to_wire
+from repro.service.serialize import (
+    bind_request_from_wire,
+    parametric_program_from_wire,
+    program_from_wire,
+    result_to_wire,
+    template_from_wire,
+    template_to_wire,
+)
 from repro.service.telemetry import Telemetry
 
 #: largest accepted request body (64 MiB — a ~100k-term wire program is ~4 MiB)
@@ -257,6 +275,14 @@ class ServiceServer:
                 return await self._post_compile(payload)
             if path == "/compile_batch":
                 return await self._post_compile_batch(payload)
+            if path == "/compile_template":
+                return await self._post_compile_template(payload)
+            if path == "/bind":
+                return self._post_bind(payload)
+            raise _HttpError(404, f"unknown path {path!r}", kind="NotFound")
+        if method == "DELETE":
+            if path.startswith("/result/"):
+                return self._delete_result(path[len("/result/"):])
             raise _HttpError(404, f"unknown path {path!r}", kind="NotFound")
         raise _HttpError(405, f"method {method} not supported", kind="MethodNotAllowed")
 
@@ -343,6 +369,117 @@ class ServiceServer:
             raise _bad_request(error) from error
         outcome = await self.scheduler.submit(program, **options)
         return 200, self._job_payload(outcome, include_result)
+
+    def _delete_result(self, key: str) -> tuple[int, dict]:
+        if self.cache is None:
+            raise _HttpError(404, "the server runs without an artifact cache", "NoCache")
+        try:
+            removed = self.cache.delete(key)
+        except ReproError as error:
+            raise _bad_request(error) from error
+        if not removed:
+            raise _HttpError(404, f"no artifact stored under {key!r}", "NotFound")
+        self.telemetry.inc("service.results_deleted")
+        return 200, {"key": key, "deleted": True}
+
+    # ------------------------------------------------------------------ #
+    # Parametric templates
+    # ------------------------------------------------------------------ #
+    async def _post_compile_template(self, payload: dict) -> tuple[int, dict]:
+        wire_program = payload.get("program")
+        if wire_program is None:
+            raise _HttpError(400, "payload lacks a 'program' field")
+        options = self._compile_options(payload)
+        if options["pipeline"] is not None:
+            raise _HttpError(400, "templates support the preset levels only")
+        include_template = bool(payload.get("include_template", False))
+        self.telemetry.inc("service.template_requests")
+        try:
+            program = parametric_program_from_wire(wire_program)
+        except ReproError as error:
+            raise _bad_request(error) from error
+
+        key = None
+        template = None
+        cache_hit = False
+        if self.cache is not None:
+            key = self.cache.template_key_for(
+                program, target=options["target"], level=options["level"]
+            )
+            if options["use_cache"]:
+                template = self.cache.get_template(key)
+                cache_hit = template is not None
+        if template is None:
+            # tracing runs the full pipeline once (tens of ms): off the loop
+            loop = asyncio.get_running_loop()
+            with self.telemetry.timed("service.template_compile_seconds"):
+                template = await loop.run_in_executor(
+                    None, self._compile_template_sync, program, options
+                )
+            if self.cache is not None and key is not None:
+                self.cache.put_template(key, template)
+        entry = {
+            "template_key": key,
+            "cache_hit": cache_hit,
+            "name": template.name,
+            "level": template.level,
+            "num_qubits": template.num_qubits,
+            "num_terms": template.num_terms,
+            "num_params": template.num_params,
+            "skeleton_gates": template.skeleton_gate_count,
+        }
+        if include_template:
+            entry["template"] = template_to_wire(template)
+        return 200, entry
+
+    @staticmethod
+    def _compile_template_sync(program, options: dict):
+        from repro.parametric import compile_template
+
+        return compile_template(
+            program, target=options["target"], level=options["level"]
+        )
+
+    def _post_bind(self, payload: dict) -> tuple[int, dict]:
+        """Bind a template — inline on the event loop, no batching window."""
+        include_result = bool(payload.get("include_result", True))
+        try:
+            template_key, template_payload, params = bind_request_from_wire(payload)
+        except ReproError as error:
+            raise _bad_request(error) from error
+        if template_key is not None:
+            if self.cache is None:
+                raise _HttpError(
+                    404,
+                    "the server runs without an artifact cache; ship the "
+                    "template inline instead of by key",
+                    "NoCache",
+                )
+            try:
+                template = self.cache.get_template(template_key)
+            except ReproError as error:
+                raise _bad_request(error) from error
+            if template is None:
+                raise _HttpError(
+                    404, f"no template stored under {template_key!r}", "NotFound"
+                )
+        else:
+            try:
+                template = template_from_wire(template_payload)
+            except ReproError as error:
+                raise _bad_request(error) from error
+        fallbacks_before = template.fallback_binds
+        result = execute_bind(template, params, self.telemetry)
+        entry: dict = {
+            "template_key": template_key,
+            "cache_hit": template_key is not None,
+            "degenerate": template.fallback_binds != fallbacks_before,
+            "metrics": result.metrics(),
+            "compiler": result.name,
+        }
+        if include_result:
+            entry["result"] = result_to_wire(result)
+        return 200, entry
 
     async def _post_compile_batch(self, payload: dict) -> tuple[int, dict]:
         wire_programs = payload.get("programs")

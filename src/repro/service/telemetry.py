@@ -16,8 +16,18 @@ import threading
 import time
 
 #: default latency bucket upper bounds, in seconds (log-ish spacing from
-#: 100 microseconds to 10 s; the trailing +inf bucket is implicit)
+#: 1 microsecond to 10 s; the trailing +inf bucket is implicit).  The
+#: sub-millisecond decades exist for the parametric bind path, whose
+#: latencies are single- to hundreds of microseconds — without them every
+#: ``service.bind_seconds`` observation would collapse into one bucket and
+#: ``/metrics`` quantiles would be meaningless for the endpoint.
 DEFAULT_BUCKETS = (
+    0.000001,
+    0.0000025,
+    0.000005,
+    0.00001,
+    0.000025,
+    0.00005,
     0.0001,
     0.00025,
     0.0005,

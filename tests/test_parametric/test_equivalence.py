@@ -1,0 +1,177 @@
+"""Bit-identity: ``CompiledTemplate.bind`` versus from-scratch ``repro.compile``.
+
+The whole value proposition of :mod:`repro.parametric` is that a bind is not
+an approximation — every field of the :class:`CompilationResult` (gate list,
+extracted tail, conjugation tableau, term list, metadata) must match what the
+concrete preset pipeline produces at the same angles, bit for bit.  These
+tests sweep random programs across every preset level, multiple parameter
+draws per template, >64-qubit word boundaries, and the engineered degenerate
+cases that force the full-compile fallback.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.circuits.qasm import to_qasm
+from repro.parametric import ParametricProgram, compile_template
+from repro.parametric.template import _diff_results
+from repro.paulis.sum import SparsePauliSum
+
+from tests.conftest import random_pauli_terms
+
+LEVELS = [0, 1, 2, 3]
+
+
+def _rng(seed):
+    return np.random.default_rng(seed)
+
+
+def _random_program(seed, num_qubits, num_terms, num_params):
+    terms = random_pauli_terms(_rng(seed), num_qubits, num_terms)
+    slots = [index % num_params for index in range(num_terms)]
+    return ParametricProgram.from_terms(terms, slots)
+
+
+def assert_identical(bound, reference):
+    """Every comparable field of the two results matches exactly."""
+    mismatch = _diff_results(bound, reference)
+    assert mismatch is None, f"bind diverged from repro.compile on {mismatch}"
+    # belt and braces beyond the template's own self-check comparator: the
+    # serialized circuit text (repr-exact floats) must agree too
+    assert to_qasm(bound.circuit) == to_qasm(reference.circuit)
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("level", LEVELS)
+    def test_random_programs_random_draws(self, level):
+        for seed in range(4):
+            program = _random_program(seed, num_qubits=4, num_terms=12, num_params=3)
+            template = compile_template(program, level=level)
+            for draw in range(3):
+                params = _rng(100 + 10 * seed + draw).uniform(-2 * np.pi, 2 * np.pi, 3)
+                bound = template.bind(params)
+                reference = repro.compile(program.to_sum(params), level=level)
+                assert_identical(bound, reference)
+            assert template.binds == 3
+            assert template.fallback_binds == 0
+
+    @pytest.mark.parametrize("level", [1, 3])
+    def test_beyond_one_word_of_qubits(self, level):
+        # 70 qubits: x/z masks span two uint64 words per row
+        program = _random_program(7, num_qubits=70, num_terms=10, num_params=4)
+        template = compile_template(program, level=level)
+        params = _rng(71).uniform(-1.0, 1.0, 4)
+        assert_identical(
+            template.bind(params),
+            repro.compile(program.to_sum(params), level=level),
+        )
+
+    def test_from_sum_input(self):
+        terms = random_pauli_terms(_rng(11), 5, 9)
+        observable = SparsePauliSum(terms)
+        program = ParametricProgram.from_sum(observable, [i % 2 for i in range(len(observable))])
+        template = compile_template(program, level=3)
+        params = [0.813, -1.207]
+        assert_identical(
+            template.bind(params),
+            repro.compile(program.to_sum(params), level=3),
+        )
+
+    def test_repeat_binds_do_not_share_mutable_state(self):
+        program = _random_program(13, num_qubits=4, num_terms=8, num_params=2)
+        template = compile_template(program, level=3)
+        first = template.bind([0.4, 0.9])
+        again = template.bind([0.4, 0.9])
+        assert first.circuit == again.circuit
+        other = template.bind([1.1, -0.3])
+        # the earlier result must be untouched by later binds
+        assert first.circuit == again.circuit
+        assert other.circuit != first.circuit
+
+
+class TestDegenerateFallback:
+    @pytest.mark.parametrize("level", [1, 2, 3])
+    def test_zero_parameter_falls_back_and_stays_identical(self, level):
+        program = _random_program(17, num_qubits=4, num_terms=8, num_params=2)
+        template = compile_template(program, level=level)
+        params = [0.0, 1.3]  # a zero coefficient lands in the peephole kill window
+        bound = template.bind(params)
+        assert template.fallback_binds == 1
+        assert_identical(bound, repro.compile(program.to_sum(params), level=level))
+
+    def test_level0_never_falls_back(self):
+        # no peephole at level 0: zero-angle rotations are kept, not deleted
+        program = _random_program(19, num_qubits=4, num_terms=8, num_params=2)
+        template = compile_template(program, level=0)
+        params = [0.0, 1.3]
+        bound = template.bind(params)
+        assert template.fallback_binds == 0
+        assert_identical(bound, repro.compile(program.to_sum(params), level=0))
+
+    def test_constant_zero_term_forces_permanent_fallback(self):
+        # a constant term scaled to exactly 0.0 is degenerate at every
+        # calibration draw — the template must mark itself fallback-only
+        # and still serve correct results
+        paulis = [term.pauli for term in random_pauli_terms(_rng(23), 3, 4)]
+        program = ParametricProgram(
+            paulis, [-1, 0, 1, 0], scales=[0.0, 1.0, 1.0, 1.0]
+        )
+        template = compile_template(program, level=3)
+        assert template._always_fallback
+        params = [0.77, -0.31]
+        bound = template.bind(params)
+        assert template.fallback_binds == 1
+        assert_identical(bound, repro.compile(program.to_sum(params), level=3))
+
+
+class TestCompileManyIntegration:
+    def test_bound_programs_mix_with_regular_programs(self):
+        from repro.parametric import BoundProgram
+
+        program = _random_program(29, num_qubits=4, num_terms=8, num_params=2)
+        template = compile_template(program, level=3)
+        params = [0.6, -1.4]
+        regular_terms = random_pauli_terms(_rng(31), 4, 6)
+
+        results = repro.compile_many(
+            [BoundProgram(template, params), regular_terms], level=3
+        )
+        assert len(results) == 2
+        assert_identical(results[0], repro.compile(program.to_sum(params), level=3))
+        assert results[1].circuit == repro.compile(regular_terms, level=3).circuit
+
+    def test_all_bound_batch_plans_serial(self):
+        from repro.compiler.api import plan_batch
+        from repro.parametric import BoundProgram
+
+        program = _random_program(37, num_qubits=3, num_terms=6, num_params=2)
+        template = compile_template(program, level=2)
+        bound = [BoundProgram(template, [0.1 * i, 0.2]) for i in range(1, 4)]
+        plan = plan_batch(bound)
+        assert plan.executor == "serial"
+        assert "bound template" in plan.reason
+
+
+class TestTemplateRejections:
+    def test_pipeline_rejected(self):
+        from repro.exceptions import CompilerError
+
+        program = _random_program(41, num_qubits=3, num_terms=4, num_params=2)
+        with pytest.raises(CompilerError, match="preset levels only"):
+            compile_template(program, pipeline=object())
+
+    def test_bad_level_rejected(self):
+        from repro.exceptions import CompilerError
+
+        program = _random_program(43, num_qubits=3, num_terms=4, num_params=2)
+        with pytest.raises(CompilerError, match="optimization level"):
+            compile_template(program, level=7)
+        with pytest.raises(CompilerError, match="optimization level"):
+            compile_template(program, level=True)
+
+    def test_concrete_program_rejected(self):
+        from repro.exceptions import CompilerError
+
+        with pytest.raises(CompilerError, match="ParametricProgram"):
+            compile_template(random_pauli_terms(_rng(47), 3, 4))

@@ -1,0 +1,176 @@
+"""ParametricProgram: construction, validation, evaluation, binding shells."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidProgramError
+from repro.parametric import BoundProgram, ParametricProgram, compile_template
+from repro.parametric.program import validate_parameters
+from repro.paulis.pauli import PauliString
+from repro.paulis.sum import SparsePauliSum
+from repro.paulis.term import PauliTerm
+
+from tests.conftest import random_pauli_terms
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestConstruction:
+    def test_from_terms_coefficients_become_scales(self):
+        terms = [
+            PauliTerm.from_label("XX", 0.5),
+            PauliTerm.from_label("ZZ", -1.25),
+        ]
+        program = ParametricProgram.from_terms(terms, [0, 1])
+        assert program.num_terms == 2
+        assert program.num_params == 2
+        np.testing.assert_array_equal(program.scales, [0.5, -1.25])
+
+    def test_from_sum(self):
+        terms = random_pauli_terms(_rng(1), 4, 6)
+        observable = SparsePauliSum(terms)
+        program = ParametricProgram.from_sum(observable, [i % 3 for i in range(6)])
+        assert program.num_qubits == 4
+        assert program.num_params == 3
+        np.testing.assert_array_equal(
+            program.scales, observable.coefficient_vector()
+        )
+
+    def test_label_signs_fold_into_scales(self):
+        # a -XX row with scale 2.0 must evaluate exactly like +XX with -2.0
+        negative = ParametricProgram.from_terms(
+            [PauliTerm(PauliString.from_label("XX", sign=-1), 2.0)], [0]
+        )
+        positive = ParametricProgram.from_terms(
+            [PauliTerm.from_label("XX", -2.0)], [0]
+        )
+        params = [0.7]
+        np.testing.assert_array_equal(
+            negative.evaluate(params), positive.evaluate(params)
+        )
+        assert not negative.table.signs().any()
+
+    def test_constant_terms_via_slot_minus_one(self):
+        terms = [PauliTerm.from_label("XX", 3.0), PauliTerm.from_label("ZZ", 2.0)]
+        program = ParametricProgram.from_terms(terms, [-1, 0])
+        coefficients = program.evaluate([0.5])
+        np.testing.assert_array_equal(coefficients, [3.0, 1.0])
+
+    def test_num_params_can_exceed_used_slots(self):
+        program = ParametricProgram.from_terms(
+            [PauliTerm.from_label("XX", 1.0)], [0], num_params=4
+        )
+        assert program.num_params == 4
+        np.testing.assert_array_equal(
+            program.evaluate([2.0, 0.0, 0.0, 0.0]), [2.0]
+        )
+
+    def test_to_sum_matches_manual_construction(self):
+        terms = random_pauli_terms(_rng(2), 5, 8)
+        slots = [i % 4 for i in range(8)]
+        program = ParametricProgram.from_terms(terms, slots)
+        params = _rng(3).uniform(-np.pi, np.pi, 4)
+        concrete = program.to_sum(params)
+        expected = [term.coefficient * params[slot] for term, slot in zip(terms, slots)]
+        np.testing.assert_array_equal(concrete.coefficient_vector(), expected)
+
+
+class TestRejection:
+    def test_empty_program(self):
+        with pytest.raises(InvalidProgramError, match="empty"):
+            ParametricProgram.from_terms([], [])
+
+    def test_non_hermitian_rows(self):
+        imaginary = PauliString.from_label("+iXX")
+        with pytest.raises(InvalidProgramError, match="Hermitian"):
+            ParametricProgram([imaginary], [0])
+
+    def test_slot_count_mismatch(self):
+        with pytest.raises(InvalidProgramError, match="one slot per term"):
+            ParametricProgram.from_terms([PauliTerm.from_label("XX", 1.0)], [0, 1])
+
+    def test_slot_below_minus_one(self):
+        with pytest.raises(InvalidProgramError, match="slots"):
+            ParametricProgram.from_terms([PauliTerm.from_label("XX", 1.0)], [-2])
+
+    def test_slot_out_of_declared_range(self):
+        with pytest.raises(InvalidProgramError, match="out of range"):
+            ParametricProgram.from_terms(
+                [PauliTerm.from_label("XX", 1.0)], [3], num_params=2
+            )
+
+    def test_float_slots_rejected(self):
+        with pytest.raises(InvalidProgramError, match="integers"):
+            ParametricProgram.from_terms(
+                [PauliTerm.from_label("XX", 1.0)], np.array([0.0])
+            )
+
+    def test_nan_scales_rejected(self):
+        with pytest.raises(InvalidProgramError, match="NaN/inf"):
+            ParametricProgram.from_terms(
+                [PauliTerm.from_label("XX", float("nan"))], [0]
+            )
+
+    def test_inf_scales_rejected(self):
+        with pytest.raises(InvalidProgramError, match="NaN/inf"):
+            ParametricProgram(
+                [PauliString.from_label("XX")], [0], scales=[float("inf")]
+            )
+
+
+class TestParameterValidation:
+    def test_wrong_arity(self):
+        program = ParametricProgram.from_terms(
+            random_pauli_terms(_rng(4), 3, 4), [0, 1, 0, 1]
+        )
+        with pytest.raises(InvalidProgramError, match="expected 2 parameter"):
+            program.evaluate([1.0, 2.0, 3.0])
+
+    def test_nan_parameters(self):
+        program = ParametricProgram.from_terms(
+            random_pauli_terms(_rng(5), 3, 4), [0, 1, 0, 1]
+        )
+        with pytest.raises(InvalidProgramError, match="NaN/inf"):
+            program.evaluate([float("nan"), 1.0])
+
+    def test_inf_parameters(self):
+        with pytest.raises(InvalidProgramError, match="NaN/inf"):
+            validate_parameters([float("inf")], 1)
+
+    def test_non_numeric_parameters(self):
+        with pytest.raises(InvalidProgramError):
+            validate_parameters(["x"], 1)
+
+    def test_matrix_parameters_rejected(self):
+        with pytest.raises(InvalidProgramError, match="shape"):
+            validate_parameters([[1.0, 2.0]], 2)
+
+    def test_bind_rejects_nan_at_every_entry_point(self):
+        program = ParametricProgram.from_terms(
+            random_pauli_terms(_rng(6), 3, 4), [0, 1, 0, 1]
+        )
+        template = compile_template(program, level=1)
+        with pytest.raises(InvalidProgramError, match="NaN/inf"):
+            template.bind([float("nan"), 0.0])
+        with pytest.raises(InvalidProgramError, match="NaN/inf"):
+            BoundProgram(template, [0.0, float("inf")])
+
+
+class TestBoundProgram:
+    def test_len_is_template_terms(self):
+        program = ParametricProgram.from_terms(
+            random_pauli_terms(_rng(7), 3, 5), [0, 1, 0, 1, 0]
+        )
+        template = compile_template(program, level=0)
+        bound = BoundProgram(template, [0.25, -0.75])
+        assert len(bound) == 5
+
+    def test_arity_checked_at_construction(self):
+        program = ParametricProgram.from_terms(
+            random_pauli_terms(_rng(8), 3, 4), [0, 1, 0, 1]
+        )
+        template = compile_template(program, level=0)
+        with pytest.raises(InvalidProgramError, match="parameter"):
+            BoundProgram(template, [0.25])

@@ -98,11 +98,11 @@ class TestStrictMode:
 
     def test_committed_baselines_have_every_gated_floor(self):
         # the committed floors must stay strict-clean: every METRICS entry
-        # needs a floor in both tier baselines, and the service block needs
-        # every SERVICE_METRICS floor
+        # needs a floor in both tier baselines, and the service/parametric
+        # blocks need every gated floor
         sys.path.insert(0, str(REPO_ROOT / "scripts"))
         try:
-            from check_bench_regression import METRICS, SERVICE_METRICS
+            from check_bench_regression import METRICS, PARAMETRIC_METRICS, SERVICE_METRICS
         finally:
             sys.path.pop(0)
         for tier_file in (
@@ -115,16 +115,30 @@ class TestStrictMode:
             for workload, entry in committed["workloads"].items():
                 for metric in METRICS:
                     assert metric in entry, f"{tier_file}: {workload} lacks {metric}"
-            assert "service" in committed, f"{tier_file} lacks the service block"
-            for metric in SERVICE_METRICS:
-                assert metric in committed["service"], f"{tier_file}: service lacks {metric}"
+            for block, metrics in (
+                ("service", SERVICE_METRICS),
+                ("parametric", PARAMETRIC_METRICS),
+            ):
+                assert block in committed, f"{tier_file} lacks the {block} block"
+                for metric in metrics:
+                    assert metric in committed[block], f"{tier_file}: {block} lacks {metric}"
 
 
 SERVICE_BASELINE = dict(
-    BASELINE, service={"warm_hit_speedup": 100.0, "requests_per_sec": 50.0}
+    BASELINE,
+    service={
+        "warm_hit_speedup": 100.0,
+        "requests_per_sec": 50.0,
+        "bind_requests_per_sec": 150.0,
+    },
 )
 SERVICE_CURRENT = dict(
-    CURRENT_OK, service={"warm_hit_speedup": 5000.0, "requests_per_sec": 200.0}
+    CURRENT_OK,
+    service={
+        "warm_hit_speedup": 5000.0,
+        "requests_per_sec": 200.0,
+        "bind_requests_per_sec": 400.0,
+    },
 )
 
 
@@ -161,3 +175,36 @@ class TestServiceGate:
         result = _run(tmp_path, SERVICE_BASELINE, partial, "--strict")
         assert result.returncode == 1
         assert "NOT MEASURED" in result.stdout
+
+
+PARAMETRIC_BASELINE = dict(
+    SERVICE_BASELINE,
+    parametric={"bind_speedup": 100.0, "bind_requests_per_sec": 150.0},
+)
+PARAMETRIC_CURRENT = dict(
+    SERVICE_CURRENT,
+    parametric={"bind_speedup": 150.0, "bind_requests_per_sec": 400.0},
+)
+
+
+class TestParametricGate:
+    def test_passes_above_parametric_floors(self, tmp_path):
+        result = _run(tmp_path, PARAMETRIC_BASELINE, PARAMETRIC_CURRENT, "--strict")
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_fails_on_bind_speedup_regression(self, tmp_path):
+        slow = json.loads(json.dumps(PARAMETRIC_CURRENT))
+        slow["parametric"]["bind_speedup"] = 10.0
+        result = _run(tmp_path, PARAMETRIC_BASELINE, slow)
+        assert result.returncode == 1
+        assert "REGRESSION" in result.stdout
+
+    def test_strict_fails_when_parametric_block_vanishes(self, tmp_path):
+        result = _run(tmp_path, PARAMETRIC_BASELINE, SERVICE_CURRENT, "--strict")
+        assert result.returncode == 1
+        assert "MISSING" in result.stdout
+
+    def test_reports_without_parametric_blocks_still_pass(self, tmp_path):
+        # pre-parametric baselines stay comparable, strict or not
+        result = _run(tmp_path, SERVICE_BASELINE, SERVICE_CURRENT, "--strict")
+        assert result.returncode == 0

@@ -238,3 +238,148 @@ def _timed(fn) -> float:
     start = time.perf_counter()
     fn()
     return time.perf_counter() - start
+
+
+# ---------------------------------------------------------------------- #
+# Compiled templates (repro.parametric)
+# ---------------------------------------------------------------------- #
+def _parametric_program(rng, num_qubits=4, num_terms=8, num_params=2):
+    from repro.parametric import ParametricProgram
+
+    terms = random_pauli_terms(rng, num_qubits, num_terms)
+    return ParametricProgram.from_terms(
+        terms, [index % num_params for index in range(num_terms)]
+    )
+
+
+class TestTemplateKey:
+    def test_structure_only_and_reproducible(self, rng):
+        from repro.parametric import ParametricProgram
+        from repro.service.cache import template_cache_key
+
+        seed_terms = random_pauli_terms(rng, 4, 8)
+
+        slots = [i % 2 for i in range(8)]
+        first = ParametricProgram.from_terms(seed_terms, slots)
+        rebuilt = ParametricProgram.from_terms(list(seed_terms), slots)
+        assert template_cache_key(first) == template_cache_key(rebuilt)
+        # no concrete angle enters the key: it is usable before any binding
+        assert len(template_cache_key(first)) == 64
+
+    def test_key_depends_on_structure_fields(self, rng):
+        from repro.parametric import ParametricProgram
+        from repro.service.cache import template_cache_key
+
+        terms = random_pauli_terms(rng, 4, 8)
+        base = ParametricProgram.from_terms(terms, [i % 2 for i in range(8)])
+        other_slots = ParametricProgram.from_terms(terms, [0] * 8)
+        rescaled = ParametricProgram.from_terms(
+            [t.with_coefficient(t.coefficient * 2.0) for t in terms],
+            [i % 2 for i in range(8)],
+        )
+        keys = {
+            template_cache_key(base),
+            template_cache_key(other_slots),
+            template_cache_key(rescaled),
+            template_cache_key(base, level=2),
+        }
+        assert len(keys) == 4
+
+    def test_concrete_program_rejected(self, rng):
+        from repro.service.cache import template_cache_key
+
+        with pytest.raises(CacheError, match="ParametricProgram"):
+            template_cache_key(random_pauli_terms(rng, 4, 4))
+
+
+class TestTemplateStore:
+    def test_put_get_and_memory_promotion(self, cache, rng):
+        from repro.parametric import compile_template
+
+        program = _parametric_program(rng)
+        template = compile_template(program, level=3)
+        key = cache.template_key_for(program, level=3)
+        assert cache.get_template(key) is None
+        cache.put_template(key, template)
+        assert cache.get_template(key) is template  # memory layer, same object
+        cache.forget_memory()
+        restored = cache.get_template(key)
+        assert restored is not None and restored is not template
+        assert restored.skeleton_gate_count == template.skeleton_gate_count
+        # the disk hit promoted it: next get is the same object again
+        assert cache.get_template(key) is restored
+        stats = cache.stats()
+        assert stats["template_hits"] >= 2
+        assert stats["template_misses"] == 1
+        assert stats["template_disk_entries"] == 1
+
+    def test_restored_template_binds_identically(self, tmp_path, rng):
+        import numpy as np
+
+        from repro.parametric import compile_template
+
+        program = _parametric_program(rng)
+        template = compile_template(program, level=3)
+        first = ArtifactCache(tmp_path / "tpl")
+        key = first.template_key_for(program, level=3)
+        first.put_template(key, template)
+        # a fresh cache instance on the same dir: restart persistence
+        second = ArtifactCache(tmp_path / "tpl")
+        restored = second.get_template(key)
+        params = np.array([0.42, -1.17])
+        assert restored.bind(params).circuit == template.bind(params).circuit
+
+    def test_corrupt_template_degrades_to_miss(self, cache, rng):
+        from repro.parametric import compile_template
+
+        program = _parametric_program(rng)
+        key = cache.template_key_for(program)
+        cache.put_template(key, compile_template(program, level=3))
+        cache.forget_memory()
+        (cache.templates_dir / f"{key}.json").write_text("{not json")
+        assert cache.get_template(key) is None
+
+    def test_malformed_template_key_rejected(self, cache):
+        with pytest.raises(CacheError):
+            cache.get_template("../escape")
+
+    def test_templates_exempt_from_lru_eviction(self, tmp_path, rng):
+        from repro.parametric import compile_template
+
+        small = ArtifactCache(tmp_path / "small", max_bytes=1)
+        program = _parametric_program(rng)
+        template_key = small.template_key_for(program)
+        small.put_template(template_key, compile_template(program, level=3))
+        # artifact puts under a 1-byte budget trigger evictions...
+        for _ in range(3):
+            terms = random_pauli_terms(rng, 4, 5)
+            small.put(small.key_for(terms, level=1), repro.compile(terms, level=1))
+        assert small.stats()["evictions"] >= 2
+        small.forget_memory()
+        # ...but the template store is lifecycle-managed separately
+        assert small.get_template(template_key) is not None
+
+
+class TestDelete:
+    def test_delete_removes_all_layers(self, cache, rng):
+        terms = random_pauli_terms(rng, 4, 6)
+        key = cache.key_for(terms, level=3)
+        cache.put(key, repro.compile(terms, level=3))
+        assert cache.delete(key) is True
+        assert cache.get(key) is None
+        cache.forget_memory()
+        assert cache.get(key) is None
+        assert cache.stats()["deletes"] == 1
+
+    def test_delete_absent_returns_false(self, cache, rng):
+        key = cache.key_for(random_pauli_terms(rng, 4, 6))
+        assert cache.delete(key) is False
+        assert cache.stats()["deletes"] == 0
+
+    def test_delete_updates_index_snapshot(self, cache, rng):
+        terms = random_pauli_terms(rng, 4, 6)
+        key = cache.key_for(terms, level=3)
+        cache.put(key, repro.compile(terms, level=3))
+        cache.delete(key)
+        index = json.loads(cache.index_path.read_text())
+        assert key not in index["artifacts"]

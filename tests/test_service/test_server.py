@@ -251,3 +251,121 @@ class TestConcurrency:
             after = batch_client.metrics()["scheduler"]["batches_flushed"]
         # 6 programs submitted in one loop tick: one window, not six
         assert after - before == 1
+
+
+class TestParametricEndpoints:
+    @staticmethod
+    def _program(seed=60, num_terms=8):
+        from repro.parametric import ParametricProgram
+
+        terms = random_pauli_terms(_rng(seed), 4, num_terms)
+        return ParametricProgram.from_terms(
+            terms, [index % 2 for index in range(num_terms)]
+        )
+
+    def test_compile_template_miss_then_hit(self, client):
+        program = self._program(seed=61)
+        first = client.compile_template(program, level=3)
+        second = client.compile_template(program, level=3)
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert first.template_key == second.template_key
+        assert first.num_terms == 8
+        assert first.num_params == 2
+        assert first.level == 3
+        assert first.skeleton_gates > 0
+
+    def test_bind_by_key_matches_local_compile(self, client):
+        program = self._program(seed=62)
+        handle = client.compile_template(program, level=3)
+        params = [0.37, -1.42]
+        response = client.bind(params, template_key=handle.template_key)
+        assert response.cache_hit
+        assert response.key == handle.template_key
+        reference = repro.compile(program.to_sum(params), level=3)
+        assert response.result.circuit == reference.circuit
+        assert response.result.extracted_clifford == reference.extracted_clifford
+        assert response.compiler == reference.name
+
+    def test_bind_inline_template(self, client):
+        from repro.parametric import compile_template
+
+        program = self._program(seed=63)
+        template = compile_template(program, level=2)
+        params = [1.05, 0.55]
+        response = client.bind(params, template=template)
+        assert not response.cache_hit
+        assert response.key is None
+        reference = repro.compile(program.to_sum(params), level=2)
+        assert response.result.circuit == reference.circuit
+
+    def test_bind_without_result_payload(self, client):
+        program = self._program(seed=64)
+        handle = client.compile_template(program, level=3)
+        response = client.bind(
+            [0.9, 0.1], template_key=handle.template_key, include_result=False
+        )
+        assert response.result is None
+        assert response.metrics is not None
+
+    def test_include_template_round_trips(self, client):
+        program = self._program(seed=65)
+        handle = client.compile_template(program, level=3, include_template=True)
+        assert handle.template is not None
+        params = [0.21, 0.84]
+        local = handle.template.bind(params)
+        remote = client.bind(params, template_key=handle.template_key)
+        assert local.circuit == remote.result.circuit
+
+    def test_bind_unknown_key_is_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.bind([0.1, 0.2], template_key="ab" * 32)
+        assert excinfo.value.status == 404
+
+    def test_bind_nan_params_rejected(self, client):
+        program = self._program(seed=66)
+        handle = client.compile_template(program, level=3)
+        with pytest.raises(ServiceError) as excinfo:
+            client.bind([float("nan"), 0.2], template_key=handle.template_key)
+        assert excinfo.value.status == 400
+        assert "InvalidProgramError" in str(excinfo.value)
+
+    def test_bind_wrong_arity_rejected(self, client):
+        program = self._program(seed=67)
+        handle = client.compile_template(program, level=3)
+        with pytest.raises(ServiceError) as excinfo:
+            client.bind([0.1, 0.2, 0.3], template_key=handle.template_key)
+        assert excinfo.value.status == 400
+
+    def test_template_custom_pipeline_rejected(self, client):
+        from repro.service.serialize import parametric_program_to_wire
+
+        program = self._program(seed=68)
+        payload = {
+            "program": parametric_program_to_wire(program),
+            "pipeline": "quclear",
+        }
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("POST", "/compile_template", payload)
+        assert excinfo.value.status == 400
+        assert "preset levels only" in str(excinfo.value)
+
+    def test_delete_result_lifecycle(self, client):
+        terms = random_pauli_terms(_rng(69), 4, 6)
+        response = client.compile(terms, include_result=False)
+        assert client.result(response.key) is not None
+        assert client.delete_result(response.key) is True
+        assert client.result(response.key) is None
+        assert client.delete_result(response.key) is False
+
+    def test_metrics_count_parametric_traffic(self, client):
+        program = self._program(seed=70)
+        handle = client.compile_template(program, level=3)
+        client.bind([0.5, 0.6], template_key=handle.template_key)
+        counters = client.metrics()["telemetry"]["counters"]
+        assert counters["service.template_requests"] >= 1
+        assert counters["service.bind_requests"] >= 1
+        assert counters.get("service.results_deleted", 0) >= 1
+        latency = client.metrics()["telemetry"]["latency"]
+        assert latency["service.bind_seconds"]["count"] >= 1
+        assert latency["service.template_compile_seconds"]["count"] >= 1

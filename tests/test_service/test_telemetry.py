@@ -1,0 +1,54 @@
+"""Telemetry histograms, with a focus on the sub-millisecond bind decades."""
+
+from repro.service.telemetry import DEFAULT_BUCKETS, LatencyHistogram, Telemetry
+
+
+class TestBuckets:
+    def test_strictly_ascending(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert len(set(DEFAULT_BUCKETS)) == len(DEFAULT_BUCKETS)
+
+    def test_cover_microseconds_to_seconds(self):
+        # the bind path reports single- to hundreds of microseconds; without
+        # the sub-millisecond decades every observation lands in one bucket
+        assert DEFAULT_BUCKETS[0] <= 0.000001
+        assert sum(1 for bound in DEFAULT_BUCKETS if bound < 0.001) >= 6
+        assert DEFAULT_BUCKETS[-1] >= 10.0
+
+
+class TestMicrosecondResolution:
+    def test_microsecond_observations_separate(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.000002)   # 2 us
+        histogram.observe(0.00002)    # 20 us
+        histogram.observe(0.0002)     # 200 us
+        # three distinct buckets, not one blob
+        assert sum(1 for count in histogram.counts if count) == 3
+
+    def test_p50_of_microsecond_traffic_is_sub_100us(self):
+        histogram = LatencyHistogram()
+        for _ in range(100):
+            histogram.observe(0.00003)  # 30 us, typical small-template bind
+        assert histogram.quantile(0.5) < 0.0001
+
+    def test_snapshot_fields(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.00001)
+        histogram.observe(0.0005)
+        snap = histogram.snapshot()
+        assert snap["count"] == 2
+        assert snap["min_seconds"] == 0.00001
+        assert snap["max_seconds"] == 0.0005
+        assert snap["p50_seconds"] < snap["p99_seconds"]
+
+
+class TestTelemetry:
+    def test_bind_counters_and_histogram(self):
+        telemetry = Telemetry()
+        telemetry.inc("service.bind_requests")
+        telemetry.inc("service.bind_requests")
+        with telemetry.timed("service.bind_seconds"):
+            pass
+        snapshot = telemetry.snapshot()
+        assert snapshot["counters"]["service.bind_requests"] == 2
+        assert snapshot["latency"]["service.bind_seconds"]["count"] == 1
