@@ -64,6 +64,7 @@ import time
 import numpy as np
 
 import repro
+from repro.arrays import default_backend
 from repro.clifford.conjugation import conjugate_pauli_by_circuit
 from repro.clifford.engine import PackedConjugator
 from repro.compiler import plan_batch
@@ -396,6 +397,7 @@ def main(argv: list[str] | None = None) -> int:
             "total_terms": sum(entry["num_terms"] for entry in workloads.values()),
             "min_speedup": min(speedups),
             "geomean_speedup": math.exp(sum(math.log(s) for s in speedups) / len(speedups)),
+            "array_backend": default_backend().name,
         },
     }
     if not args.skip_batch:

@@ -1,0 +1,59 @@
+"""Optional CuPy array backend (GPU device arrays).
+
+CuPy is not a dependency of this package; the import is guarded so the
+module is always importable and :func:`cupy_available` reports whether the
+backend can actually be constructed.  :func:`repro.arrays.resolve_backend`
+surfaces the guarded failure as an :class:`~repro.exceptions.ArrayBackendError`
+with an install hint.
+
+The generic :class:`~repro.arrays.backend.ArrayBackend` kernels already run
+on CuPy arrays (plain operators, SWAR popcount instead of the numpy-only
+``bitwise_count``); this subclass only supplies device construction and the
+device-to-host transfer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arrays.backend import ArrayBackend
+from repro.exceptions import ArrayBackendError
+
+try:  # pragma: no cover - exercised only where cupy is installed
+    import cupy as _cupy
+except ImportError:  # pragma: no cover
+    _cupy = None
+
+
+def cupy_available() -> bool:
+    """Whether the ``cupy`` package imported successfully."""
+    return _cupy is not None
+
+
+class CupyBackend(ArrayBackend):
+    """GPU backend over CuPy device arrays (requires the ``cupy`` package)."""
+
+    name = "cupy"
+
+    def __init__(self):
+        if _cupy is None:
+            raise ArrayBackendError(
+                "the 'cupy' array backend requires the cupy package "
+                "(e.g. pip install cupy-cuda12x); it is not installed"
+            )
+        self.xp = _cupy
+
+    def asarray_words(self, data):
+        # Route host data through numpy first: cupy.asarray of nested Python
+        # sequences is slower and stricter than numpy's.
+        if not isinstance(data, self.xp.ndarray):
+            data = np.asarray(data, dtype=np.uint64)
+        return self.xp.ascontiguousarray(self.xp.asarray(data, dtype=self.xp.uint64))
+
+    def asarray_phases(self, data):
+        if not isinstance(data, self.xp.ndarray):
+            data = np.asarray(data, dtype=np.int64)
+        return self.xp.asarray(data, dtype=self.xp.int64)
+
+    def to_numpy(self, array) -> np.ndarray:
+        return self.xp.asnumpy(array)

@@ -1,0 +1,109 @@
+"""Backend registry: names to :class:`ArrayBackend` singletons.
+
+Selection precedence (resolved per call, cheapest first):
+
+1. an explicit :class:`ArrayBackend` instance — returned as-is;
+2. an explicit name (``"numpy"``, ``"reference"``, ``"cupy"``, or anything
+   added via :func:`register_backend`);
+3. the ``REPRO_ARRAY_BACKEND`` environment variable, consulted whenever the
+   spec is ``None``;
+4. the ``"numpy"`` default.
+
+Compile entry points layer two more levels above this module: an explicit
+``backend=`` argument wins over ``Target.array_backend``, which wins over
+the env/default handling here.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Callable
+
+from repro.arrays.backend import ArrayBackend, NumpyBackend, ReferenceBackend
+from repro.exceptions import ArrayBackendError
+
+#: environment variable naming the default backend when none is requested
+ENV_VAR = "REPRO_ARRAY_BACKEND"
+
+_LOCK = threading.Lock()
+_FACTORIES: dict[str, Callable[[], ArrayBackend]] = {}
+_INSTANCES: dict[str, ArrayBackend] = {}
+
+
+def register_backend(
+    name: str, factory: Callable[[], ArrayBackend], replace: bool = False
+) -> None:
+    """Register ``factory`` under ``name`` (case-insensitive).
+
+    The factory is called at most once — backends are stateless singletons.
+    Registering an existing name raises unless ``replace=True``.
+    """
+    key = name.strip().lower()
+    if not key:
+        raise ArrayBackendError("array backend name must be non-empty")
+    with _LOCK:
+        if key in _FACTORIES and not replace:
+            raise ArrayBackendError(f"array backend {name!r} is already registered")
+        _FACTORIES[key] = factory
+        _INSTANCES.pop(key, None)
+
+
+def available_backends() -> list[str]:
+    """Sorted names of every registered backend (installed or not)."""
+    with _LOCK:
+        return sorted(_FACTORIES)
+
+
+def resolve_backend(spec: "str | ArrayBackend | None" = None) -> ArrayBackend:
+    """The backend named by ``spec`` (instance, name, env override, or default).
+
+    ``None`` consults ``REPRO_ARRAY_BACKEND`` and falls back to ``"numpy"``.
+    Unknown names and backends whose dependency is missing (CuPy) raise
+    :class:`~repro.exceptions.ArrayBackendError`.
+    """
+    if isinstance(spec, ArrayBackend):
+        return spec
+    if spec is None:
+        env = os.environ.get(ENV_VAR, "").strip()
+        spec = env or "numpy"
+    if not isinstance(spec, str):
+        raise ArrayBackendError(
+            f"cannot resolve an array backend from {type(spec).__name__}: {spec!r}"
+        )
+    key = spec.strip().lower()
+    with _LOCK:
+        instance = _INSTANCES.get(key)
+        if instance is not None:
+            return instance
+        factory = _FACTORIES.get(key)
+    if factory is None:
+        raise ArrayBackendError(
+            f"unknown array backend {spec!r}; registered backends: "
+            f"{', '.join(available_backends())}"
+        )
+    # Construct outside the lock: a factory may raise (cupy absent) or import.
+    instance = factory()
+    with _LOCK:
+        return _INSTANCES.setdefault(key, instance)
+
+
+def default_backend() -> ArrayBackend:
+    """The backend used when nothing is specified (env override included)."""
+    return resolve_backend(None)
+
+
+def _cupy_factory() -> ArrayBackend:
+    from repro.arrays.cupy_backend import CupyBackend
+
+    return CupyBackend()
+
+
+register_backend("numpy", NumpyBackend)
+register_backend("reference", ReferenceBackend)
+register_backend("cupy", _cupy_factory)
+
+#: the host numpy singleton — internal host-side code paths (tableaus, gate
+#: synthesis, wire serialization) pin themselves to this regardless of the
+#: session default.
+NUMPY: ArrayBackend = resolve_backend("numpy")

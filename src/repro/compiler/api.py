@@ -10,6 +10,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.arrays import ArrayBackend
 from repro.clifford.engine import ConjugationCache
 from repro.compiler.pipeline import Pipeline, ensure_device_routing
 from repro.compiler.presets import MAX_OPTIMIZATION_LEVEL, preset_pipeline
@@ -83,6 +84,7 @@ def compile(
     target: Target | CouplingMap | str | None = None,
     level: int = MAX_OPTIMIZATION_LEVEL,
     pipeline: Pipeline | str | None = None,
+    backend: "str | ArrayBackend | None" = None,
 ) -> CompilationResult:
     """Compile a Pauli-rotation program.
 
@@ -104,13 +106,20 @@ def compile(
         Explicit pipeline to run instead of a preset: a
         :class:`~repro.compiler.pipeline.Pipeline` instance or the name of a
         registered compiler (``"quclear"``, ``"qiskit-like"``, ...).
+    backend:
+        Array backend for the packed conjugation engine — a
+        :mod:`repro.arrays` registry name (``"numpy"``, ``"cupy"``,
+        ``"reference"``) or an :class:`~repro.arrays.ArrayBackend` instance.
+        Precedence: this argument > ``target.array_backend`` >
+        ``REPRO_ARRAY_BACKEND`` > numpy.  The resolved name lands in
+        ``result.metadata["array_backend"]``.
     """
     if not isinstance(terms, SparsePauliSum):
         terms = list(terms)
     validate_program(terms, source="repro.compile")
     resolved = _resolve_pipeline(pipeline, level)
     device = as_target(target)
-    return ensure_device_routing(resolved, device).run(terms, target=device)
+    return ensure_device_routing(resolved, device).run(terms, target=device, backend=backend)
 
 
 # ---------------------------------------------------------------------- #
@@ -121,9 +130,10 @@ def _run_one(
     device: Target | None,
     program: Sequence[PauliTerm] | SparsePauliSum,
     cache: ConjugationCache | None,
+    backend: "str | ArrayBackend | None" = None,
 ) -> CompilationResult:
     properties = {"conjugation_cache": cache} if cache is not None else None
-    return pipeline.run(program, target=device, properties=properties)
+    return pipeline.run(program, target=device, properties=properties, backend=backend)
 
 
 #: per-process conjugation cache for the ``executor="processes"`` path (a
@@ -135,8 +145,8 @@ def _process_worker(payload) -> CompilationResult:
     global _PROCESS_CACHE
     if _PROCESS_CACHE is None:
         _PROCESS_CACHE = ConjugationCache()
-    pipeline, device, program = payload
-    result = _run_one(pipeline, device, program, _PROCESS_CACHE)
+    pipeline, device, program, backend = payload
+    result = _run_one(pipeline, device, program, _PROCESS_CACHE, backend=backend)
     # Don't ship the whole per-process cache back with every result: the
     # pickle payload would grow as O(results x cache size).  The result's
     # lazy absorbers tolerate a missing cache (PropertySet reads None).
@@ -269,6 +279,7 @@ def compile_many(
     max_workers: int | None = None,
     executor: str = "auto",
     conjugation_cache: ConjugationCache | None = None,
+    backend: "str | ArrayBackend | None" = None,
 ) -> list[CompilationResult]:
     """Compile a batch of independent Pauli-rotation programs.
 
@@ -303,6 +314,11 @@ def compile_many(
         and ``"processes"`` force the respective strategy; with
         ``"processes"`` the conjugation cache is per-process and submissions
         are chunked to amortize pickling.
+    backend:
+        Array backend for the packed engine, applied to every program in the
+        batch (same precedence as :func:`repro.compile`).  Backend names and
+        the built-in backend instances are picklable, so the setting survives
+        the ``"processes"`` path.
     """
     from repro.parametric.program import BoundProgram
 
@@ -344,6 +360,7 @@ def compile_many(
                 max_workers=max_workers,
                 executor=executor,
                 conjugation_cache=conjugation_cache,
+                backend=backend,
             )
             for (index, _), result in zip(regular, compiled):
                 results[index] = result
@@ -372,14 +389,20 @@ def compile_many(
     cache = conjugation_cache if conjugation_cache is not None else ConjugationCache()
 
     if plan.executor == "serial":
-        return [_run_one(routed, device, program, cache) for program in program_list]
+        return [
+            _run_one(routed, device, program, cache, backend=backend)
+            for program in program_list
+        ]
 
     if plan.executor == "processes":
-        payloads = [(routed, device, program) for program in program_list]
+        payloads = [(routed, device, program, backend) for program in program_list]
         with ProcessPoolExecutor(max_workers=plan.max_workers) as pool:
             return list(pool.map(_process_worker, payloads, chunksize=plan.chunksize))
 
     with ThreadPoolExecutor(max_workers=plan.max_workers) as pool:
         return list(
-            pool.map(lambda program: _run_one(routed, device, program, cache), program_list)
+            pool.map(
+                lambda program: _run_one(routed, device, program, cache, backend=backend),
+                program_list,
+            )
         )

@@ -73,12 +73,16 @@ class GroupCommuting(Pass):
 
     def run(self, program: Program, context: PassContext) -> None:
         terms = self._require_terms(program)
+        backend = context.properties["array_backend"]
         if program.sum is not None:
             table = program.sum.packed_table
+            if backend is not None:
+                table = table.to_backend(backend)
         else:
-            table = PackedPauliTable.from_paulis(t.pauli for t in terms)
-            # stash for CliffordExtraction so the same Paulis are packed once
-            program.packed_table = table
+            table = PackedPauliTable.from_paulis((t.pauli for t in terms), backend=backend)
+        # stash for CliffordExtraction so the same Paulis are packed (and
+        # moved to the active backend) exactly once
+        program.packed_table = table
         bounds = commuting_block_bounds(table)
         program.block_bounds = bounds
         program.blocks = [terms[a:b] for a, b in zip(bounds, bounds[1:])]
@@ -130,7 +134,8 @@ class CliffordExtraction(Pass):
             source,
             blocks=program.blocks,
             block_bounds=program.block_bounds,
-            packed_table=program.packed_table if program.sum is None else None,
+            packed_table=program.packed_table,
+            backend=context.properties["array_backend"],
         )
         program.circuit = extraction.optimized_circuit
         program.extracted_clifford = extraction.extracted_clifford

@@ -14,9 +14,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
-from repro.paulis.packed import PackedPauliTable, popcount_rows
+from repro.paulis.packed import PackedPauliTable
 from repro.paulis.term import PauliTerm
 
 
@@ -26,15 +24,20 @@ def commuting_block_bounds(table: PackedPauliTable) -> list[int]:
     Returns the block start offsets plus the final row count, so block ``k``
     is the row range ``[bounds[k], bounds[k + 1])``.  This is the table-native
     form the packed extractor consumes — no term objects are materialized.
+    The scan runs on the table's array backend.
     """
+    be = table.backend
     x_words, z_words = table.x_words, table.z_words
     bounds = [0]
     start = 0
     for index in range(1, len(table)):
-        overlap = popcount_rows(
-            (x_words[index] & z_words[start:index]) ^ (z_words[index] & x_words[start:index])
+        overlap = be.popcount_rows(
+            be.bxor(
+                be.band(x_words[index], z_words[start:index]),
+                be.band(z_words[index], x_words[start:index]),
+            )
         )
-        if bool(np.any(overlap & 1)):
+        if be.any(be.band(overlap, 1)):
             bounds.append(index)
             start = index
     bounds.append(len(table))

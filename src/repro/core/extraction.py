@@ -33,6 +33,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.arrays import ArrayBackend, NUMPY, resolve_backend
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gate import Gate
 from repro.clifford.engine import stream_gates_over_suffix
@@ -41,12 +42,7 @@ from repro.clifford.tableau import CliffordTableau
 from repro.core.commuting import commuting_block_bounds
 from repro.core.tree_synthesis import PackedRowGuide, chain_tree_cost, synthesize_tree
 from repro.exceptions import SynthesisError
-from repro.paulis.packed import (
-    PackedPauliTable,
-    apply_gate_to_words,
-    popcount_rows,
-    words_for_qubits,
-)
+from repro.paulis.packed import PackedPauliTable, words_for_qubits
 from repro.paulis.pauli import PauliString
 from repro.paulis.sum import SparsePauliSum
 from repro.paulis.term import PauliTerm
@@ -92,7 +88,7 @@ def _conjugate_through_gates(pauli: PauliString, gates: Sequence[Gate]) -> Pauli
     z_words = pauli.z_words.reshape(1, -1).copy()
     phase = np.array([pauli.phase], dtype=np.int64)
     for gate in gates:
-        apply_gate_to_words(x_words, z_words, phase, gate)
+        NUMPY.apply_gate_to_words(x_words, z_words, phase, gate)
     return PauliString.from_words(
         pauli.num_qubits, x_words[0], z_words[0], int(phase[0]) % 4
     )
@@ -180,6 +176,7 @@ class CliffordExtractor:
         blocks: list[list[PauliTerm]] | None = None,
         block_bounds: Sequence[int] | None = None,
         packed_table: PackedPauliTable | None = None,
+        backend: "str | ArrayBackend | None" = None,
     ) -> ExtractionResult:
         """Run Clifford Extraction over a Pauli-rotation program.
 
@@ -192,13 +189,27 @@ class CliffordExtractor:
         ``packed_table`` may hand over an already-packed table of the
         program's Paulis (row ``k`` = ``terms[k].pauli``, e.g. the table the
         grouping pass scanned) so they are not re-packed here; it is read,
-        never mutated.  Ignored for :class:`SparsePauliSum` input, which
-        carries its own store.
+        never mutated.  For :class:`SparsePauliSum` input it is adopted only
+        when it matches the sum's own store row-for-row (the grouping pass
+        handing back the store on the active backend).
+
+        ``backend`` pins the array backend the pass table lives on; when
+        omitted the input table's backend is kept.  Whatever the backend,
+        gate emission and the returned tableau are host-side (the synthesis
+        boundary).
         """
         if isinstance(terms, SparsePauliSum):
             source_sum: SparsePauliSum | None = terms
             term_list: list[PauliTerm] | None = None
             base = source_sum.packed_table
+            # the grouping pass may hand back the sum's own store already
+            # moved to the active backend — adopt it instead of re-transferring
+            if (
+                packed_table is not None
+                and packed_table.num_rows == base.num_rows
+                and packed_table.num_qubits == base.num_qubits
+            ):
+                base = packed_table
             coefficients = source_sum.coefficient_vector()
             num_qubits = source_sum.num_qubits
         else:
@@ -226,27 +237,32 @@ class CliffordExtractor:
             )
             coefficients = np.array([t.coefficient for t in term_list], dtype=float)
 
+        be = resolve_backend(backend) if backend is not None else base.backend
+        if base.backend is not be:
+            base = base.to_backend(be)
+
         start = time.perf_counter()
         num_rows = len(base)
         bounds = _resolve_block_bounds(base, blocks, block_bounds)
 
         # One packed table for the whole pass: the program rows followed by
         # the 2n tableau generator rows, so every suffix stream updates the
-        # remaining program AND the conjugation tableau in the same numpy op.
+        # remaining program AND the conjugation tableau in the same array op.
+        # Assembled host-side, then moved to the pass backend in one shot.
         words = words_for_qubits(num_qubits)
         x_words = np.zeros((num_rows + 2 * num_qubits, words), dtype=np.uint64)
         z_words = np.zeros_like(x_words)
         phases = np.zeros(num_rows + 2 * num_qubits, dtype=np.int64)
-        x_words[:num_rows] = base.x_words
-        z_words[:num_rows] = base.z_words
-        phases[:num_rows] = base.phases
+        x_words[:num_rows] = be.to_numpy(base.x_words)
+        z_words[:num_rows] = be.to_numpy(base.z_words)
+        phases[:num_rows] = be.to_numpy(base.phases)
         one = np.uint64(1)
         for qubit in range(num_qubits):
             mask = one << np.uint64(qubit & 63)
             x_words[num_rows + 2 * qubit, qubit >> 6] = mask
             z_words[num_rows + 2 * qubit + 1, qubit >> 6] = mask
-        table = PackedPauliTable(num_qubits, x_words, z_words, phases)
-        # rebind: the constructor may have copied during validation
+        table = PackedPauliTable(num_qubits, x_words, z_words, phases, backend=be)
+        # rebind: the constructor may have copied during validation/transfer
         x_words, z_words, phases = table.x_words, table.z_words, table.phases
 
         optimized_gates: list[Gate] = []
@@ -261,8 +277,8 @@ class CliffordExtractor:
             for position in range(block_start, block_end):
                 x_row = x_words[position]
                 z_row = z_words[position]
-                x_ints = x_row.tolist()
-                z_ints = z_row.tolist()
+                x_ints = be.tolist(x_row)
+                z_ints = be.tolist(z_row)
                 if not any(x_ints) and not any(z_ints):
                     # exp(-i theta/2 I) is a global phase; nothing to emit.
                     continue
@@ -282,7 +298,7 @@ class CliffordExtractor:
                     # rows); a no-op — skipped — for pure-Z/I terms.  h_mask
                     # must be copied out of the row view before the layer
                     # mutates it.
-                    table.apply_basis_layer(x_row & z_row, x_row.copy(), start=position)
+                    table.apply_basis_layer(be.band(x_row, z_row), be.copy(x_row), start=position)
 
                 if self.reorder_within_blocks and position + 1 < block_end:
                     best = self._find_next_packed(table, position, block_end, support)
@@ -313,8 +329,8 @@ class CliffordExtractor:
                 )
                 stream_gates_over_suffix(table, tree_gates, start=position)
 
-                x_ints = x_row.tolist()
-                z_ints = z_row.tolist()
+                x_ints = be.tolist(x_row)
+                z_ints = be.tolist(z_row)
                 root_word = root >> 6
                 reduced_to_root = (
                     not any(x_ints)
@@ -351,12 +367,14 @@ class CliffordExtractor:
         optimized = QuantumCircuit.from_trusted_gates(num_qubits, optimized_gates)
         left_halves = QuantumCircuit.from_trusted_gates(num_qubits, left_gates)
         extracted = left_halves.inverse()
+        # Host transfer happens once, inside from_packed_rows (the boundary).
         conjugation = CliffordTableau.from_packed_rows(
             PackedPauliTable(
                 num_qubits,
                 x_words[num_rows:],
                 z_words[num_rows:],
                 phases[num_rows:],
+                backend=be,
             )
         )
         elapsed = time.perf_counter() - start
@@ -403,20 +421,24 @@ class CliffordExtractor:
         count = block_end - first
         if count == 1:
             return first
+        be = table.backend
         x_words = table.x_words
         z_words = table.z_words
-        support_mask = np.zeros(x_words.shape[1], dtype=np.uint64)
+        support_mask_host = np.zeros(x_words.shape[1], dtype=np.uint64)
         one = np.uint64(1)
         for qubit in support:
-            support_mask[qubit >> 6] |= one << np.uint64(qubit & 63)
+            support_mask_host[qubit >> 6] |= one << np.uint64(qubit & 63)
+        support_mask = be.asarray_words(support_mask_host)
         candidate_x = x_words[first:block_end]
         candidate_z = z_words[first:block_end]
-        off_weights = popcount_rows((candidate_x | candidate_z) & ~support_mask)
+        off_weights = be.to_numpy(
+            be.popcount_rows(be.bandnot(be.bor(candidate_x, candidate_z), support_mask))
+        )
 
         word_index = np.asarray([q >> 6 for q in support])
         shifts = np.asarray([q & 63 for q in support], dtype=np.uint64)
-        support_x = ((candidate_x[:, word_index] >> shifts) & one).astype(np.uint8)
-        support_z = ((candidate_z[:, word_index] >> shifts) & one).astype(np.uint8)
+        support_x = be.support_bits(candidate_x, word_index, shifts)
+        support_z = be.support_bits(candidate_z, word_index, shifts)
 
         best_cost: int | None = None
         best_index: int | None = None

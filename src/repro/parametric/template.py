@@ -192,6 +192,10 @@ class CompiledTemplate:
         self._metadata_base = metadata_base
         self._extraction_metadata = extraction_metadata
         self._always_fallback = bool(always_fallback)
+        #: array-backend spec for the full-compile fallback path; the fast
+        #: bind itself is host-side and backend-free (not serialized — a
+        #: restored template re-resolves at the serving process's defaults)
+        self._backend_spec = None
         #: pauli of each input term, materialized once and shared by every
         #: bind result's ``extraction.terms``
         self._row_paulis = (
@@ -327,7 +331,10 @@ class CompiledTemplate:
 
     def _full_compile(self, array: np.ndarray) -> CompilationResult:
         return _compile_concrete(
-            self.program.to_sum(array), target=self.target, level=self.level
+            self.program.to_sum(array),
+            target=self.target,
+            level=self.level,
+            backend=self._backend_spec,
         )
 
     # ------------------------------------------------------------------ #
@@ -378,6 +385,7 @@ def compile_template(
     target: "Target | str | None" = None,
     level: int = MAX_OPTIMIZATION_LEVEL,
     pipeline=None,
+    backend=None,
 ) -> CompiledTemplate:
     """Run the preset pipeline once over a parametric program.
 
@@ -385,7 +393,11 @@ def compile_template(
     ``None`` or a fully-connected device (constrained-coupling routing is a
     per-binding rewrite the skeleton cannot carry, and is rejected), and
     ``pipeline`` must stay ``None`` — only the preset levels have the
-    angle-independence guarantee templates rely on.
+    angle-independence guarantee templates rely on.  ``backend`` selects the
+    array backend the trace's packed engine runs on (explicit argument >
+    ``target.array_backend`` > ``REPRO_ARRAY_BACKEND`` > numpy); the bound
+    results are bit-identical regardless, since binding replays a host-side
+    skeleton.
     """
     if not isinstance(program, ParametricProgram):
         raise CompilerError(
@@ -404,12 +416,16 @@ def compile_template(
             f"optimization level must be 0..{MAX_OPTIMIZATION_LEVEL}, got {level!r}"
         )
     device = as_target(target)
-    if device is not None and not device.is_fully_connected():
+    if device is not None and not device.is_fully_connected:
         raise CompilerError(
             f"templates compile for all-to-all connectivity only; routing to "
             f"{device.name!r} inserts SWAPs whose peephole interactions are "
             "re-derived per binding — compile without a target"
         )
+
+    backend_spec = backend
+    if backend_spec is None and device is not None:
+        backend_spec = device.array_backend
 
     num_terms = program.num_terms
     sentinel = np.arange(1, num_terms + 1, dtype=np.float64)
@@ -420,7 +436,7 @@ def compile_template(
     rotation_count = 0
     if level >= 2:
         extractor = CliffordExtractor(**_EXTRACTION_FLAGS[level], fuse_peephole=False)
-        trace = extractor.extract(sentinel_sum)
+        trace = extractor.extract(sentinel_sum, backend=backend_spec)
         raw_gates = list(trace.optimized_circuit)
         tail = trace.extracted_clifford
         conjugation = trace.conjugation
@@ -458,6 +474,7 @@ def compile_template(
         metadata_base={},
         extraction_metadata={},
     )
+    template._backend_spec = backend_spec
 
     _calibrate(template, device, level)
     return template
@@ -489,7 +506,10 @@ def _calibrate(template: CompiledTemplate, device: Target | None, level: int) ->
         calibration = _generic_parameters(program.num_params, 0)
 
     reference = _compile_concrete(
-        program.to_sum(calibration), target=device, level=level
+        program.to_sum(calibration),
+        target=device,
+        level=level,
+        backend=template._backend_spec,
     )
     template.name = reference.name
     template._metadata_base = {

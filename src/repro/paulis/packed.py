@@ -3,7 +3,7 @@
 Every Pauli on ``n`` qubits is two bit-vectors ``x`` and ``z`` plus a phase
 exponent.  This module packs those bit-vectors 64 qubits per ``uint64`` word,
 so a whole observable (thousands of Pauli terms) lives in three contiguous
-numpy arrays:
+word arrays:
 
 * ``x_words``, ``z_words`` — shape ``(rows, words)`` ``uint64`` matrices with
   qubit ``q`` stored in bit ``q & 63`` of word ``q >> 6`` (little-endian bit
@@ -11,9 +11,16 @@ numpy arrays:
 * ``phases`` — shape ``(rows,)`` ``int64`` exponents of ``i`` modulo 4.
 
 Clifford conjugation then becomes a handful of whole-column bitwise
-operations per gate — one numpy expression covering *all* rows at once —
+operations per gate — one array expression covering *all* rows at once —
 instead of the legacy per-string, per-qubit Python loop.  The speedup is
 measured (not asserted) by ``benchmarks/bench_throughput.py``.
+
+The word arrays live on a pluggable :class:`~repro.arrays.ArrayBackend`
+(numpy by default, CuPy for device residency, a pure-Python reference for
+equivalence testing); every mutating method routes through
+``self.backend``.  Packing/unpacking between booleans and words is always
+host-side numpy — tables transfer with :meth:`PackedPauliTable.to_backend` /
+:meth:`PackedPauliTable.to_host`.
 
 The packed layout assumes a little-endian host (x86-64, aarch64); the
 ``uint8 -> uint64`` reinterpretation in :func:`pack_bits` would permute bits
@@ -22,11 +29,13 @@ within each word on a big-endian host.
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
-from repro.exceptions import CliffordError, PauliError
+from repro.arrays import ArrayBackend, NUMPY, resolve_backend
+from repro.exceptions import PauliError
 
 if TYPE_CHECKING:
     from repro.circuits.gate import Gate
@@ -34,8 +43,6 @@ if TYPE_CHECKING:
 
 #: qubits stored per machine word
 WORD_BITS = 64
-
-_ONE = np.uint64(1)
 
 
 def words_for_qubits(num_qubits: int) -> int:
@@ -64,144 +71,25 @@ def unpack_bits(words: np.ndarray, num_qubits: int) -> np.ndarray:
 
 
 def popcount_rows(words: np.ndarray) -> np.ndarray:
-    """Per-row population count of a ``(rows, W)`` word matrix."""
+    """Per-row population count of a host ``(rows, W)`` word matrix."""
     return np.bitwise_count(words).sum(axis=-1).astype(np.int64)
-
-
-def _bit_position(qubit: int) -> tuple[int, np.uint64, np.uint64]:
-    """``(word index, bit shift, single-bit mask)`` for ``qubit``."""
-    shift = np.uint64(qubit & (WORD_BITS - 1))
-    return qubit >> 6, shift, _ONE << shift
-
-
-# ---------------------------------------------------------------------- #
-# Vectorized per-gate conjugation rules
-#
-# Each handler applies ``row -> g row g†`` to every row at once.  The rules
-# mirror repro.clifford.conjugation (the legacy boolean-array path), which the
-# equivalence tests hold as ground truth; phases accumulate un-reduced and are
-# folded modulo 4 by the callers.
-# ---------------------------------------------------------------------- #
-def _col(words: np.ndarray, word: int, shift: np.uint64) -> np.ndarray:
-    """The 0/1 value of one qubit column for every row, as ``int64``."""
-    return ((words[:, word] >> shift) & _ONE).astype(np.int64)
-
-
-def _h(xw, zw, phases, qubit):
-    word, shift, mask = _bit_position(qubit)
-    phases += 2 * (((xw[:, word] & zw[:, word]) >> shift) & _ONE).astype(np.int64)
-    diff = (xw[:, word] ^ zw[:, word]) & mask
-    xw[:, word] ^= diff
-    zw[:, word] ^= diff
-
-
-def _s(xw, zw, phases, qubit):
-    word, shift, mask = _bit_position(qubit)
-    phases += _col(xw, word, shift)
-    zw[:, word] ^= xw[:, word] & mask
-
-
-def _sdg(xw, zw, phases, qubit):
-    word, shift, mask = _bit_position(qubit)
-    phases += 3 * _col(xw, word, shift)
-    zw[:, word] ^= xw[:, word] & mask
-
-
-def _sx(xw, zw, phases, qubit):
-    word, shift, mask = _bit_position(qubit)
-    phases += 3 * _col(zw, word, shift)
-    xw[:, word] ^= zw[:, word] & mask
-
-
-def _sxdg(xw, zw, phases, qubit):
-    word, shift, mask = _bit_position(qubit)
-    phases += _col(zw, word, shift)
-    xw[:, word] ^= zw[:, word] & mask
-
-
-def _x(xw, zw, phases, qubit):
-    word, shift, _ = _bit_position(qubit)
-    phases += 2 * _col(zw, word, shift)
-
-
-def _y(xw, zw, phases, qubit):
-    word, shift, _ = _bit_position(qubit)
-    phases += 2 * (((xw[:, word] ^ zw[:, word]) >> shift) & _ONE).astype(np.int64)
-
-
-def _z(xw, zw, phases, qubit):
-    word, shift, _ = _bit_position(qubit)
-    phases += 2 * _col(xw, word, shift)
-
-
-def _cx(xw, zw, phases, control, target):
-    cword, cshift, _ = _bit_position(control)
-    tword, tshift, _ = _bit_position(target)
-    # In the explicit-phase convention CNOT conjugation is phase-free.
-    xw[:, tword] ^= ((xw[:, cword] >> cshift) & _ONE) << tshift
-    zw[:, cword] ^= ((zw[:, tword] >> tshift) & _ONE) << cshift
-
-
-def _cz(xw, zw, phases, control, target):
-    cword, cshift, _ = _bit_position(control)
-    tword, tshift, _ = _bit_position(target)
-    x_control = (xw[:, cword] >> cshift) & _ONE
-    x_target = (xw[:, tword] >> tshift) & _ONE
-    phases += 2 * (x_control & x_target).astype(np.int64)
-    zw[:, cword] ^= x_target << cshift
-    zw[:, tword] ^= x_control << tshift
-
-
-def _swap(xw, zw, phases, qubit_a, qubit_b):
-    aword, ashift, _ = _bit_position(qubit_a)
-    bword, bshift, _ = _bit_position(qubit_b)
-    for words in (xw, zw):
-        diff = ((words[:, aword] >> ashift) ^ (words[:, bword] >> bshift)) & _ONE
-        words[:, aword] ^= diff << ashift
-        words[:, bword] ^= diff << bshift
-
-
-def _identity(xw, zw, phases, qubit):
-    return None
-
-
-_SINGLE_QUBIT_HANDLERS = {
-    "i": _identity,
-    "h": _h,
-    "s": _s,
-    "sdg": _sdg,
-    "sx": _sx,
-    "sxdg": _sxdg,
-    "x": _x,
-    "y": _y,
-    "z": _z,
-}
-
-_TWO_QUBIT_HANDLERS = {
-    "cx": _cx,
-    "cz": _cz,
-    "swap": _swap,
-}
 
 
 def apply_gate_to_words(
     x_words: np.ndarray, z_words: np.ndarray, phases: np.ndarray, gate: "Gate"
 ) -> None:
-    """Apply one Clifford gate in place to every packed row.
+    """Deprecated shim: use ``backend.apply_gate_to_words`` instead.
 
-    Phases accumulate un-reduced (``int64`` has headroom for any realistic
-    circuit); callers fold modulo 4 when they finish a batch of gates.
+    The per-gate kernels moved to :mod:`repro.arrays`; this host-numpy entry
+    point remains for callers that operated on raw word arrays.
     """
-    name = gate.name
-    handler = _SINGLE_QUBIT_HANDLERS.get(name)
-    if handler is not None:
-        handler(x_words, z_words, phases, gate.qubits[0])
-        return
-    handler = _TWO_QUBIT_HANDLERS.get(name)
-    if handler is not None:
-        handler(x_words, z_words, phases, gate.qubits[0], gate.qubits[1])
-        return
-    raise CliffordError(f"gate {gate.name!r} is not a supported Clifford gate")
+    warnings.warn(
+        "repro.paulis.packed.apply_gate_to_words is deprecated; route through "
+        "an ArrayBackend (repro.arrays.resolve_backend(...).apply_gate_to_words)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    NUMPY.apply_gate_to_words(x_words, z_words, phases, gate)
 
 
 def apply_basis_layer_to_words(
@@ -211,24 +99,15 @@ def apply_basis_layer_to_words(
     y_mask: np.ndarray,
     h_mask: np.ndarray,
 ) -> None:
-    """Apply a whole single-qubit basis-change layer to every row at once.
-
-    ``y_mask`` selects the qubits receiving ``sdg`` (the ``Y`` factors of the
-    Pauli being synthesized) and ``h_mask`` the qubits receiving ``h`` (its
-    ``X`` and ``Y`` factors), both as packed ``uint64`` qubit masks.  Gates on
-    distinct qubits commute and their phase contributions add, so the two
-    masked sweeps are bit-identical to streaming the per-qubit
-    ``sdg``/``h`` gates of :func:`repro.synthesis.pauli_rotation.basis_change_gates`
-    one at a time — at two numpy expressions per layer instead of one per gate.
-    """
-    if np.any(y_mask):
-        phases += 3 * popcount_rows(x_words & y_mask)
-        z_words ^= x_words & y_mask
-    if np.any(h_mask):
-        phases += 2 * popcount_rows(x_words & z_words & h_mask)
-        diff = (x_words ^ z_words) & h_mask
-        x_words ^= diff
-        z_words ^= diff
+    """Deprecated shim: use ``backend.apply_basis_layer_to_words`` instead."""
+    warnings.warn(
+        "repro.paulis.packed.apply_basis_layer_to_words is deprecated; route "
+        "through an ArrayBackend "
+        "(repro.arrays.resolve_backend(...).apply_basis_layer_to_words)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    NUMPY.apply_basis_layer_to_words(x_words, z_words, phases, y_mask, h_mask)
 
 
 def conjugate_row_through_generators(
@@ -245,7 +124,7 @@ def conjugate_row_through_generators(
     ``gen_x`` / ``gen_z`` / ``gen_phases`` hold the ``2n`` packed generator
     images (row ``2q`` = image of ``X_q``, row ``2q + 1`` = image of ``Z_q``);
     the Pauli is given by its packed words plus its phase.  This is the
-    single-row conjugation kernel shared by
+    single-row host-side conjugation kernel shared by
     :meth:`repro.clifford.tableau.CliffordTableau.conjugate` and
     :meth:`repro.clifford.engine.PackedConjugator.conjugate` — the X image is
     folded in before the Z image per qubit, with a factor ``(-1)`` whenever a
@@ -275,19 +154,22 @@ class PackedPauliTable:
     The canonical store behind :class:`~repro.paulis.pauli.PauliString` /
     :class:`~repro.paulis.sum.SparsePauliSum` batches and the operand of the
     vectorized conjugation engine (:mod:`repro.clifford.engine`).  The arrays
-    are owned by the table and mutated in place by the ``apply_*`` methods.
+    are owned by the table, live on ``self.backend``, and are mutated in
+    place by the ``apply_*`` methods.
     """
 
-    __slots__ = ("num_qubits", "x_words", "z_words", "phases")
+    __slots__ = ("num_qubits", "x_words", "z_words", "phases", "backend")
 
     def __init__(
         self,
         num_qubits: int,
-        x_words: np.ndarray,
-        z_words: np.ndarray,
-        phases: np.ndarray,
+        x_words,
+        z_words,
+        phases,
+        backend: "str | ArrayBackend | None" = None,
     ):
         self.num_qubits = int(num_qubits)
+        self.backend = resolve_backend(backend)
         expected_words = words_for_qubits(self.num_qubits)
         if (
             x_words.ndim != 2
@@ -299,37 +181,54 @@ class PackedPauliTable:
                 f"inconsistent packed shapes: x{x_words.shape} z{z_words.shape} "
                 f"phases{phases.shape} for {self.num_qubits} qubits"
             )
-        self.x_words = np.ascontiguousarray(x_words, dtype=np.uint64)
-        self.z_words = np.ascontiguousarray(z_words, dtype=np.uint64)
-        self.phases = np.asarray(phases, dtype=np.int64) % 4
+        be = self.backend
+        self.x_words = be.asarray_words(x_words)
+        self.z_words = be.asarray_words(z_words)
+        self.phases = be.mod(be.asarray_phases(phases), 4)
 
     # ------------------------------------------------------------------ #
     # Constructors
     # ------------------------------------------------------------------ #
     @classmethod
-    def zeros(cls, num_rows: int, num_qubits: int) -> "PackedPauliTable":
+    def zeros(
+        cls, num_rows: int, num_qubits: int, backend: "str | ArrayBackend | None" = None
+    ) -> "PackedPauliTable":
         """A table of ``num_rows`` identity Paulis."""
         words = words_for_qubits(num_qubits)
+        be = resolve_backend(backend)
         return cls(
             num_qubits,
-            np.zeros((num_rows, words), dtype=np.uint64),
-            np.zeros((num_rows, words), dtype=np.uint64),
-            np.zeros(num_rows, dtype=np.int64),
+            be.zeros_words(num_rows, words),
+            be.zeros_words(num_rows, words),
+            be.zeros_phases(num_rows),
+            backend=be,
         )
 
     @classmethod
     def from_bool_arrays(
-        cls, x: np.ndarray, z: np.ndarray, phases: Sequence[int] | np.ndarray
+        cls,
+        x: np.ndarray,
+        z: np.ndarray,
+        phases: Sequence[int] | np.ndarray,
+        backend: "str | ArrayBackend | None" = None,
     ) -> "PackedPauliTable":
-        """Pack ``(rows, n)`` boolean component matrices."""
+        """Pack ``(rows, n)`` boolean component matrices (host-side packing)."""
         x = np.atleast_2d(np.asarray(x, dtype=bool))
         z = np.atleast_2d(np.asarray(z, dtype=bool))
         if x.shape != z.shape:
             raise PauliError("x and z must have identical shapes")
-        return cls(x.shape[1], pack_bits(x), pack_bits(z), np.asarray(phases, dtype=np.int64))
+        return cls(
+            x.shape[1],
+            pack_bits(x),
+            pack_bits(z),
+            np.asarray(phases, dtype=np.int64),
+            backend=backend,
+        )
 
     @classmethod
-    def from_paulis(cls, paulis: Iterable["PauliString"]) -> "PackedPauliTable":
+    def from_paulis(
+        cls, paulis: Iterable["PauliString"], backend: "str | ArrayBackend | None" = None
+    ) -> "PackedPauliTable":
         """Pack an iterable of :class:`PauliString` (all on the same register)."""
         pauli_list = list(paulis)
         if not pauli_list:
@@ -347,19 +246,53 @@ class PackedPauliTable:
             x_words[index] = pauli.x_words
             z_words[index] = pauli.z_words
             phases[index] = pauli.phase
-        return cls(num_qubits, x_words, z_words, phases)
+        return cls(num_qubits, x_words, z_words, phases, backend=backend)
 
     @classmethod
-    def from_labels(cls, labels: Sequence[str]) -> "PackedPauliTable":
+    def from_labels(
+        cls, labels: Sequence[str], backend: "str | ArrayBackend | None" = None
+    ) -> "PackedPauliTable":
         """Pack textual labels (convenience for tests and benchmarks)."""
         from repro.paulis.pauli import PauliString
 
-        return cls.from_paulis(PauliString.from_label(label) for label in labels)
+        return cls.from_paulis(
+            (PauliString.from_label(label) for label in labels), backend=backend
+        )
 
     def copy(self) -> "PackedPauliTable":
+        be = self.backend
         return PackedPauliTable(
-            self.num_qubits, self.x_words.copy(), self.z_words.copy(), self.phases.copy()
+            self.num_qubits,
+            be.copy(self.x_words),
+            be.copy(self.z_words),
+            be.copy(self.phases),
+            backend=be,
         )
+
+    # ------------------------------------------------------------------ #
+    # Backend transfer
+    # ------------------------------------------------------------------ #
+    def to_backend(self, backend: "str | ArrayBackend") -> "PackedPauliTable":
+        """This table's rows on ``backend`` (``self`` if already there)."""
+        target = resolve_backend(backend)
+        if target is self.backend:
+            return self
+        be = self.backend
+        return PackedPauliTable(
+            self.num_qubits,
+            be.to_numpy(self.x_words),
+            be.to_numpy(self.z_words),
+            be.to_numpy(self.phases),
+            backend=target,
+        )
+
+    def to_host(self) -> "PackedPauliTable":
+        """This table on the host numpy backend (``self`` if already there).
+
+        The synthesis boundary: gate emission, tableaus, and wire
+        serialization always operate on host tables.
+        """
+        return self.to_backend(NUMPY)
 
     # ------------------------------------------------------------------ #
     # Row access / unpacking
@@ -375,26 +308,28 @@ class PackedPauliTable:
         """Materialize row ``index`` as an independent :class:`PauliString`."""
         from repro.paulis.pauli import PauliString
 
+        be = self.backend
         return PauliString.from_words(
             self.num_qubits,
-            self.x_words[index].copy(),
-            self.z_words[index].copy(),
+            be.to_numpy(self.x_words[index]).copy(),
+            be.to_numpy(self.z_words[index]).copy(),
             int(self.phases[index]),
         )
 
     def row_view(self, index: int) -> "PauliString":
         """Row ``index`` as a :class:`PauliString` sharing this table's words.
 
-        No copy is made: the view is valid only until the table mutates
-        (``apply_*`` / ``move_row``), and the caller must treat it as
-        read-only.  Use :meth:`row` for an independent copy.
+        No copy is made on host backends: the view is valid only until the
+        table mutates (``apply_*`` / ``move_row``), and the caller must treat
+        it as read-only.  Use :meth:`row` for an independent copy.
         """
         from repro.paulis.pauli import PauliString
 
+        be = self.backend
         return PauliString.from_words(
             self.num_qubits,
-            self.x_words[index],
-            self.z_words[index],
+            be.to_numpy(self.x_words[index]),
+            be.to_numpy(self.z_words[index]),
             int(self.phases[index]) % 4,
         )
 
@@ -402,21 +337,24 @@ class PackedPauliTable:
         return [self.row(index) for index in range(self.num_rows)]
 
     def to_bool_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Unpack into ``(x, z, phases)`` boolean/int arrays."""
+        """Unpack into host ``(x, z, phases)`` boolean/int arrays."""
+        be = self.backend
         return (
-            unpack_bits(self.x_words, self.num_qubits),
-            unpack_bits(self.z_words, self.num_qubits),
-            self.phases.copy(),
+            unpack_bits(be.to_numpy(self.x_words), self.num_qubits),
+            unpack_bits(be.to_numpy(self.z_words), self.num_qubits),
+            be.to_numpy(self.phases).copy(),
         )
 
     def select(self, indices: np.ndarray | Sequence[int]) -> "PackedPauliTable":
         """A new table holding the requested rows (in the given order)."""
         indices = np.asarray(indices)
+        be = self.backend
         return PackedPauliTable(
             self.num_qubits,
-            self.x_words[indices].copy(),
-            self.z_words[indices].copy(),
-            self.phases[indices].copy(),
+            be.select_rows(self.x_words, indices),
+            be.select_rows(self.z_words, indices),
+            be.select_rows(self.phases, indices),
+            backend=be,
         )
 
     # ------------------------------------------------------------------ #
@@ -425,8 +363,9 @@ class PackedPauliTable:
     def apply_gate(self, gate: "Gate") -> None:
         """Apply ``row -> g row g†`` in place to every row."""
         self._check_gate_fits(gate)
-        apply_gate_to_words(self.x_words, self.z_words, self.phases, gate)
-        np.mod(self.phases, 4, out=self.phases)
+        be = self.backend
+        be.apply_gate_to_words(self.x_words, self.z_words, self.phases, gate)
+        be.imod(self.phases, 4)
 
     def apply_circuit(self, circuit) -> None:
         """Conjugate every row through ``circuit`` in time order."""
@@ -435,10 +374,11 @@ class PackedPauliTable:
                 f"circuit acts on {circuit.num_qubits} qubits, "
                 f"table holds {self.num_qubits}-qubit Paulis"
             )
+        be = self.backend
         xw, zw, phases = self.x_words, self.z_words, self.phases
         for gate in circuit:
-            apply_gate_to_words(xw, zw, phases, gate)
-        np.mod(phases, 4, out=phases)
+            be.apply_gate_to_words(xw, zw, phases, gate)
+        be.imod(phases, 4)
 
     def _check_gate_fits(self, gate: "Gate") -> None:
         for qubit in gate.qubits:
@@ -457,22 +397,24 @@ class PackedPauliTable:
         One whole-column bitwise expression per gate covering every selected
         row at once; phases are folded modulo 4 after the batch.
         """
+        be = self.backend
         xw = self.x_words[start:stop]
         zw = self.z_words[start:stop]
         phases = self.phases[start:stop]
         for gate in gates:
-            apply_gate_to_words(xw, zw, phases, gate)
-        np.mod(phases, 4, out=phases)
+            be.apply_gate_to_words(xw, zw, phases, gate)
+        be.imod(phases, 4)
 
     def apply_basis_layer(
-        self, y_mask: np.ndarray, h_mask: np.ndarray, start: int = 0, stop: int | None = None
+        self, y_mask, h_mask, start: int = 0, stop: int | None = None
     ) -> None:
         """Apply a masked ``sdg``/``h`` basis-change layer to rows ``[start, stop)``."""
+        be = self.backend
         phases = self.phases[start:stop]
-        apply_basis_layer_to_words(
+        be.apply_basis_layer_to_words(
             self.x_words[start:stop], self.z_words[start:stop], phases, y_mask, h_mask
         )
-        np.mod(phases, 4, out=phases)
+        be.imod(phases, 4)
 
     def move_row(self, src: int, dest: int) -> None:
         """Move row ``src`` to position ``dest``, shifting the rows between.
@@ -485,16 +427,18 @@ class PackedPauliTable:
             raise PauliError(f"move_row only shifts rows earlier: src={src} dest={dest}")
         if dest == src:
             return
+        be = self.backend
         window = slice(dest, src + 1)
         for array in (self.x_words, self.z_words, self.phases):
-            array[window] = np.roll(array[window], 1, axis=0)
+            array[window] = be.roll_down(array[window])
 
     # ------------------------------------------------------------------ #
     # Vectorized row metrics
     # ------------------------------------------------------------------ #
-    def weights(self, start: int = 0, stop: int | None = None) -> np.ndarray:
+    def weights(self, start: int = 0, stop: int | None = None):
         """Per-row count of non-identity single-qubit factors in ``[start, stop)``."""
-        return popcount_rows(self.x_words[start:stop] | self.z_words[start:stop])
+        be = self.backend
+        return be.popcount_rows(be.bor(self.x_words[start:stop], self.z_words[start:stop]))
 
     def argsort_weights(self, start: int = 0, stop: int | None = None) -> np.ndarray:
         """Indices (relative to ``start``) ordering rows ``[start, stop)`` by weight.
@@ -503,43 +447,58 @@ class PackedPauliTable:
         the same deterministic-tie-break discipline the extraction cost
         model's branch-and-bound applies to its (masked) weight sort.
         """
-        return np.argsort(self.weights(start, stop), kind="stable")
+        return self.backend.argsort_stable(self.weights(start, stop))
 
-    def num_y(self) -> np.ndarray:
+    def num_y(self):
         """Per-row count of ``Y`` factors (``x & z`` bits)."""
-        return popcount_rows(self.x_words & self.z_words)
+        be = self.backend
+        return be.popcount_rows(be.band(self.x_words, self.z_words))
 
     def hermitian_mask(self) -> np.ndarray:
         """Boolean mask of rows equal to a real-signed ``I/X/Y/Z`` string."""
-        return ((self.phases - self.num_y()) % 2) == 0
+        be = self.backend
+        phases = be.to_numpy(self.phases)
+        num_y = be.to_numpy(self.num_y())
+        return ((phases - num_y) % 2) == 0
 
     def signs(self) -> np.ndarray:
         """Per-row label-form sign exponents: ``i**sign_exponent``, modulo 4."""
-        return (self.phases - self.num_y()) % 4
+        be = self.backend
+        return (be.to_numpy(self.phases) - be.to_numpy(self.num_y())) % 4
 
     def bare(self) -> "PackedPauliTable":
         """A copy with every row's phase reset so its label sign is ``+1``."""
+        be = self.backend
         return PackedPauliTable(
-            self.num_qubits, self.x_words.copy(), self.z_words.copy(), self.num_y() % 4
+            self.num_qubits,
+            be.copy(self.x_words),
+            be.copy(self.z_words),
+            self.num_y(),
+            backend=be,
         )
 
     def anticommutation_with_row(
-        self, x_row: np.ndarray, z_row: np.ndarray, start: int = 0, stop: int | None = None
+        self, x_row, z_row, start: int = 0, stop: int | None = None
     ) -> np.ndarray:
         """Boolean mask: which rows in ``[start, stop)`` anticommute with the
         Pauli given by packed words ``(x_row, z_row)``."""
         stop = self.num_rows if stop is None else stop
-        overlap = popcount_rows(
-            (self.x_words[start:stop] & z_row) ^ (self.z_words[start:stop] & x_row)
+        be = self.backend
+        overlap = be.popcount_rows(
+            be.bxor(
+                be.band(self.x_words[start:stop], z_row),
+                be.band(self.z_words[start:stop], x_row),
+            )
         )
-        return (overlap & 1).astype(bool)
+        return (be.to_numpy(overlap) & 1).astype(bool)
 
     def row_key(self, index: int) -> tuple[bytes, bytes]:
         """Hashable symplectic key (phase excluded) for row ``index``."""
-        return (self.x_words[index].tobytes(), self.z_words[index].tobytes())
+        be = self.backend
+        return (be.tobytes(self.x_words[index]), be.tobytes(self.z_words[index]))
 
     def __repr__(self) -> str:
         return (
             f"PackedPauliTable(rows={self.num_rows}, num_qubits={self.num_qubits}, "
-            f"words={self.x_words.shape[1]})"
+            f"words={self.x_words.shape[1]}, backend={self.backend.name!r})"
         )

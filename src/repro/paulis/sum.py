@@ -57,6 +57,59 @@ class SparsePauliSum:
         )
 
     @classmethod
+    def from_dictionary(
+        cls, dictionary: "dict[str, float | complex]"
+    ) -> "SparsePauliSum":
+        """Build a sum from a ``{pauli_label: coefficient}`` mapping.
+
+        The dict form is the interchange format used by symmer and by most
+        Hamiltonian file dumps: keys are Qiskit-convention Pauli labels
+        (optionally carrying a leading ``+``/``-`` sign, which folds into the
+        coefficient), values are the weights.  Coefficients may arrive as
+        Python complex (symmer emits ``(0.5+0j)``); a non-negligible
+        imaginary part is rejected since this container is real-weighted by
+        construction.  Iteration order of the dict is preserved, so
+        :meth:`to_dictionary` round-trips exactly.
+        """
+        if not isinstance(dictionary, dict):
+            raise PauliError(
+                f"from_dictionary needs a dict of label -> coefficient, got "
+                f"{type(dictionary).__name__}"
+            )
+        if not dictionary:
+            raise PauliError("a SparsePauliSum needs at least one term")
+        terms = []
+        for label, coefficient in dictionary.items():
+            if not isinstance(label, str):
+                raise PauliError(
+                    f"Pauli labels must be strings, got {type(label).__name__}"
+                )
+            value = complex(coefficient)
+            if abs(value.imag) > 1e-12:
+                raise PauliError(
+                    f"coefficient of {label!r} has a non-real value "
+                    f"{coefficient!r}; this container holds real-weighted "
+                    "(Hermitian) sums only"
+                )
+            terms.append(PauliTerm(PauliString.from_label(label), value.real))
+        return cls(terms)
+
+    def to_dictionary(self) -> dict[str, float]:
+        """The sum as a ``{pauli_label: coefficient}`` dict (symmer-style).
+
+        Signs live in the coefficients (labels are emitted unsigned), and
+        duplicate Pauli strings are combined on the way out — the dict form
+        cannot represent repeats, so emitting them would silently drop
+        weight.  ``from_dictionary(s.to_dictionary())`` reproduces the
+        combined sum exactly.
+        """
+        result: dict[str, float] = {}
+        for term in self._materialized():
+            label = term.pauli.to_label(include_sign=False)
+            result[label] = result.get(label, 0.0) + float(term.coefficient)
+        return result
+
+    @classmethod
     def from_packed(
         cls, table: PackedPauliTable, coefficients: Sequence[float] | np.ndarray
     ) -> "SparsePauliSum":

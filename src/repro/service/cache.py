@@ -123,9 +123,13 @@ def cache_key(
         coefficients = np.array([term.coefficient for term in program], dtype=float)
     digest = hashlib.sha256()
     digest.update(f"repro-artifact/v1:{table.num_qubits}:{table.num_rows}".encode())
-    digest.update(np.ascontiguousarray(table.x_words, dtype="<u8").tobytes())
-    digest.update(np.ascontiguousarray(table.z_words, dtype="<u8").tobytes())
-    digest.update(np.ascontiguousarray(table.phases % 4, dtype="<i8").tobytes())
+    # hash host bytes so the key is independent of the array backend the
+    # table happens to live on — a numpy and a cupy view of one program must
+    # resolve to the same artifact
+    be = table.backend
+    digest.update(np.ascontiguousarray(be.to_numpy(table.x_words), dtype="<u8").tobytes())
+    digest.update(np.ascontiguousarray(be.to_numpy(table.z_words), dtype="<u8").tobytes())
+    digest.update(np.ascontiguousarray(be.to_numpy(table.phases) % 4, dtype="<i8").tobytes())
     digest.update(np.ascontiguousarray(coefficients, dtype="<f8").tobytes())
     digest.update(target_fingerprint(target).encode())
     digest.update(b"|")
@@ -157,9 +161,10 @@ def template_cache_key(
         f"repro-template/v1:{table.num_qubits}:{table.num_rows}:"
         f"{program.num_params}".encode()
     )
-    digest.update(np.ascontiguousarray(table.x_words, dtype="<u8").tobytes())
-    digest.update(np.ascontiguousarray(table.z_words, dtype="<u8").tobytes())
-    digest.update(np.ascontiguousarray(table.phases % 4, dtype="<i8").tobytes())
+    be = table.backend
+    digest.update(np.ascontiguousarray(be.to_numpy(table.x_words), dtype="<u8").tobytes())
+    digest.update(np.ascontiguousarray(be.to_numpy(table.z_words), dtype="<u8").tobytes())
+    digest.update(np.ascontiguousarray(be.to_numpy(table.phases) % 4, dtype="<i8").tobytes())
     digest.update(np.ascontiguousarray(program.slots, dtype="<i8").tobytes())
     digest.update(np.ascontiguousarray(program.scales, dtype="<f8").tobytes())
     digest.update(target_fingerprint(target).encode())
@@ -214,6 +219,11 @@ class ArtifactCache:
         self.deletes = 0
         self.template_hits = 0
         self.template_misses = 0
+        #: cumulative count of index.json entries found pointing at missing
+        #: artifact files (external deletion, a lost eviction race, a pruned
+        #: volume) — repaired on detection, surfaced on ``/metrics``
+        self.index_drift = 0
+        self.reconcile_index()
 
     # ------------------------------------------------------------------ #
     key_for = staticmethod(cache_key)
@@ -473,6 +483,38 @@ class ArtifactCache:
                 pass
             raise
 
+    def reconcile_index(self) -> int:
+        """Detect and repair advisory-index entries whose artifact is gone.
+
+        The object files are the source of truth; an ``index.json`` entry
+        with no backing file means something outside the cache's own write
+        path removed the artifact (operator cleanup, a shared-volume prune,
+        a lost eviction race).  Every drifted entry is counted into
+        ``index_drift``, dropped from the memory layer, and the snapshot is
+        rewritten from a fresh directory scan.  Returns the drift found by
+        *this* call; run automatically at construction and on every
+        :meth:`stats` read (so ``/metrics`` always reports a repaired view).
+        """
+        try:
+            with open(self.index_path) as handle:
+                index = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return 0
+        listed = index.get("artifacts") if isinstance(index, dict) else None
+        if not isinstance(listed, dict) or not listed:
+            return 0
+        entries = self._scan_objects()
+        present = {path.stem for _, _, path in entries}
+        drifted = set(listed) - present
+        if not drifted:
+            return 0
+        with self._lock:
+            self.index_drift += len(drifted)
+            for key in drifted:
+                self._memory.pop(key, None)
+        self._write_index(entries)
+        return len(drifted)
+
     # ------------------------------------------------------------------ #
     def __contains__(self, key: str) -> bool:
         with self._lock:
@@ -484,6 +526,7 @@ class ArtifactCache:
         return len(self._scan_objects())
 
     def stats(self) -> dict:
+        self.reconcile_index()
         entries = self._scan_objects()
         with self._lock:
             return {
@@ -493,6 +536,7 @@ class ArtifactCache:
                 "disk_hits": self.disk_hits,
                 "evictions": self.evictions,
                 "deletes": self.deletes,
+                "index_drift": self.index_drift,
                 "template_hits": self.template_hits,
                 "template_misses": self.template_misses,
                 "memory_entries": len(self._memory),

@@ -1,0 +1,122 @@
+"""Tests for the array-backend registry (repro.arrays.registry).
+
+Resolution precedence, the ``REPRO_ARRAY_BACKEND`` environment override,
+unknown-name and wrong-type rejection, singleton semantics, user
+registration, and the CuPy-absent error path.
+"""
+
+import pytest
+
+from repro.arrays import (
+    ENV_VAR,
+    ArrayBackend,
+    CupyBackend,
+    NumpyBackend,
+    ReferenceBackend,
+    available_backends,
+    cupy_available,
+    default_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.exceptions import ArrayBackendError
+
+
+class TestResolveBackend:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        backend = resolve_backend(None)
+        assert isinstance(backend, NumpyBackend)
+        assert backend.name == "numpy"
+        assert default_backend() is backend
+
+    def test_by_name(self):
+        assert isinstance(resolve_backend("numpy"), NumpyBackend)
+        assert isinstance(resolve_backend("reference"), ReferenceBackend)
+
+    def test_singletons(self):
+        assert resolve_backend("numpy") is resolve_backend("numpy")
+        assert resolve_backend("reference") is resolve_backend("reference")
+
+    def test_instance_passthrough(self):
+        backend = ReferenceBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(ArrayBackendError, match="numpy"):
+            resolve_backend("no-such-backend")
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ArrayBackendError):
+            resolve_backend(42)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "reference")
+        assert isinstance(resolve_backend(None), ReferenceBackend)
+        # explicit spec always wins over the environment
+        assert isinstance(resolve_backend("numpy"), NumpyBackend)
+
+    def test_env_override_unknown_name(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "no-such-backend")
+        with pytest.raises(ArrayBackendError):
+            resolve_backend(None)
+
+    def test_available_backends(self):
+        names = available_backends()
+        assert "numpy" in names
+        assert "reference" in names
+        assert "cupy" in names
+
+
+class TestRegisterBackend:
+    def test_duplicate_rejected(self):
+        with pytest.raises(ArrayBackendError, match="already registered"):
+            register_backend("numpy", NumpyBackend)
+
+    def test_register_and_resolve(self):
+        class MyBackend(NumpyBackend):
+            name = "test-custom"
+
+        register_backend("test-custom", MyBackend, replace=True)
+        resolved = resolve_backend("test-custom")
+        assert isinstance(resolved, MyBackend)
+        assert resolve_backend("test-custom") is resolved
+
+    def test_replace_clears_cached_instance(self):
+        class First(NumpyBackend):
+            name = "test-replaced"
+
+        class Second(NumpyBackend):
+            name = "test-replaced"
+
+        register_backend("test-replaced", First, replace=True)
+        first = resolve_backend("test-replaced")
+        register_backend("test-replaced", Second, replace=True)
+        second = resolve_backend("test-replaced")
+        assert isinstance(first, First)
+        assert isinstance(second, Second)
+
+
+class TestCupyBackend:
+    @pytest.mark.skipif(cupy_available(), reason="cupy is installed here")
+    def test_absent_cupy_raises_actionable_error(self):
+        with pytest.raises(ArrayBackendError, match="cupy"):
+            resolve_backend("cupy")
+
+    @pytest.mark.skipif(not cupy_available(), reason="cupy not installed")
+    def test_cupy_resolves_when_available(self):
+        backend = resolve_backend("cupy")
+        assert isinstance(backend, CupyBackend)
+        assert backend.name == "cupy"
+
+    def test_cupy_listed_regardless(self):
+        # the registry advertises the name; resolution is what gates on the
+        # import, with an error that says how to fix it
+        assert "cupy" in available_backends()
+
+
+class TestBaseClass:
+    def test_abstract_backend_is_importable_surface(self):
+        assert issubclass(NumpyBackend, ArrayBackend)
+        assert issubclass(ReferenceBackend, ArrayBackend)
+        assert issubclass(CupyBackend, ArrayBackend)

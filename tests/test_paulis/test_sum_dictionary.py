@@ -1,0 +1,83 @@
+"""SparsePauliSum dictionary interchange (symmer-style ``{label: coeff}``)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PauliError
+from repro.paulis.sum import SparsePauliSum
+
+from tests.conftest import random_pauli_terms
+
+
+class TestFromDictionary:
+    def test_basic_construction(self):
+        observable = SparsePauliSum.from_dictionary({"XZ": 0.5, "YY": -0.25})
+        assert observable.num_qubits == 2
+        assert observable.labels() == ["XZ", "YY"]
+        assert observable.coefficients == [0.5, -0.25]
+
+    def test_signed_labels_fold_into_coefficients(self):
+        observable = SparsePauliSum.from_dictionary({"-XZ": 0.5, "+YY": 0.25})
+        assert observable.to_dictionary() == {"XZ": -0.5, "YY": 0.25}
+
+    def test_real_valued_complex_coefficients_accepted(self):
+        # symmer serializes coefficients as complex even when they are real
+        observable = SparsePauliSum.from_dictionary({"XX": (0.5 + 0j), "ZZ": 1.5})
+        assert observable.coefficients == [0.5, 1.5]
+
+    def test_imaginary_coefficient_rejected(self):
+        with pytest.raises(PauliError, match="non-real"):
+            SparsePauliSum.from_dictionary({"XX": 0.5 + 0.1j})
+
+    def test_empty_dictionary_rejected(self):
+        with pytest.raises(PauliError, match="at least one term"):
+            SparsePauliSum.from_dictionary({})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(PauliError, match="needs a dict"):
+            SparsePauliSum.from_dictionary([("XX", 0.5)])
+
+    def test_non_string_label_rejected(self):
+        with pytest.raises(PauliError, match="labels must be strings"):
+            SparsePauliSum.from_dictionary({3: 0.5})
+
+    def test_invalid_label_rejected(self):
+        with pytest.raises(PauliError):
+            SparsePauliSum.from_dictionary({"XQ": 0.5})
+
+    def test_inconsistent_qubit_counts_rejected(self):
+        with pytest.raises(PauliError, match="qubit counts"):
+            SparsePauliSum.from_dictionary({"XX": 0.5, "ZZZ": 0.25})
+
+
+class TestToDictionary:
+    def test_round_trip_exact(self, rng):
+        terms = random_pauli_terms(rng, 6, 12)
+        observable = SparsePauliSum(terms)
+        dictionary = observable.to_dictionary()
+        rebuilt = SparsePauliSum.from_dictionary(dictionary)
+        assert rebuilt.to_dictionary() == dictionary
+        assert np.allclose(rebuilt.to_matrix(), observable.to_matrix())
+
+    def test_order_preserved(self):
+        labels = ["ZZ", "XX", "YY", "IX"]
+        observable = SparsePauliSum.from_labels(labels, [1.0, 2.0, 3.0, 4.0])
+        assert list(observable.to_dictionary()) == labels
+
+    def test_duplicates_combine_on_the_way_out(self):
+        observable = SparsePauliSum.from_labels(["XX", "XX", "ZZ"], [0.5, 0.25, 1.0])
+        assert observable.to_dictionary() == {"XX": 0.75, "ZZ": 1.0}
+
+    def test_signs_live_in_coefficients(self):
+        observable = SparsePauliSum.from_dictionary({"-YY": 1.0})
+        dictionary = observable.to_dictionary()
+        assert list(dictionary) == ["YY"]
+        assert dictionary["YY"] == -1.0
+
+    def test_matches_matrix_semantics(self):
+        observable = SparsePauliSum.from_dictionary({"XI": 0.5, "IZ": -0.25})
+        from repro.paulis.pauli import PauliString
+
+        expected = 0.5 * PauliString.from_label("XI").to_matrix()
+        expected = expected - 0.25 * PauliString.from_label("IZ").to_matrix()
+        assert np.allclose(observable.to_matrix(), expected)

@@ -383,3 +383,62 @@ class TestDelete:
         cache.delete(key)
         index = json.loads(cache.index_path.read_text())
         assert key not in index["artifacts"]
+
+
+class TestIndexDrift:
+    def test_clean_cache_reports_zero_drift(self, cache, rng):
+        terms = random_pauli_terms(rng, 4, 6)
+        cache.put(cache.key_for(terms), repro.compile(terms, level=3))
+        assert cache.reconcile_index() == 0
+        assert cache.stats()["index_drift"] == 0
+
+    def test_externally_deleted_artifact_is_detected_and_repaired(self, cache, rng):
+        terms = random_pauli_terms(rng, 4, 6)
+        key = cache.key_for(terms)
+        cache.put(key, repro.compile(terms, level=3))
+        # simulate an operator / volume prune that bypasses cache.delete()
+        cache._object_path(key).unlink()
+        assert cache.reconcile_index() == 1
+        stats = cache.stats()
+        assert stats["index_drift"] == 1
+        # the index snapshot was rewritten without the dead entry
+        index = json.loads(cache.index_path.read_text())
+        assert key not in index["artifacts"]
+        # and detection is one-shot: the repaired index shows no new drift
+        assert cache.reconcile_index() == 0
+        assert cache.stats()["index_drift"] == 1
+
+    def test_drifted_entry_is_dropped_from_memory_layer(self, cache, rng):
+        terms = random_pauli_terms(rng, 4, 6)
+        key = cache.key_for(terms)
+        cache.put(key, repro.compile(terms, level=3))
+        cache._object_path(key).unlink()
+        cache.reconcile_index()
+        # the memory layer must not keep serving an artifact whose backing
+        # file is gone (a later restart would silently flip it to a miss)
+        assert cache.get(key) is None
+
+    def test_drift_detected_at_construction(self, tmp_path, rng):
+        terms = random_pauli_terms(rng, 4, 6)
+        first = ArtifactCache(tmp_path / "shared")
+        key = first.key_for(terms)
+        first.put(key, repro.compile(terms, level=3))
+        first._object_path(key).unlink()
+        second = ArtifactCache(tmp_path / "shared")
+        assert second.index_drift == 1
+        assert json.loads(second.index_path.read_text())["artifacts"] == {}
+
+    def test_internal_delete_is_not_drift(self, cache, rng):
+        terms = random_pauli_terms(rng, 4, 6)
+        key = cache.key_for(terms)
+        cache.put(key, repro.compile(terms, level=3))
+        cache.delete(key)
+        assert cache.reconcile_index() == 0
+        assert cache.stats()["index_drift"] == 0
+
+    def test_stats_triggers_reconcile(self, cache, rng):
+        terms = random_pauli_terms(rng, 4, 6)
+        key = cache.key_for(terms)
+        cache.put(key, repro.compile(terms, level=3))
+        cache._object_path(key).unlink()
+        assert cache.stats()["index_drift"] == 1
