@@ -44,6 +44,14 @@ latency, the ``bind_speedup`` ratio against a from-scratch level-3 compile
 of the identical bound program, and single-client ``POST /bind`` HTTP
 throughput (``bind_requests_per_sec``, also copied into the ``service``
 block).  ``bind_speedup`` and ``bind_requests_per_sec`` are strict-gated.
+
+The ``service_load`` block delegates to :mod:`bench_service_load` — the
+open-loop Poisson load harness — at a small fixed offered rate:
+``saturation_rps`` / ``fleet_saturation_rps`` floors and the ``p99_ms``
+ceiling are strict-gated too.  ``--backend`` routes the whole run (and the
+service workers the fleet probe spawns) through a named array backend and
+records it in ``summary.array_backend``.
+
 Results are written as machine-readable JSON (``BENCH_throughput.json`` by
 default); ``scripts/check_bench_regression.py`` diffs two such files and is
 what the CI ``bench`` job gates on (small *and* medium tiers).
@@ -64,7 +72,8 @@ import time
 import numpy as np
 
 import repro
-from repro.arrays import default_backend
+from repro.arrays import ENV_VAR as BACKEND_ENV_VAR
+from repro.arrays import available_backends, default_backend, resolve_backend
 from repro.clifford.conjugation import conjugate_pauli_by_circuit
 from repro.clifford.engine import PackedConjugator
 from repro.compiler import plan_batch
@@ -363,7 +372,26 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the parametric template/bind block",
     )
+    parser.add_argument(
+        "--skip-service-load",
+        action="store_true",
+        help="skip the open-loop service load block",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=available_backends(),
+        help="array backend every measurement (and spawned service worker) "
+        f"routes through; sets {BACKEND_ENV_VAR} for the whole run and is "
+        "recorded in summary.array_backend (default: the ambient backend)",
+    )
     args = parser.parse_args(argv)
+
+    if args.backend is not None:
+        resolve_backend(args.backend)  # fail fast on an unavailable backend
+        # the env var (not a local override) so worker subprocesses spawned
+        # by the service-load fleet inherit the same backend
+        os.environ[BACKEND_ENV_VAR] = args.backend
 
     names = args.workloads if args.workloads else _tier_workloads(args.tier)
     workloads: dict[str, dict] = {}
@@ -436,6 +464,18 @@ def main(argv: list[str] | None = None) -> int:
             f"({report['parametric']['bind_speedup']:.0f}x vs cold) | "
             f"{report['parametric']['bind_requests_per_sec']:.0f} bind req/s",
             flush=True,
+        )
+    if not args.skip_service_load:
+        print("[bench] open-loop service load + fleet saturation ...", flush=True)
+        sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+        from bench_service_load import bench_service_load
+
+        report["service_load"] = bench_service_load(
+            offered_rate=40.0,
+            duration=2.0,
+            clients=6,
+            saturation_seconds=2.0,
+            fleet_workers=2,
         )
 
     with open(args.output, "w") as handle:

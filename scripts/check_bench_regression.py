@@ -33,7 +33,11 @@ machine, so machine-independent like ``speedup``), ``requests_per_sec`` and
 top-level ``parametric`` block gates the :mod:`repro.parametric` fast path:
 ``bind_speedup`` (template bind vs. from-scratch compile of the identical
 bound program, machine-independent) and ``bind_requests_per_sec``
-(single-client ``POST /bind`` HTTP throughput).
+(single-client ``POST /bind`` HTTP throughput).  A ``service_load`` block
+(the open-loop load harness, ``benchmarks/bench_service_load.py``) gates
+``saturation_rps`` and ``fleet_saturation_rps`` as floors and ``p99_ms`` as
+a latency **ceiling** — the one "lower"-direction metric, where the check
+inverts to ``current <= baseline * (1 + tolerance)``.
 
 ``--strict`` additionally fails when a floored metric is *missing*: a
 baseline floor with no matching value in the fresh bench output (the metric
@@ -74,6 +78,17 @@ SERVICE_METRICS = {
 PARAMETRIC_METRICS = {
     "bind_speedup": "higher",
     "bind_requests_per_sec": "higher",
+}
+
+#: gated metrics of the top-level "service_load" block (the open-loop
+#: Poisson load harness, benchmarks/bench_service_load.py).  p99_ms is the
+#: first "lower"-direction metric: it is a latency *ceiling*, so the check
+#: inverts — the current value may rise at most ``tolerance`` above the
+#: committed baseline before it reads as a regression.
+SERVICE_LOAD_METRICS = {
+    "saturation_rps": "higher",
+    "p99_ms": "lower",
+    "fleet_saturation_rps": "higher",
 }
 
 
@@ -128,7 +143,11 @@ def _compare_metrics(
                 continue
         cur_value = float(cur_entry.get(metric, 0.0))
         ratio = cur_value / base_value if base_value else float("inf")
-        passed = cur_value >= base_value * (1.0 - tolerance)
+        if metrics[metric] == "lower":
+            # a ceiling (e.g. a p99 latency): rising above it regresses
+            passed = cur_value <= base_value * (1.0 + tolerance)
+        else:
+            passed = cur_value >= base_value * (1.0 - tolerance)
         rows.append(
             {"workload": label, "metric": metric, "baseline": base_value,
              "current": cur_value, "ratio": ratio,
@@ -161,6 +180,7 @@ def compare(
     for block, metrics in (
         ("service", SERVICE_METRICS),
         ("parametric", PARAMETRIC_METRICS),
+        ("service_load", SERVICE_LOAD_METRICS),
     ):
         block_rows, block_ok = _compare_block(
             baseline, current, block, metrics, tolerance, strict

@@ -49,6 +49,7 @@ from repro.compiler.api import (
     plan_batch,
     validate_program,
 )
+from repro.compiler.pool import CompilePool, CompilePoolBrokenError
 
 __all__ = [
     "CompilationResult",
@@ -79,6 +80,8 @@ __all__ = [
     "compile",
     "compile_many",
     "BatchPlan",
+    "CompilePool",
+    "CompilePoolBrokenError",
     "plan_batch",
     "validate_program",
     "with_routing",

@@ -13,6 +13,7 @@ import numpy as np
 from repro.arrays import ArrayBackend
 from repro.clifford.engine import ConjugationCache
 from repro.compiler.pipeline import Pipeline, ensure_device_routing
+from repro.compiler.pool import CompilePool, CompilePoolBrokenError
 from repro.compiler.presets import MAX_OPTIMIZATION_LEVEL, preset_pipeline
 from repro.compiler.registry import get_registry
 from repro.compiler.result import CompilationResult
@@ -22,8 +23,9 @@ from repro.paulis.sum import SparsePauliSum
 from repro.paulis.term import PauliTerm
 from repro.transpile.coupling import CouplingMap
 
-#: executor strategies accepted by :func:`compile_many`
-_EXECUTORS = ("auto", "threads", "processes", "serial")
+#: executor strategies accepted by :func:`compile_many` ("pool" routes the
+#: batch through a caller-supplied long-lived :class:`CompilePool`)
+_EXECUTORS = ("auto", "threads", "processes", "serial", "pool")
 
 
 def validate_program(
@@ -169,6 +171,13 @@ SERIAL_BATCH_TERMS = 2500
 #: actually scales; in between, threads at least overlap the numpy segments
 PROCESS_BATCH_TERMS = 20000
 
+#: with a *live* :class:`~repro.compiler.pool.CompilePool` (workers already
+#: spawned, repro imported, conjugation caches warm) the only per-batch cost
+#: left is pickling, so the processes cutoff collapses to the plain
+#: pool-overhead cutoff — any batch worth parallelizing at all is worth
+#: sending to the warm pool
+POOL_BATCH_TERMS = SERIAL_BATCH_TERMS
+
 
 @dataclass(frozen=True)
 class BatchPlan:
@@ -192,6 +201,7 @@ def plan_batch(
     programs: Sequence[Sequence[PauliTerm] | SparsePauliSum],
     max_workers: int | None = None,
     executor: str = "auto",
+    pool: "CompilePool | None" = None,
 ) -> BatchPlan:
     """Resolve the executor strategy for a batch, overhead-aware.
 
@@ -202,9 +212,20 @@ def plan_batch(
     ``executor`` is honored, with one degenerate exception: a single-program
     or single-worker batch always resolves to ``"serial"`` (there is nothing
     to parallelize, so no pool is spun up).
+
+    ``pool`` is a live :class:`~repro.compiler.pool.CompilePool`: its workers
+    are already spawned and warm, so ``"auto"`` routes any batch above the
+    plain pool-overhead cutoff (:data:`POOL_BATCH_TERMS`) to it instead of
+    waiting for the much higher fresh-process cutoff.  A disabled pool
+    (``max_workers=0``) is treated as absent.
     """
     if executor not in _EXECUTORS:
         raise CompilerError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
+    if executor == "pool" and (pool is None or not pool.usable):
+        raise CompilerError(
+            "executor='pool' needs a usable CompilePool (max_workers > 0) "
+            "passed as pool="
+        )
     from repro.parametric.program import BoundProgram
 
     program_list = list(programs)
@@ -232,12 +253,26 @@ def plan_batch(
         max_workers if max_workers is not None else _default_worker_count(len(program_list))
     )
     chunksize = max(1, len(program_list) // (workers * 4)) if workers else 1
+    if executor == "pool":
+        if len(program_list) <= 1:
+            return BatchPlan(
+                "serial", 1, 1, len(program_list), total_terms, "single program or worker"
+            )
+        pool_chunksize = max(1, len(program_list) // (pool.max_workers * 4))
+        return BatchPlan(
+            "pool",
+            pool.max_workers,
+            pool_chunksize,
+            len(program_list),
+            total_terms,
+            "explicit executor='pool'",
+        )
     if executor != "auto":
         reason = f"explicit executor={executor!r}"
         if len(program_list) <= 1 or workers <= 1:
             executor, reason = "serial", "single program or worker"
         return BatchPlan(executor, workers, chunksize, len(program_list), total_terms, reason)
-    if len(program_list) <= 1 or workers <= 1:
+    if len(program_list) <= 1:
         return BatchPlan(
             "serial", 1, 1, len(program_list), total_terms, "single program or worker"
         )
@@ -250,6 +285,21 @@ def plan_batch(
             total_terms,
             f"batch of {total_terms} terms is below the {SERIAL_BATCH_TERMS}-term "
             "pool-overhead cutoff",
+        )
+    if pool is not None and pool.usable and total_terms >= POOL_BATCH_TERMS:
+        pool_chunksize = max(1, len(program_list) // (pool.max_workers * 4))
+        return BatchPlan(
+            "pool",
+            pool.max_workers,
+            pool_chunksize,
+            len(program_list),
+            total_terms,
+            f"batch of {total_terms} terms rides the live warm compile pool: "
+            "worker spawn and repro import are already paid, only pickling is left",
+        )
+    if workers <= 1:
+        return BatchPlan(
+            "serial", 1, 1, len(program_list), total_terms, "single program or worker"
         )
     if total_terms >= PROCESS_BATCH_TERMS:
         return BatchPlan(
@@ -280,6 +330,7 @@ def compile_many(
     executor: str = "auto",
     conjugation_cache: ConjugationCache | None = None,
     backend: "str | ArrayBackend | None" = None,
+    pool: CompilePool | None = None,
 ) -> list[CompilationResult]:
     """Compile a batch of independent Pauli-rotation programs.
 
@@ -319,6 +370,16 @@ def compile_many(
         batch (same precedence as :func:`repro.compile`).  Backend names and
         the built-in backend instances are picklable, so the setting survives
         the ``"processes"`` path.
+    pool:
+        A long-lived :class:`~repro.compiler.pool.CompilePool` whose warm
+        workers take the batch instead of a per-call pool: ``"auto"`` routes
+        any batch above the plain pool-overhead cutoff to it (the fresh
+        process-startup cutoff no longer applies), and ``executor="pool"``
+        forces it.  A batch that loses its pool workers mid-flight
+        transparently falls back to in-process threads — slower, never
+        failed.  Like the ``"processes"`` path, pool workers keep private
+        per-process conjugation caches, so a caller-supplied
+        ``conjugation_cache`` is only consulted by the in-process strategies.
     """
     from repro.parametric.program import BoundProgram
 
@@ -368,7 +429,7 @@ def compile_many(
 
     for index, program in enumerate(program_list):
         validate_program(program, source="repro.compile_many", index=index)
-    plan = plan_batch(program_list, max_workers=max_workers, executor=executor)
+    plan = plan_batch(program_list, max_workers=max_workers, executor=executor, pool=pool)
     if executor == "auto" and plan.executor == "processes" and conjugation_cache is not None:
         # the documented cache-sharing contract: a caller-supplied cache
         # pools conjugator freezes across calls, which only works in-process
@@ -393,6 +454,26 @@ def compile_many(
             _run_one(routed, device, program, cache, backend=backend)
             for program in program_list
         ]
+
+    if plan.executor == "pool":
+        try:
+            return pool.map_compile(
+                routed, device, program_list, backend=backend, chunksize=plan.chunksize
+            )
+        except CompilePoolBrokenError:
+            # the warm workers died mid-batch (OOM kill, segfault): degrade
+            # to in-process threads so the batch still completes; the pool
+            # rebuilds itself lazily for the next one
+            workers = max(1, plan.max_workers)
+            with ThreadPoolExecutor(max_workers=workers) as fallback:
+                return list(
+                    fallback.map(
+                        lambda program: _run_one(
+                            routed, device, program, cache, backend=backend
+                        ),
+                        program_list,
+                    )
+                )
 
     if plan.executor == "processes":
         payloads = [(routed, device, program, backend) for program in program_list]

@@ -27,6 +27,10 @@ the serving substrate on top of it:
   the event loop — microseconds per request, never the batching window.
 * :mod:`repro.service.client` — the thin synchronous :class:`Client` used by
   the examples, the smoke test, and the benchmark.
+* :mod:`repro.service.fleet` / ``python -m repro.service --workers N`` —
+  :class:`FleetFront`, a consistent-hash sharding front over N worker
+  processes sharing one cache directory: warm-LRU affinity per artifact key,
+  aggregated ``/healthz``, rolled-up ``/metrics``, draining restarts.
 * :mod:`repro.service.telemetry` — counters and latency histograms surfaced
   on ``/metrics``.
 
@@ -70,15 +74,19 @@ from repro.service.serialize import (
     template_from_wire,
     template_to_wire,
 )
+from repro.service.fleet import FleetFront, HashRing
 from repro.service.server import ServiceServer, run_server_in_thread
-from repro.service.telemetry import LatencyHistogram, Telemetry
+from repro.service.telemetry import LatencyHistogram, Telemetry, merge_snapshots
 
 __all__ = [
     "ArtifactCache",
     "BatchingScheduler",
     "Client",
     "CompileJob",
+    "FleetFront",
+    "HashRing",
     "LatencyHistogram",
+    "merge_snapshots",
     "ServiceResponse",
     "ServiceServer",
     "Telemetry",

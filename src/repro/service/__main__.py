@@ -4,6 +4,10 @@ Example::
 
     PYTHONPATH=src python -m repro.service --port 8765 --cache-dir /var/cache/repro
 
+``--workers N`` (N >= 1) starts a fleet instead: N worker processes sharing
+one artifact-cache directory behind a consistent-hash sharding front
+(:mod:`repro.service.fleet`); every other flag is forwarded to the workers.
+
 The server prints one ``repro.service listening on http://host:port`` line
 once it is accepting connections (machine-parsable: the smoke test reads the
 ephemeral port from it when started with ``--port 0``).
@@ -17,9 +21,8 @@ import contextlib
 import os
 import sys
 
-from repro.service.cache import DEFAULT_MAX_BYTES
+from repro.service.cache import DEFAULT_MAX_BYTES, DEFAULT_MAX_TEMPLATE_BYTES
 from repro.service.scheduler import DEFAULT_MAX_BATCH, DEFAULT_WINDOW_SECONDS
-from repro.service.server import ServiceServer
 
 DEFAULT_CACHE_DIR = os.path.join("~", ".cache", "repro-service")
 
@@ -45,6 +48,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="disk budget of the artifact cache in MiB (default %(default)s)",
     )
     parser.add_argument(
+        "--max-template-mb",
+        type=float,
+        default=DEFAULT_MAX_TEMPLATE_BYTES / (1024 * 1024),
+        help="disk budget of the template store in MiB (default %(default)s)",
+    )
+    parser.add_argument(
         "--window-ms",
         type=float,
         default=DEFAULT_WINDOW_SECONDS * 1000.0,
@@ -56,10 +65,38 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_MAX_BATCH,
         help="flush a window early once this many requests buffered",
     )
+    parser.add_argument(
+        "--pool-workers",
+        type=int,
+        default=0,
+        help="size of the long-lived compile process pool each server keeps "
+        "warm (0 disables it — compilation stays on in-process threads)",
+    )
+    parser.add_argument(
+        "--ttl-seconds",
+        type=float,
+        default=0.0,
+        help="expire cached artifacts/templates idle for this long "
+        "(0 disables TTL expiry)",
+    )
+    parser.add_argument(
+        "--sweep-interval",
+        type=float,
+        default=60.0,
+        help="seconds between background cache-lifecycle sweeps "
+        "(0 disables the sweep task; default %(default)s)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="run a fleet of this many worker processes behind a "
+        "consistent-hash sharding front (0 = single-process server)",
+    )
     return parser
 
 
-async def _serve(server: ServiceServer) -> None:
+async def _serve(server) -> None:
     await server.start()
     print(f"repro.service listening on {server.address}", flush=True)
     try:
@@ -70,17 +107,53 @@ async def _serve(server: ServiceServer) -> None:
         await server.aclose()
 
 
-def main(argv: list[str] | None = None) -> int:
+def _fleet_worker_args(args: argparse.Namespace) -> "list[str]":
+    """The per-worker CLI flags a fleet forwards (cache dir rides separately)."""
+    return [
+        "--max-cache-mb", str(args.max_cache_mb),
+        "--max-template-mb", str(args.max_template_mb),
+        "--window-ms", str(args.window_ms),
+        "--max-batch", str(args.max_batch),
+        "--pool-workers", str(args.pool_workers),
+        "--ttl-seconds", str(args.ttl_seconds),
+        "--sweep-interval", str(args.sweep_interval),
+    ]
+
+
+def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     cache_dir = None if args.cache_dir.lower() == "none" else os.path.expanduser(args.cache_dir)
-    server = ServiceServer(
-        cache_dir=cache_dir,
-        host=args.host,
-        port=args.port,
-        window_seconds=args.window_ms / 1000.0,
-        max_batch=args.max_batch,
-        max_cache_bytes=int(args.max_cache_mb * 1024 * 1024),
-    )
+    if args.workers > 0:
+        from repro.service.fleet import FleetFront
+
+        server = FleetFront(
+            workers=args.workers,
+            cache_dir=cache_dir,
+            host=args.host,
+            port=args.port,
+            worker_args=_fleet_worker_args(args),
+        )
+    else:
+        from repro.service.cache import ArtifactCache
+        from repro.service.server import ServiceServer
+
+        cache = None
+        if cache_dir is not None:
+            cache = ArtifactCache(
+                cache_dir,
+                max_bytes=int(args.max_cache_mb * 1024 * 1024),
+                max_template_bytes=int(args.max_template_mb * 1024 * 1024),
+                ttl_seconds=args.ttl_seconds if args.ttl_seconds > 0 else None,
+            )
+        server = ServiceServer(
+            cache=cache,
+            host=args.host,
+            port=args.port,
+            window_seconds=args.window_ms / 1000.0,
+            max_batch=args.max_batch,
+            pool_workers=args.pool_workers,
+            sweep_interval=args.sweep_interval,
+        )
     with contextlib.suppress(KeyboardInterrupt):
         asyncio.run(_serve(server))
     return 0

@@ -63,6 +63,11 @@ from repro.transpile.coupling import CouplingMap
 #: default disk budget for one cache directory
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 
+#: default disk budget of the ``templates/`` store — separate from the
+#: result budget because one template serves every binding of an ansatz,
+#: but no longer exempt: an abandoned ansatz must not pin disk forever
+DEFAULT_MAX_TEMPLATE_BYTES = 64 * 1024 * 1024
+
 #: default number of deserialized results kept in the in-memory layer
 DEFAULT_MEMORY_ENTRIES = 128
 
@@ -186,6 +191,13 @@ class ArtifactCache:
         on every disk hit) are evicted after a write pushes the total over.
     memory_entries:
         Size of the in-memory LRU of deserialized results (0 disables it).
+    max_template_bytes:
+        Disk budget of the ``templates/`` store; evicted mtime-LRU like the
+        result objects (template mtimes are touched on every disk hit).
+    ttl_seconds:
+        Optional idle time-to-live: :meth:`sweep` removes artifacts and
+        templates whose file mtime is older than this.  ``None`` (default)
+        disables expiry; the server runs the sweep on a background task.
     """
 
     def __init__(
@@ -193,15 +205,24 @@ class ArtifactCache:
         cache_dir: str | os.PathLike,
         max_bytes: int = DEFAULT_MAX_BYTES,
         memory_entries: int = DEFAULT_MEMORY_ENTRIES,
+        max_template_bytes: int = DEFAULT_MAX_TEMPLATE_BYTES,
+        ttl_seconds: float | None = None,
     ):
         self.cache_dir = Path(cache_dir)
         self.objects_dir = self.cache_dir / "objects"
-        #: compiled templates live beside the result objects but outside the
-        #: mtime-LRU budget: one template serves every binding of an ansatz,
-        #: so evicting it to make room for single results would be backwards
+        #: compiled templates live beside the result objects under their own
+        #: (larger-grained) budget: one template serves every binding of an
+        #: ansatz, so they never compete with single results for space — but
+        #: the store is bounded and TTL-swept like everything else
         self.templates_dir = self.cache_dir / "templates"
         self.index_path = self.cache_dir / "index.json"
         self.max_bytes = int(max_bytes)
+        self.max_template_bytes = int(max_template_bytes)
+        self.ttl_seconds = None if ttl_seconds is None else float(ttl_seconds)
+        if self.ttl_seconds is not None and self.ttl_seconds <= 0:
+            raise CacheError(
+                f"ttl_seconds must be positive or None, got {self.ttl_seconds}"
+            )
         self.memory_entries = int(memory_entries)
         self.objects_dir.mkdir(parents=True, exist_ok=True)
         self.templates_dir.mkdir(parents=True, exist_ok=True)
@@ -219,6 +240,11 @@ class ArtifactCache:
         self.deletes = 0
         self.template_hits = 0
         self.template_misses = 0
+        self.template_evictions = 0
+        #: lifecycle counters: completed :meth:`sweep` passes and the total
+        #: artifacts + templates they expired under ``ttl_seconds``
+        self.sweeps = 0
+        self.expired = 0
         #: cumulative count of index.json entries found pointing at missing
         #: artifact files (external deletion, a lost eviction race, a pruned
         #: volume) — repaired on detection, surfaced on ``/metrics``
@@ -367,17 +393,40 @@ class ArtifactCache:
             with self._lock:
                 self.template_misses += 1
             return None
+        try:
+            os.utime(path)  # keep live templates fresh for LRU/TTL
+        except OSError:
+            pass
         with self._lock:
             self.template_hits += 1
             self._remember_template(key, template)
         return template
 
     def put_template(self, key: str, template) -> None:
-        """Store a compiled template under ``key`` (atomic write, no LRU)."""
+        """Store a compiled template under ``key`` (atomic write + LRU)."""
         encoded = json.dumps(template_to_wire(template), separators=(",", ":"))
         self._atomic_write(self._template_path(key), encoded)
         with self._lock:
             self._remember_template(key, template)
+        self._evict_templates_over_budget()
+
+    def _evict_templates_over_budget(self) -> None:
+        """Evict oldest-mtime templates until the template store fits."""
+        entries = self._scan_templates()
+        total = sum(size for _, size, _ in entries)
+        if total <= self.max_template_bytes:
+            return
+        for mtime, size, path in sorted(entries):
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            with self._lock:
+                self._template_memory.pop(path.stem, None)
+                self.template_evictions += 1
+            total -= size
+            if total <= self.max_template_bytes:
+                break
 
     def _remember_template(self, key: str, template) -> None:
         if self.memory_entries <= 0:
@@ -417,15 +466,23 @@ class ArtifactCache:
 
     def _scan_objects(self) -> list[tuple[float, int, Path]]:
         """(mtime, size, path) of every committed artifact file."""
+        return self._scan_dir(self.objects_dir)
+
+    def _scan_templates(self) -> list[tuple[float, int, Path]]:
+        """(mtime, size, path) of every committed template file."""
+        return self._scan_dir(self.templates_dir)
+
+    @staticmethod
+    def _scan_dir(directory: Path) -> list[tuple[float, int, Path]]:
         entries = []
         try:
-            names = os.listdir(self.objects_dir)
+            names = os.listdir(directory)
         except OSError:
             return []
         for name in names:
             if name.startswith(".tmp-") or not name.endswith(".json"):
                 continue
-            path = self.objects_dir / name
+            path = directory / name
             try:
                 stat = path.stat()
             except OSError:
@@ -483,6 +540,59 @@ class ArtifactCache:
                 pass
             raise
 
+    def sweep(self, now: float | None = None) -> dict:
+        """One lifecycle pass: expire idle artifacts/templates, repair drift.
+
+        With ``ttl_seconds`` set, removes every artifact and template whose
+        file mtime is older than ``now - ttl_seconds`` (mtimes are touched on
+        each disk hit, so this is an *idle* TTL, not an age cap), then
+        reconciles the advisory index.  With no TTL it is just a reconcile
+        pass.  Safe to race with other processes on the same directory —
+        losing an unlink means someone else expired the file first.
+
+        Returns a JSON-safe summary of what this pass did; the server runs it
+        on a background task and exposes the cumulative ``sweeps`` /
+        ``expired`` counters on ``/metrics``.
+        """
+        if now is None:
+            now = time.time()
+        expired_objects = 0
+        expired_templates = 0
+        if self.ttl_seconds is not None:
+            deadline = now - self.ttl_seconds
+            for mtime, _, path in self._scan_objects():
+                if mtime >= deadline:
+                    continue
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                expired_objects += 1
+                with self._lock:
+                    self._memory.pop(path.stem, None)
+            for mtime, _, path in self._scan_templates():
+                if mtime >= deadline:
+                    continue
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                expired_templates += 1
+                with self._lock:
+                    self._template_memory.pop(path.stem, None)
+            if expired_objects:
+                self._write_index()
+        drift = self.reconcile_index()
+        with self._lock:
+            self.sweeps += 1
+            self.expired += expired_objects + expired_templates
+        return {
+            "expired_objects": expired_objects,
+            "expired_templates": expired_templates,
+            "index_drift": drift,
+            "ttl_seconds": self.ttl_seconds,
+        }
+
     def reconcile_index(self) -> int:
         """Detect and repair advisory-index entries whose artifact is gone.
 
@@ -528,6 +638,7 @@ class ArtifactCache:
     def stats(self) -> dict:
         self.reconcile_index()
         entries = self._scan_objects()
+        template_entries = self._scan_templates()
         with self._lock:
             return {
                 "hits": self.hits,
@@ -539,9 +650,15 @@ class ArtifactCache:
                 "index_drift": self.index_drift,
                 "template_hits": self.template_hits,
                 "template_misses": self.template_misses,
+                "template_evictions": self.template_evictions,
+                "sweeps": self.sweeps,
+                "expired": self.expired,
+                "ttl_seconds": self.ttl_seconds,
                 "memory_entries": len(self._memory),
                 "template_memory_entries": len(self._template_memory),
-                "template_disk_entries": len(self._list_templates()),
+                "template_disk_entries": len(template_entries),
+                "template_disk_bytes": sum(size for _, size, _ in template_entries),
+                "max_template_bytes": self.max_template_bytes,
                 "disk_entries": len(entries),
                 "disk_bytes": sum(size for _, size, _ in entries),
                 "max_bytes": self.max_bytes,

@@ -1,0 +1,627 @@
+"""Horizontal scale-out: a sharding front over N service worker processes.
+
+One :class:`ServiceServer` is a single Python process — the GIL bounds how
+much synthesis it can push even with the compile pool, and one event loop
+bounds how many connections it can juggle.  :class:`FleetFront` removes that
+ceiling the boring way: it spawns ``N`` ordinary ``python -m repro.service``
+worker processes that all share **one** :class:`~repro.service.cache.ArtifactCache`
+directory (the cache's atomic-write/advisory-index design is exactly what
+makes this safe), and fronts them with a consistent-hash router so the same
+artifact key always lands on the same worker and its warm in-memory LRU.
+
+Routing (:class:`HashRing`, SHA-256 with virtual nodes) hashes on the
+*artifact key* of each request, not the client connection:
+
+* ``GET``/``DELETE /result/<key>`` — the key itself;
+* ``POST /bind`` — the ``template_key`` (inline templates hash the body), so
+  repeat binds of one ansatz hit the worker holding the deserialized
+  template;
+* ``POST /compile`` / ``/compile_batch`` / ``/compile_template`` — a digest
+  of the request body, so identical requests dedupe onto one warm worker;
+* ``GET /healthz`` — aggregated across every worker (``ok`` iff all are);
+* ``GET /metrics`` — per-worker payloads plus a fleet rollup
+  (:func:`~repro.service.telemetry.merge_snapshots`);
+* ``POST /fleet/restart`` — a rolling **draining** restart: each worker in
+  turn stops receiving new requests, finishes its in-flight ones, restarts,
+  and re-joins under the same ring slot (virtual nodes are keyed by slot
+  name, so a restarted worker inherits exactly its old key ranges and the
+  shared disk cache re-warms its memory layer).
+
+The ring is slot-name keyed and the slots never move, so scaling the warm
+path is purely additive: worker death costs only the requests in flight on
+it (the front respawns it on the same slot and retries once).
+
+Start a fleet with ``python -m repro.service --workers N``; everything a
+:class:`~repro.service.client.Client` can do against a single server works
+unchanged against the front.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import hashlib
+import json
+import os
+import re
+import subprocess
+import sys
+import threading
+import time
+from bisect import bisect_right
+from pathlib import Path
+
+from repro.exceptions import ServiceError
+from repro.service.server import (
+    DEFAULT_MAX_BODY_BYTES,
+    _HttpError,
+    read_http_request,
+    respond_json,
+    respond_raw,
+    wants_keep_alive,
+)
+from repro.service.telemetry import Telemetry, merge_snapshots
+
+#: default number of virtual nodes per worker slot — enough that two slots
+#: split the key space within a few percent of evenly
+DEFAULT_VNODES = 64
+
+#: the machine-parsable startup line every worker prints
+_LISTEN_RE = re.compile(r"listening on http://([\d.]+):(\d+)")
+
+
+class HashRing:
+    """Consistent hashing over named slots (SHA-256, virtual nodes).
+
+    Points are derived from **slot names** ("w0", "w1", ...), never from
+    worker addresses or pids — a worker respawned into its slot keeps the
+    exact key ranges it served before, which is what makes draining restarts
+    invisible to cache locality.
+    """
+
+    def __init__(self, slots: "list[str]", vnodes: int = DEFAULT_VNODES):
+        if not slots:
+            raise ServiceError("a HashRing needs at least one slot")
+        self.vnodes = int(vnodes)
+        self._points: "list[tuple[int, str]]" = []
+        for slot in slots:
+            for replica in range(self.vnodes):
+                digest = hashlib.sha256(f"{slot}#{replica}".encode()).digest()
+                self._points.append((int.from_bytes(digest[:8], "big"), slot))
+        self._points.sort()
+        self._hashes = [point for point, _ in self._points]
+
+    def lookup(self, key: str) -> str:
+        """The slot owning ``key`` (first point clockwise of its hash)."""
+        digest = hashlib.sha256(key.encode()).digest()
+        value = int.from_bytes(digest[:8], "big")
+        index = bisect_right(self._hashes, value) % len(self._points)
+        return self._points[index][1]
+
+
+class WorkerHandle:
+    """One spawned ``python -m repro.service`` process plus its plumbing."""
+
+    def __init__(self, slot: str):
+        self.slot = slot
+        self.process: "subprocess.Popen | None" = None
+        self.host = ""
+        self.port = 0
+        self.restarts = 0
+        self.in_flight = 0
+        #: cleared while the worker is draining/restarting; requests wait
+        self.available = asyncio.Event()
+        #: idle keep-alive connections to this worker, reused across requests
+        self.idle: "list[tuple[asyncio.StreamReader, asyncio.StreamWriter]]" = []
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.poll() is None
+
+    def close_idle(self) -> None:
+        while self.idle:
+            _, writer = self.idle.pop()
+            with contextlib.suppress(Exception):
+                writer.close()
+
+
+def _worker_environment() -> dict:
+    """The subprocess env, with this repro's ``src`` on ``PYTHONPATH``."""
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = src_dir + (os.pathsep + existing if existing else "")
+    return env
+
+
+class FleetFront:
+    """The fleet supervisor + consistent-hash HTTP front.
+
+    Duck-types the :class:`~repro.service.server.ServiceServer` lifecycle
+    (``start`` / ``aclose`` / ``port`` / ``address``), so
+    :func:`~repro.service.server.run_server_in_thread` runs a fleet too.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes (>= 1).
+    cache_dir:
+        Shared artifact-cache directory handed to every worker; ``None``
+        runs the workers cacheless (sharding then only buys CPU parallelism).
+    worker_args:
+        Extra ``python -m repro.service`` CLI arguments forwarded verbatim
+        to every worker (``--window-ms``, ``--pool-workers``, ...).
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        cache_dir: "str | None" = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        worker_args: "list[str] | None" = None,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        vnodes: int = DEFAULT_VNODES,
+        startup_timeout: float = 60.0,
+        drain_timeout: float = 10.0,
+    ):
+        self.num_workers = int(workers)
+        if self.num_workers < 1:
+            raise ServiceError(f"a fleet needs >= 1 worker, got {self.num_workers}")
+        self.cache_dir = cache_dir
+        self.host = host
+        self.port = int(port)  # replaced by the bound port after start()
+        self.worker_args = list(worker_args or [])
+        self.max_body_bytes = int(max_body_bytes)
+        self.startup_timeout = float(startup_timeout)
+        self.drain_timeout = float(drain_timeout)
+        self.telemetry = Telemetry()
+        self.workers = {f"w{i}": WorkerHandle(f"w{i}") for i in range(self.num_workers)}
+        self.ring = HashRing(sorted(self.workers), vnodes=vnodes)
+        self._server: "asyncio.AbstractServer | None" = None
+        self._connections: "set[asyncio.Task]" = set()
+        self._restart_lock = asyncio.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Worker lifecycle
+    # ------------------------------------------------------------------ #
+    def _spawn_process(self) -> subprocess.Popen:
+        command = [
+            sys.executable,
+            "-m",
+            "repro.service",
+            "--host",
+            "127.0.0.1",
+            "--port",
+            "0",
+            "--cache-dir",
+            self.cache_dir if self.cache_dir is not None else "none",
+            *self.worker_args,
+        ]
+        return subprocess.Popen(
+            command,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=_worker_environment(),
+        )
+
+    @staticmethod
+    def _read_listen_line(process: subprocess.Popen, timeout: float) -> "tuple[str, int]":
+        """Block until the worker prints its listen line; returns (host, port)."""
+        deadline = time.monotonic() + timeout
+        assert process.stdout is not None
+        while True:
+            if time.monotonic() > deadline:
+                process.terminate()
+                raise ServiceError("fleet worker failed to report its port in time")
+            line = process.stdout.readline()
+            if not line:
+                process.wait(timeout=5)
+                raise ServiceError(
+                    f"fleet worker exited during startup (code {process.returncode})"
+                )
+            match = _LISTEN_RE.search(line)
+            if match:
+                return match.group(1), int(match.group(2))
+
+    @staticmethod
+    def _drain_stdout(process: subprocess.Popen) -> None:
+        """Keep the worker's pipe from filling once we stop reading it."""
+
+        def _pump() -> None:
+            with contextlib.suppress(Exception):
+                for _ in process.stdout:  # type: ignore[union-attr]
+                    pass
+
+        threading.Thread(target=_pump, daemon=True).start()
+
+    async def _start_worker(self, handle: WorkerHandle) -> None:
+        loop = asyncio.get_running_loop()
+        process = self._spawn_process()
+        try:
+            host, port = await loop.run_in_executor(
+                None, self._read_listen_line, process, self.startup_timeout
+            )
+        except ServiceError:
+            with contextlib.suppress(Exception):
+                process.kill()
+            raise
+        self._drain_stdout(process)
+        handle.process = process
+        handle.host, handle.port = host, port
+        handle.available.set()
+
+    async def _respawn_worker(self, handle: WorkerHandle) -> None:
+        """Replace a dead worker in place (same slot, so same key ranges)."""
+        handle.available.clear()
+        handle.close_idle()
+        if handle.process is not None:
+            with contextlib.suppress(Exception):
+                handle.process.kill()
+        await self._start_worker(handle)
+        handle.restarts += 1
+        self.telemetry.inc("fleet.worker_respawns")
+
+    async def restart_worker(self, handle: WorkerHandle) -> None:
+        """Draining restart: stop new traffic, let in-flight finish, respawn."""
+        handle.available.clear()
+        deadline = time.monotonic() + self.drain_timeout
+        while handle.in_flight > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        handle.close_idle()
+        if handle.process is not None:
+            handle.process.terminate()
+            loop = asyncio.get_running_loop()
+            with contextlib.suppress(Exception):
+                await loop.run_in_executor(None, handle.process.wait, 10)
+        await self._start_worker(handle)
+        handle.restarts += 1
+        self.telemetry.inc("fleet.worker_restarts")
+
+    # ------------------------------------------------------------------ #
+    # Front lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Spawn the workers (concurrently), then bind the front listener."""
+        await asyncio.gather(
+            *(self._start_worker(handle) for handle in self.workers.values())
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._connections.clear()
+        for handle in self.workers.values():
+            handle.available.clear()
+            handle.close_idle()
+            if handle.process is not None:
+                with contextlib.suppress(Exception):
+                    handle.process.terminate()
+        loop = asyncio.get_running_loop()
+        for handle in self.workers.values():
+            if handle.process is not None:
+                with contextlib.suppress(Exception):
+                    await loop.run_in_executor(None, handle.process.wait, 10)
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------ #
+    # Request handling
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while True:
+                try:
+                    request = await read_http_request(reader, self.max_body_bytes)
+                except _HttpError as error:
+                    await respond_json(writer, error.status, error.payload, False)
+                    break
+                if request is None:
+                    break
+                method, path, version, headers, body = request
+                keep_alive = wants_keep_alive(headers, version)
+                self.telemetry.inc("fleet.http_requests")
+                try:
+                    status, payload = await self._dispatch(method, path, body)
+                except _HttpError as error:
+                    status, payload = error.status, json.dumps(
+                        error.payload, separators=(",", ":")
+                    ).encode()
+                except Exception as error:  # noqa: BLE001 — the front must not die
+                    self.telemetry.inc("fleet.http_500")
+                    status, payload = 500, json.dumps(
+                        {"error": str(error), "type": type(error).__name__},
+                        separators=(",", ":"),
+                    ).encode()
+                await respond_raw(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.CancelledError,
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.LimitOverrunError,
+        ):
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _dispatch(self, method: str, path: str, body: bytes) -> "tuple[int, bytes]":
+        bare = path.split("?", 1)[0]
+        if method == "GET" and bare == "/healthz":
+            return await self._fleet_healthz()
+        if method == "GET" and bare == "/metrics":
+            return await self._fleet_metrics()
+        if method == "POST" and bare == "/fleet/restart":
+            return await self._fleet_restart()
+        shard = self._shard_key(method, bare, body)
+        handle = self.workers[self.ring.lookup(shard)]
+        return await self._forward(handle, method, path, body)
+
+    def _shard_key(self, method: str, path: str, body: bytes) -> str:
+        """The affinity key a request shards on (see the module docstring)."""
+        if path.startswith("/result/"):
+            return path[len("/result/"):]
+        if path == "/bind" and body:
+            # repeat binds of one template must land on the worker holding
+            # the deserialized template in memory
+            try:
+                payload = json.loads(body)
+                key = payload.get("template_key")
+                if isinstance(key, str) and key:
+                    return key
+            except (json.JSONDecodeError, UnicodeDecodeError, AttributeError):
+                pass
+        digest = hashlib.sha256()
+        digest.update(method.encode())
+        digest.update(path.encode())
+        digest.update(body)
+        return digest.hexdigest()
+
+    # ------------------------------------------------------------------ #
+    # Proxying
+    # ------------------------------------------------------------------ #
+    async def _forward(
+        self, handle: WorkerHandle, method: str, path: str, body: bytes
+    ) -> "tuple[int, bytes]":
+        """Proxy one request to ``handle``'s worker over a pooled connection.
+
+        A stale pooled connection (worker restarted since last use) retries
+        once on a fresh one; a dead worker is respawned into its slot and
+        the request retried once more.
+        """
+        try:
+            await asyncio.wait_for(handle.available.wait(), self.startup_timeout)
+        except asyncio.TimeoutError:
+            raise _HttpError(
+                500, f"fleet worker {handle.slot} did not become available", "FleetError"
+            ) from None
+        handle.in_flight += 1
+        try:
+            for attempt in range(3):
+                fresh = attempt > 0 or not handle.idle
+                try:
+                    if handle.idle:
+                        reader, writer = handle.idle.pop()
+                    else:
+                        reader, writer = await asyncio.open_connection(
+                            handle.host, handle.port
+                        )
+                except OSError:
+                    reader = writer = None
+                if writer is not None:
+                    try:
+                        status, payload = await self._exchange(
+                            reader, writer, method, path, body
+                        )
+                    except (OSError, asyncio.IncompleteReadError, _HttpError):
+                        with contextlib.suppress(Exception):
+                            writer.close()
+                    else:
+                        handle.idle.append((reader, writer))
+                        return status, payload
+                # a fresh connection failed too: the worker process is gone
+                if fresh and not handle.alive:
+                    self.telemetry.inc("fleet.worker_deaths")
+                    await self._respawn_worker(handle)
+            raise _HttpError(
+                500,
+                f"fleet worker {handle.slot} kept failing at {handle.address}",
+                "FleetError",
+            )
+        finally:
+            handle.in_flight -= 1
+
+    async def _exchange(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        body: bytes,
+    ) -> "tuple[int, bytes]":
+        """One request/response over an (already open) worker connection."""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: keep-alive\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+        status_line = await reader.readline()
+        if not status_line:
+            raise asyncio.IncompleteReadError(b"", None)
+        try:
+            status = int(status_line.split()[1])
+        except (IndexError, ValueError):
+            raise _HttpError(500, "fleet worker sent a malformed response") from None
+        length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        payload = await reader.readexactly(length) if length else b""
+        return status, payload
+
+    async def _worker_get_json(self, handle: WorkerHandle, path: str) -> dict:
+        status, payload = await self._forward(handle, "GET", path, b"")
+        if status != 200:
+            raise _HttpError(500, f"worker {handle.slot} {path} returned {status}")
+        return json.loads(payload)
+
+    # ------------------------------------------------------------------ #
+    # Fleet endpoints
+    # ------------------------------------------------------------------ #
+    def _encode(self, status: int, payload: dict) -> "tuple[int, bytes]":
+        return status, json.dumps(payload, separators=(",", ":")).encode()
+
+    async def _fleet_healthz(self) -> "tuple[int, bytes]":
+        """Aggregate liveness: ``ok`` iff every worker's /healthz is."""
+
+        async def _one(handle: WorkerHandle) -> dict:
+            try:
+                health = await self._worker_get_json(handle, "/healthz")
+            except Exception as error:  # noqa: BLE001 — report, don't crash
+                return {"slot": handle.slot, "status": "dead", "error": str(error)}
+            health["slot"] = handle.slot
+            health["address"] = handle.address
+            return health
+
+        reports = await asyncio.gather(
+            *(_one(handle) for handle in self.workers.values())
+        )
+        all_ok = all(report.get("status") == "ok" for report in reports)
+        return self._encode(
+            200 if all_ok else 500,
+            {
+                "status": "ok" if all_ok else "degraded",
+                "fleet": True,
+                "workers": len(reports),
+                "worker_health": list(reports),
+            },
+        )
+
+    async def _fleet_metrics(self) -> "tuple[int, bytes]":
+        """Per-worker metrics plus a fleet-wide telemetry rollup."""
+
+        async def _one(handle: WorkerHandle) -> "dict | None":
+            try:
+                metrics = await self._worker_get_json(handle, "/metrics")
+            except Exception:  # noqa: BLE001 — a dead worker just drops out
+                return None
+            metrics["slot"] = handle.slot
+            metrics["restarts"] = handle.restarts
+            return metrics
+
+        per_worker = [
+            metrics
+            for metrics in await asyncio.gather(
+                *(_one(handle) for handle in self.workers.values())
+            )
+            if metrics is not None
+        ]
+        scheduler = {
+            "jobs_submitted": sum(m["scheduler"]["jobs_submitted"] for m in per_worker),
+            "batches_flushed": sum(m["scheduler"]["batches_flushed"] for m in per_worker),
+        }
+        payload = {
+            "fleet": self.telemetry.snapshot(),
+            "workers": len(self.workers),
+            "telemetry": merge_snapshots([m["telemetry"] for m in per_worker]),
+            "scheduler": scheduler,
+            "per_worker": per_worker,
+        }
+        caches = [m["cache"] for m in per_worker if "cache" in m]
+        if caches:
+            # disk-level numbers are views of the one shared directory (take
+            # the first); process-local counters sum across workers
+            rollup = dict(caches[0])
+            for name in (
+                "hits", "misses", "memory_hits", "disk_hits", "evictions",
+                "deletes", "index_drift", "template_hits", "template_misses",
+                "template_evictions", "sweeps", "expired",
+            ):
+                rollup[name] = sum(int(cache.get(name, 0)) for cache in caches)
+            payload["cache"] = rollup
+        pools = [m["pool"] for m in per_worker if "pool" in m]
+        if pools:
+            payload["pool"] = {
+                "max_workers": sum(int(pool.get("max_workers", 0)) for pool in pools),
+                "alive": all(bool(pool.get("alive")) for pool in pools),
+                "batches": sum(int(pool.get("batches", 0)) for pool in pools),
+                "programs": sum(int(pool.get("programs", 0)) for pool in pools),
+                "restarts": sum(int(pool.get("restarts", 0)) for pool in pools),
+                "breaks": sum(int(pool.get("breaks", 0)) for pool in pools),
+            }
+        return self._encode(200, payload)
+
+    async def _fleet_restart(self) -> "tuple[int, bytes]":
+        """Rolling draining restart of every worker, one at a time."""
+        async with self._restart_lock:
+            restarted = []
+            for slot in sorted(self.workers):
+                await self.restart_worker(self.workers[slot])
+                restarted.append(slot)
+        return self._encode(200, {"restarted": restarted})
+
+    def stats(self) -> dict:
+        """JSON-safe supervisor counters (for tests; the front has no loop)."""
+        return {
+            "workers": {
+                slot: {
+                    "address": handle.address,
+                    "alive": handle.alive,
+                    "restarts": handle.restarts,
+                    "in_flight": handle.in_flight,
+                    "idle_connections": len(handle.idle),
+                }
+                for slot, handle in sorted(self.workers.items())
+            },
+            "telemetry": self.telemetry.snapshot(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"FleetFront(workers={self.num_workers}, address={self.address!r})"
+        )

@@ -14,6 +14,17 @@ accumulated is handed to a worker thread and compiled by
 :func:`execute_batch` is deliberately synchronous and server-free so tests
 and offline tools can drive it directly.
 
+The scheduler may also own a long-lived
+:class:`~repro.compiler.pool.CompilePool` (``pool_workers=N``): its worker
+processes spawn once, pre-import :mod:`repro`, keep a warm per-worker
+conjugation cache, and survive across batches, so a batch big enough to
+parallelize compiles on real cores instead of GIL-sharing the server
+process — and without paying process spawn + import per batch, the
+profitable cutoff drops from ~20k total terms to ~2.5k.  A pool that dies
+mid-batch degrades that batch to in-process threads
+(``service.pool_fallbacks``); ``pool_workers=0`` keeps everything
+in-process.
+
 Bind requests (:mod:`repro.parametric`) never enter the batching window:
 :func:`execute_bind` replays a pre-compiled template skeleton in
 microseconds, so parking one behind even a 2 ms collection window would cost
@@ -33,6 +44,7 @@ from typing import Sequence
 
 import repro
 from repro.compiler.api import validate_program
+from repro.compiler.pool import CompilePool
 from repro.exceptions import ReproError
 from repro.paulis.sum import SparsePauliSum
 from repro.paulis.term import PauliTerm
@@ -76,12 +88,19 @@ def execute_batch(
     jobs: list[CompileJob],
     cache: ArtifactCache | None = None,
     telemetry: Telemetry | None = None,
+    pool: CompilePool | None = None,
 ) -> list[CompletedJob]:
     """Compile a batch of jobs against the cache, as one planned batch per config.
 
     Per-job failures (invalid programs, unknown pipelines) land in that job's
     :attr:`CompletedJob.error` instead of failing the whole batch — one bad
     request must not poison the 31 good ones coalesced with it.
+
+    ``pool`` is the scheduler's long-lived
+    :class:`~repro.compiler.pool.CompilePool`: when the batch's total term
+    count clears the warm-pool cutoff, the misses compile on real cores
+    instead of GIL-sharing the server process; a dead pool degrades the batch
+    to in-process threads (counted as ``service.pool_fallbacks``).
     """
     telemetry = telemetry if telemetry is not None else Telemetry()
     completed: list[CompletedJob] = [CompletedJob(None, None) for _ in jobs]
@@ -91,7 +110,7 @@ def execute_batch(
         groups.setdefault(job.config(), []).append(index)
 
     for indices in groups.values():
-        _execute_group(jobs, indices, completed, cache, telemetry)
+        _execute_group(jobs, indices, completed, cache, telemetry, pool)
     return completed
 
 
@@ -101,6 +120,7 @@ def _execute_group(
     completed: list[CompletedJob],
     cache: ArtifactCache | None,
     telemetry: Telemetry,
+    pool: CompilePool | None = None,
 ) -> None:
     target = jobs[indices[0]].target
     level = jobs[indices[0]].level
@@ -151,6 +171,9 @@ def _execute_group(
     ordered_keys = list(missing)
     programs = [jobs[missing[key][0]].program for key in ordered_keys]
     conjugation_cache = cache.conjugation_cache if cache is not None else None
+    live_pool = pool if pool is not None and pool.usable else None
+    pool_batches_before = live_pool.batches if live_pool is not None else 0
+    pool_breaks_before = live_pool.breaks if live_pool is not None else 0
     try:
         with telemetry.timed("service.compile_seconds"):
             results = repro.compile_many(
@@ -159,7 +182,13 @@ def _execute_group(
                 level=level,
                 pipeline=pipeline,
                 conjugation_cache=conjugation_cache,
+                pool=live_pool,
             )
+        if live_pool is not None:
+            if live_pool.batches > pool_batches_before:
+                telemetry.inc("service.pool_batches")
+            if live_pool.breaks > pool_breaks_before:
+                telemetry.inc("service.pool_fallbacks")
     except ReproError:
         # the planned batch failed as a whole — a config-level error
         # (unknown pipeline/target) or a program defect the up-front checks
@@ -238,15 +267,28 @@ class BatchingScheduler:
         telemetry: Telemetry | None = None,
         window_seconds: float = DEFAULT_WINDOW_SECONDS,
         max_batch: int = DEFAULT_MAX_BATCH,
+        pool_workers: int = 0,
+        pool: CompilePool | None = None,
     ):
         self.cache = cache
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.window_seconds = float(window_seconds)
         self.max_batch = int(max_batch)
+        #: the long-lived compile pool the batches consult; ``pool_workers=0``
+        #: (the default) keeps compilation in-process — the right call on a
+        #: one-core box, where extra processes only add pickling
+        self.pool = pool if pool is not None else (
+            CompilePool(pool_workers) if pool_workers else None
+        )
         self._pending: list[CompileJob] = []
         self._flush_handle: "asyncio.TimerHandle | None" = None
         self.batches_flushed = 0
         self.jobs_submitted = 0
+
+    def close(self) -> None:
+        """Shut down the owned compile pool (idempotent)."""
+        if self.pool is not None:
+            self.pool.shutdown()
 
     # ------------------------------------------------------------------ #
     async def submit(
@@ -297,7 +339,7 @@ class BatchingScheduler:
     ) -> None:
         try:
             completed = await loop.run_in_executor(
-                None, execute_batch, batch, self.cache, self.telemetry
+                None, execute_batch, batch, self.cache, self.telemetry, self.pool
             )
         except BaseException as error:  # defensive: execute_batch traps per-job
             for job in batch:

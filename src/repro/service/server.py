@@ -86,6 +86,81 @@ def _bad_request(error: Exception) -> _HttpError:
     return _HttpError(400, str(error), kind=type(error).__name__)
 
 
+# ---------------------------------------------------------------------- #
+# HTTP plumbing shared by the single-process server and the fleet front
+# ---------------------------------------------------------------------- #
+async def read_http_request(
+    reader: asyncio.StreamReader, max_body_bytes: int
+) -> "tuple[str, str, str, dict[str, str], bytes] | None":
+    """Read one ``(method, path, version, headers, body)`` request.
+
+    Returns ``None`` on a clean EOF (client closed between requests);
+    raises :class:`_HttpError` on malformed input or an oversized body.
+    """
+    request_line = await reader.readline()
+    if not request_line:
+        return None
+    try:
+        method, path, version = request_line.decode("latin-1").split()
+    except ValueError:
+        raise _HttpError(400, "malformed request line") from None
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        length = -1
+    if length < 0:
+        raise _HttpError(400, "malformed Content-Length header")
+    if length > max_body_bytes:
+        raise _HttpError(
+            413, f"body of {length} bytes exceeds the {max_body_bytes} cap"
+        )
+    body = await reader.readexactly(length) if length else b""
+    return method, path, version, headers, body
+
+
+def wants_keep_alive(headers: dict, version: str) -> bool:
+    """HTTP/1.1 defaults to keep-alive; anything else to close."""
+    default = "keep-alive" if version == "HTTP/1.1" else "close"
+    return headers.get("connection", default).lower() != "close"
+
+
+async def respond_json(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: dict,
+    keep_alive: bool,
+) -> None:
+    """Serialize ``payload`` and write one HTTP/1.1 JSON response."""
+    body = json.dumps(payload, separators=(",", ":")).encode()
+    await respond_raw(writer, status, body, keep_alive)
+
+
+async def respond_raw(
+    writer: asyncio.StreamWriter,
+    status: int,
+    body: bytes,
+    keep_alive: bool,
+) -> None:
+    """Write one HTTP/1.1 response with a pre-encoded JSON body."""
+    connection = "keep-alive" if keep_alive else "close"
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {connection}\r\n"
+        "\r\n"
+    ).encode("latin-1")
+    writer.write(head + body)
+    await writer.drain()
+
+
 class ServiceServer:
     """The compilation service: cache + scheduler + HTTP front-end."""
 
@@ -99,9 +174,16 @@ class ServiceServer:
         max_batch: int = DEFAULT_MAX_BATCH,
         max_cache_bytes: int | None = None,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        pool_workers: int = 0,
+        ttl_seconds: float | None = None,
+        sweep_interval: float = 0.0,
     ):
         if cache is None and cache_dir is not None:
-            cache_kwargs = {} if max_cache_bytes is None else {"max_bytes": max_cache_bytes}
+            cache_kwargs: dict = {}
+            if max_cache_bytes is not None:
+                cache_kwargs["max_bytes"] = max_cache_bytes
+            if ttl_seconds is not None:
+                cache_kwargs["ttl_seconds"] = ttl_seconds
             cache = ArtifactCache(cache_dir, **cache_kwargs)
         self.cache = cache
         self.host = host
@@ -112,8 +194,13 @@ class ServiceServer:
             telemetry=self.telemetry,
             window_seconds=window_seconds,
             max_batch=max_batch,
+            pool_workers=pool_workers,
         )
         self.max_body_bytes = int(max_body_bytes)
+        #: background-sweep period in seconds; 0 disables the task (a TTL
+        #: can still be applied by calling ``cache.sweep()`` by hand)
+        self.sweep_interval = float(sweep_interval)
+        self._sweep_task: "asyncio.Task | None" = None
         self._server: "asyncio.AbstractServer | None" = None
         self._connections: "set[asyncio.Task]" = set()
 
@@ -126,6 +213,25 @@ class ServiceServer:
             self._handle_connection, host=self.host, port=self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.cache is not None and self.sweep_interval > 0:
+            self._sweep_task = asyncio.get_running_loop().create_task(
+                self._sweep_forever()
+            )
+        if self.scheduler.pool is not None and self.scheduler.pool.usable:
+            # spawn + import in the pool workers now, not on the first batch
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, self.scheduler.pool.warm)
+
+    async def _sweep_forever(self) -> None:
+        """Periodic cache lifecycle: TTL expiry + index reconcile, off-loop."""
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.sweep_interval)
+            try:
+                await loop.run_in_executor(None, self.cache.sweep)
+                self.telemetry.inc("service.cache_sweeps")
+            except Exception:  # noqa: BLE001 — a failed sweep must not kill the loop
+                self.telemetry.inc("service.cache_sweep_errors")
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -134,6 +240,11 @@ class ServiceServer:
             await self._server.serve_forever()
 
     async def aclose(self) -> None:
+        if self._sweep_task is not None:
+            self._sweep_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._sweep_task
+            self._sweep_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -145,6 +256,7 @@ class ServiceServer:
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
         self._connections.clear()
+        self.scheduler.close()
 
     @property
     def address(self) -> str:
@@ -182,44 +294,15 @@ class ServiceServer:
     async def _handle_one_request(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> bool:
-        request_line = await reader.readline()
-        if not request_line:
-            return False
         try:
-            method, path, version = request_line.decode("latin-1").split()
-        except ValueError:
-            await self._respond(writer, 400, {"error": "malformed request line"}, False)
+            request = await read_http_request(reader, self.max_body_bytes)
+        except _HttpError as error:
+            await self._respond(writer, error.status, error.payload, False)
             return False
-        headers: dict[str, str] = {}
-        while True:
-            line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        keep_alive = (
-            headers.get("connection", "keep-alive" if version == "HTTP/1.1" else "close")
-            .lower()
-            != "close"
-        )
-        try:
-            length = int(headers.get("content-length", "0") or "0")
-        except ValueError:
-            length = -1
-        if length < 0:
-            await self._respond(
-                writer, 400, {"error": "malformed Content-Length header"}, False
-            )
+        if request is None:
             return False
-        if length > self.max_body_bytes:
-            await self._respond(
-                writer,
-                413,
-                {"error": f"body of {length} bytes exceeds the {self.max_body_bytes} cap"},
-                False,
-            )
-            return False
-        body = await reader.readexactly(length) if length else b""
+        method, path, version, headers, body = request
+        keep_alive = wants_keep_alive(headers, version)
 
         self.telemetry.inc("service.http_requests")
         with self.telemetry.timed("service.request_seconds"):
@@ -244,17 +327,7 @@ class ServiceServer:
         payload: dict,
         keep_alive: bool,
     ) -> None:
-        body = json.dumps(payload, separators=(",", ":")).encode()
-        connection = "keep-alive" if keep_alive else "close"
-        head = (
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            "Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: {connection}\r\n"
-            "\r\n"
-        ).encode("latin-1")
-        writer.write(head + body)
-        await writer.drain()
+        await respond_json(writer, status, payload, keep_alive)
 
     # ------------------------------------------------------------------ #
     # Routing
@@ -315,6 +388,8 @@ class ServiceServer:
                 "max_batch": self.scheduler.max_batch,
             },
         }
+        if self.scheduler.pool is not None:
+            payload["pool"] = self.scheduler.pool.stats()
         if self.cache is not None:
             payload["cache"] = self.cache.stats()
         return payload

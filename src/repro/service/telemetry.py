@@ -143,6 +143,51 @@ class Telemetry:
             }
 
 
+def merge_snapshots(snapshots: "list[dict]") -> dict:
+    """Roll worker :meth:`Telemetry.snapshot` payloads up into one view.
+
+    Counters sum; histogram count/sum/min/max merge exactly (the mean is
+    recomputed); the merged quantiles are the worst (highest) per-worker
+    bucket estimate, which is conservative — a fleet front cannot do better
+    without the raw bucket counts on the wire.  Uptime reports the oldest
+    worker's.
+    """
+    counters: dict[str, int] = {}
+    latency: dict[str, dict] = {}
+    uptime = 0.0
+    for snapshot in snapshots:
+        if not isinstance(snapshot, dict):
+            continue
+        uptime = max(uptime, float(snapshot.get("uptime_seconds", 0.0)))
+        for name, value in (snapshot.get("counters") or {}).items():
+            counters[name] = counters.get(name, 0) + int(value)
+        for name, stats in (snapshot.get("latency") or {}).items():
+            merged = latency.get(name)
+            if merged is None:
+                latency[name] = dict(stats)
+                continue
+            count = merged["count"] + stats["count"]
+            total = merged["sum_seconds"] + stats["sum_seconds"]
+            merged.update(
+                count=count,
+                sum_seconds=total,
+                mean_seconds=total / count if count else 0.0,
+                min_seconds=(
+                    min(merged["min_seconds"], stats["min_seconds"])
+                    if merged["count"] and stats["count"]
+                    else merged["min_seconds"] or stats["min_seconds"]
+                ),
+                max_seconds=max(merged["max_seconds"], stats["max_seconds"]),
+                p50_seconds=max(merged["p50_seconds"], stats["p50_seconds"]),
+                p99_seconds=max(merged["p99_seconds"], stats["p99_seconds"]),
+            )
+    return {
+        "uptime_seconds": uptime,
+        "counters": dict(sorted(counters.items())),
+        "latency": dict(sorted(latency.items())),
+    }
+
+
 class _Timer:
     __slots__ = ("_telemetry", "_name", "_start")
 

@@ -1,0 +1,135 @@
+"""The long-lived compile process pool and its planner integration."""
+
+import pytest
+
+import repro
+from repro.compiler import CompilePool, CompilePoolBrokenError
+from repro.compiler.api import POOL_BATCH_TERMS, plan_batch
+from repro.exceptions import CompilerError
+
+from tests.conftest import random_pauli_terms
+
+
+def _programs(rng, count=4, qubits=4, terms=6):
+    return [random_pauli_terms(rng, qubits, terms) for _ in range(count)]
+
+
+@pytest.fixture(scope="module")
+def pool():
+    """One warm two-worker pool shared by the whole module (spawn is slow)."""
+    with CompilePool(max_workers=2) as shared:
+        shared.warm()
+        yield shared
+
+
+class TestCompilePoolBasics:
+    def test_disabled_pool_is_not_usable(self):
+        disabled = CompilePool(max_workers=0)
+        assert not disabled.usable
+        assert not disabled.alive
+        assert disabled.warm() == 0
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(CompilerError):
+            CompilePool(max_workers=-1)
+
+    def test_lazy_construction(self):
+        lazy = CompilePool(max_workers=1)
+        assert lazy.usable and not lazy.alive
+        assert lazy.stats()["alive"] is False
+        lazy.shutdown()  # shutting down a never-started pool is a no-op
+
+    def test_warm_spawns_distinct_workers(self, pool):
+        assert pool.warm() == 2
+        assert pool.alive
+
+    def test_stats_shape(self, pool):
+        stats = pool.stats()
+        assert stats["max_workers"] == 2
+        assert {"alive", "batches", "programs", "restarts", "breaks"} <= set(stats)
+
+
+class TestPoolCompilation:
+    def test_matches_sequential_compile(self, rng, pool):
+        programs = _programs(rng)
+        reference = [repro.compile(program, level=3) for program in programs]
+        batch = repro.compile_many(programs, level=3, executor="pool", pool=pool)
+        assert [r.circuit for r in batch] == [r.circuit for r in reference]
+        assert [r.extracted_clifford for r in batch] == [
+            r.extracted_clifford for r in reference
+        ]
+
+    def test_results_strip_worker_cache(self, rng, pool):
+        batch = repro.compile_many(
+            _programs(rng, count=2), level=3, executor="pool", pool=pool
+        )
+        assert batch[0].properties.get("conjugation_cache") is None
+
+    def test_counters_advance(self, rng, pool):
+        before = pool.stats()
+        repro.compile_many(_programs(rng, count=3), executor="pool", pool=pool)
+        after = pool.stats()
+        assert after["batches"] == before["batches"] + 1
+        assert after["programs"] == before["programs"] + 3
+
+    def test_broken_pool_falls_back_to_threads(self, rng, pool):
+        programs = _programs(rng, count=3)
+        reference = [repro.compile(program) for program in programs]
+        # kill the workers behind the executor's back mid-lifetime
+        for process in list(pool._executor._processes.values()):
+            process.terminate()
+        batch = repro.compile_many(programs, executor="pool", pool=pool)
+        assert [r.circuit for r in batch] == [r.circuit for r in reference]
+        assert pool.stats()["breaks"] >= 1
+        # the next use lazily revives the executor
+        revived = repro.compile_many(programs, executor="pool", pool=pool)
+        assert [r.circuit for r in revived] == [r.circuit for r in reference]
+        assert pool.alive
+
+    def test_map_compile_raises_on_broken_pool(self, rng, pool):
+        programs = _programs(rng, count=2)
+        pool.warm()
+        for process in list(pool._executor._processes.values()):
+            process.terminate()
+        pipeline = repro.compiler.preset_pipeline(3)
+        with pytest.raises(CompilePoolBrokenError):
+            pool.map_compile(pipeline, None, programs)
+
+
+class TestPoolPlanning:
+    def test_explicit_pool_without_pool_rejected(self, rng):
+        with pytest.raises(CompilerError):
+            plan_batch(_programs(rng, count=2), executor="pool")
+
+    def test_explicit_pool_with_disabled_pool_rejected(self, rng):
+        with pytest.raises(CompilerError):
+            plan_batch(
+                _programs(rng, count=2),
+                executor="pool",
+                pool=CompilePool(max_workers=0),
+            )
+
+    def test_auto_routes_large_batches_to_live_pool(self, rng):
+        pool = CompilePool(max_workers=2)  # never started: planning is free
+        count = POOL_BATCH_TERMS // 40 + 1
+        programs = _programs(rng, count=count, qubits=6, terms=40)
+        plan = plan_batch(programs, pool=pool)
+        assert plan.executor == "pool"
+        assert "pool" in plan.reason
+
+    def test_auto_ignores_disabled_pool(self, rng):
+        count = POOL_BATCH_TERMS // 40 + 1
+        programs = _programs(rng, count=count, qubits=6, terms=40)
+        plan = plan_batch(programs, pool=CompilePool(max_workers=0))
+        assert plan.executor != "pool"
+
+    def test_auto_keeps_small_batches_serial(self, rng):
+        pool = CompilePool(max_workers=2)
+        plan = plan_batch(_programs(rng, count=2), pool=pool)
+        assert plan.executor == "serial"
+
+    def test_single_program_never_pools(self, rng):
+        pool = CompilePool(max_workers=2)
+        programs = [random_pauli_terms(rng, 8, POOL_BATCH_TERMS + 10)]
+        assert plan_batch(programs, pool=pool).executor == "serial"
+        assert plan_batch(programs, executor="pool", pool=pool).executor == "serial"

@@ -1,0 +1,179 @@
+"""The multi-worker fleet: hash ring, sharding front, restarts, rollups."""
+
+import collections
+import http.client
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.exceptions import ServiceError
+from repro.service.client import Client
+from repro.service.fleet import DEFAULT_VNODES, FleetFront, HashRing
+from repro.service.server import run_server_in_thread
+
+from tests.conftest import random_pauli_terms
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestHashRing:
+    def test_lookup_is_deterministic(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        again = HashRing(["w0", "w1", "w2"])
+        keys = [f"artifact-{i}" for i in range(200)]
+        assert [ring.lookup(k) for k in keys] == [again.lookup(k) for k in keys]
+
+    def test_slots_split_the_key_space_roughly_evenly(self):
+        ring = HashRing(["w0", "w1", "w2", "w3"])
+        counts = collections.Counter(ring.lookup(f"key-{i}") for i in range(4000))
+        assert set(counts) == {"w0", "w1", "w2", "w3"}
+        assert min(counts.values()) > 4000 / 4 * 0.5
+
+    def test_single_slot_owns_everything(self):
+        ring = HashRing(["only"])
+        assert {ring.lookup(f"k{i}") for i in range(50)} == {"only"}
+
+    def test_points_keyed_by_slot_name_not_order(self):
+        # a restarted worker re-enters under its slot name and must inherit
+        # exactly its old ranges, whatever order the slots were listed in
+        forward = HashRing(["w0", "w1"])
+        reversed_ = HashRing(["w1", "w0"])
+        keys = [f"key-{i}" for i in range(300)]
+        assert [forward.lookup(k) for k in keys] == [reversed_.lookup(k) for k in keys]
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ServiceError):
+            HashRing([])
+
+    def test_vnode_count(self):
+        ring = HashRing(["a", "b"], vnodes=8)
+        assert len(ring._points) == 16
+        assert HashRing(["a"]).vnodes == DEFAULT_VNODES
+
+
+@pytest.fixture(scope="module")
+def fleet(tmp_path_factory):
+    front = FleetFront(
+        workers=2,
+        cache_dir=str(tmp_path_factory.mktemp("fleet-cache")),
+        worker_args=["--window-ms", "1", "--sweep-interval", "0"],
+    )
+    with run_server_in_thread(front, startup_timeout=90.0):
+        yield front
+
+
+@pytest.fixture
+def client(fleet):
+    with Client(port=fleet.port) as instance:
+        yield instance
+
+
+def _post(fleet, path, payload=None):
+    conn = http.client.HTTPConnection("127.0.0.1", fleet.port, timeout=90)
+    try:
+        body = json.dumps(payload or {}).encode()
+        conn.request("POST", path, body, {"Content-Type": "application/json"})
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+class TestFleetServing:
+    def test_validates_worker_count(self):
+        with pytest.raises(ServiceError):
+            FleetFront(workers=0)
+
+    def test_healthz_aggregates_all_workers(self, client, fleet):
+        payload = client.healthz()
+        assert payload["status"] == "ok"
+        assert payload["fleet"] is True
+        assert payload["workers"] == 2
+        assert {entry["slot"] for entry in payload["worker_health"]} == {"w0", "w1"}
+
+    def test_compile_miss_then_hit(self, client):
+        terms = random_pauli_terms(_rng(10), 4, 6)
+        reference = repro.compile(terms, level=3)
+        first = client.compile(terms)
+        second = client.compile(terms)
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert first.result.circuit == reference.circuit
+        assert second.result.circuit == reference.circuit
+
+    def test_result_roundtrip_through_the_ring(self, client):
+        terms = random_pauli_terms(_rng(11), 4, 6)
+        response = client.compile(terms)
+        fetched = client.result(response.key)
+        assert fetched is not None
+        assert fetched.circuit == response.result.circuit
+        assert client.delete_result(response.key)
+        assert client.result(response.key) is None
+
+    def test_requests_shard_across_workers(self, client, fleet):
+        for seed in range(12, 32):
+            client.compile(random_pauli_terms(_rng(seed), 4, 5), include_result=False)
+        per_worker = {
+            entry["slot"]: entry["scheduler"]["jobs_submitted"]
+            for entry in client.metrics()["per_worker"]
+        }
+        assert all(jobs > 0 for jobs in per_worker.values()), per_worker
+
+    def test_metrics_rollup(self, client):
+        client.compile(random_pauli_terms(_rng(40), 4, 5), include_result=False)
+        payload = client.metrics()
+        assert payload["workers"] == 2
+        assert payload["scheduler"]["jobs_submitted"] == sum(
+            entry["scheduler"]["jobs_submitted"] for entry in payload["per_worker"]
+        )
+        assert payload["telemetry"]["counters"]["service.http_requests"] >= 1
+        assert payload["cache"]["hits"] >= 1
+        assert payload["fleet"]["counters"]["fleet.http_requests"] >= 1
+
+    def test_bind_shards_on_template_key(self, client, fleet):
+        from repro.parametric import ParametricProgram
+
+        terms = random_pauli_terms(_rng(41), 4, 6)
+        program = ParametricProgram.from_terms(terms, [i % 2 for i in range(6)])
+        handle = client.compile_template(program)
+        local = None
+        for _ in range(3):
+            response = client.bind([0.3, 0.7], template_key=handle.template_key)
+            if local is None:
+                local = response.result
+            assert response.result.circuit == local.circuit
+        # the ring sends every bind of this template to one worker
+        slot = fleet.ring.lookup(handle.template_key)
+        assert slot in fleet.workers
+
+    def test_unknown_path_propagates_worker_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/nope")
+        assert excinfo.value.status == 404
+
+
+class TestFleetLifecycle:
+    def test_rolling_restart_preserves_cache(self, client, fleet):
+        terms = random_pauli_terms(_rng(50), 4, 6)
+        first = client.compile(terms)
+        status, payload = _post(fleet, "/fleet/restart")
+        assert status == 200
+        assert payload["restarted"] == ["w0", "w1"]
+        # the shared disk cache survives the worker processes
+        second = client.compile(terms)
+        assert second.cache_hit
+        assert second.key == first.key
+        assert client.healthz()["status"] == "ok"
+
+    def test_dead_worker_is_respawned_on_traffic(self, client, fleet):
+        for handle in fleet.workers.values():
+            handle.process.kill()
+            handle.process.wait()
+        assert client.healthz()["status"] == "ok"
+        stats = fleet.stats()
+        assert all(entry["alive"] for entry in stats["workers"].values())
+        assert fleet.telemetry.counter("fleet.worker_deaths") >= 1
