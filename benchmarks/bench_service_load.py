@@ -26,6 +26,12 @@ multi-core machines and honestly records ~1x (front proxy overhead, shared
 core) on single-core CI runners, which is why the committed floors gate the
 absolute rates rather than the ratio.
 
+A final **chaos probe** re-runs the cached-hit mix against a 2-worker fleet
+with fault injection armed (transient 500s, slow handlers, cache
+corruption, a hard worker kill) and *retrying* clients
+(``--retries``/``--backoff``); its ``chaos_success_rate`` is recorded in
+the report but not gated.
+
 The report (``service_load`` block) is strict-gated by
 ``scripts/check_bench_regression.py``: ``saturation_rps`` and
 ``fleet_saturation_rps`` as floors, ``p99_ms`` (of the cached-hit mix) as a
@@ -96,6 +102,8 @@ def open_loop(
     duration: float,
     clients: int,
     seed: int,
+    retries: int = 0,
+    backoff: float = 0.05,
 ) -> dict:
     """Offer Poisson traffic at ``rate`` req/s; latency from scheduled arrival.
 
@@ -111,7 +119,7 @@ def open_loop(
     epoch = time.perf_counter() + 0.1  # let every worker reach its loop
 
     def _worker() -> None:
-        with Client(port=port) as client:
+        with Client(port=port, retries=retries, backoff=backoff) as client:
             try:
                 client.healthz()  # open the keep-alive socket before timing
             except Exception:  # noqa: BLE001
@@ -155,13 +163,20 @@ def open_loop(
     }
 
 
-def closed_loop(make_request, port: int, duration: float, clients: int) -> float:
+def closed_loop(
+    make_request,
+    port: int,
+    duration: float,
+    clients: int,
+    retries: int = 0,
+    backoff: float = 0.05,
+) -> float:
     """Saturation probe: ``clients`` threads hammer as fast as they can."""
     counts = [0] * clients
     stop = time.perf_counter() + duration
 
     def _worker(slot: int) -> None:
-        with Client(port=port) as client:
+        with Client(port=port, retries=retries, backoff=backoff) as client:
             while time.perf_counter() < stop:
                 try:
                     make_request(client, counts[slot])
@@ -177,6 +192,91 @@ def closed_loop(make_request, port: int, duration: float, clients: int) -> float
         thread.join()
     elapsed = time.perf_counter() - start
     return sum(counts) / elapsed if elapsed > 0 else 0.0
+
+
+def chaos_probe(
+    terms,
+    duration: float,
+    clients: int,
+    retries: int,
+    backoff: float,
+    seed: int,
+) -> dict:
+    """Closed-loop cached-hit load against a fault-injected 2-worker fleet.
+
+    Arms transient handler errors, slow handlers, cache corruption, and one
+    hard worker kill, then measures what fraction of requests still resolve
+    successfully through the retry/respawn machinery.  The resulting
+    ``chaos_success_rate`` is recorded in the report but deliberately **not**
+    gated — it demonstrates the failure hardening without making CI flaky.
+    """
+    import http.client as http_client
+
+    outcomes = {"ok": 0, "failed": 0}
+    lock = threading.Lock()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-chaos-") as cache_dir:
+        fleet = FleetFront(
+            workers=2,
+            cache_dir=cache_dir,
+            worker_args=["--window-ms", "1", "--sweep-interval", "0"],
+            enable_faults=True,
+            breaker_cooldown=0.2,
+        )
+        with run_server_in_thread(fleet, startup_timeout=120.0):
+            with Client(port=fleet.port) as primer:
+                primer.compile(terms, include_result=False)  # warm the artifact
+            conn = http_client.HTTPConnection("127.0.0.1", fleet.port, timeout=60)
+            try:
+                conn.request(
+                    "POST",
+                    "/fault",
+                    json.dumps({
+                        "seed": seed,
+                        "rules": [
+                            {"site": "server.handle", "kind": "delay",
+                             "delay_ms": 10, "probability": 0.2},
+                            {"site": "server.handle", "kind": "error",
+                             "probability": 0.03, "times": 10},
+                            {"site": "cache.read", "kind": "corrupt",
+                             "probability": 0.05},
+                            {"site": "server.handle", "kind": "kill",
+                             "probability": 0.005, "times": 1},
+                        ],
+                    }).encode(),
+                    {"Content-Type": "application/json"},
+                )
+                conn.getresponse().read()
+            finally:
+                conn.close()
+
+            stop = time.perf_counter() + duration
+
+            def _worker() -> None:
+                with Client(
+                    port=fleet.port, timeout=60.0, retries=retries, backoff=backoff
+                ) as client:
+                    while time.perf_counter() < stop:
+                        try:
+                            client.compile(terms, include_result=False)
+                        except Exception:  # noqa: BLE001 — counted, not raised
+                            with lock:
+                                outcomes["failed"] += 1
+                        else:
+                            with lock:
+                                outcomes["ok"] += 1
+
+            threads = [threading.Thread(target=_worker) for _ in range(clients)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+    total = outcomes["ok"] + outcomes["failed"]
+    return {
+        "requests": total,
+        "failures": outcomes["failed"],
+        "retries": retries,
+        "chaos_success_rate": outcomes["ok"] / total if total else 0.0,
+    }
 
 
 def _unique_program(seed: int) -> "list[PauliTerm]":
@@ -198,6 +298,9 @@ def bench_service_load(
     saturation_seconds: float = 3.0,
     fleet_workers: int = 2,
     seed: int = 20250807,
+    retries: int = 0,
+    backoff: float = 0.05,
+    chaos_seconds: float = 2.0,
 ) -> dict:
     terms = get_benchmark(SERVICE_WORKLOAD).terms()
     program = ParametricProgram.from_terms(terms, [i % 4 for i in range(len(terms))])
@@ -224,23 +327,26 @@ def bench_service_load(
 
             print(f"[load] open-loop cached_hit @ {offered_rate:.0f} rps ...", flush=True)
             mixes["cached_hit"] = open_loop(
-                cached_hit, server.port, offered_rate, duration, clients, seed
+                cached_hit, server.port, offered_rate, duration, clients, seed,
+                retries=retries, backoff=backoff,
             )
             print(
                 f"[load] open-loop compile @ {offered_rate / 4:.0f} rps ...", flush=True
             )
             mixes["compile"] = open_loop(
                 cold_compile, server.port, max(1.0, offered_rate / 4), duration,
-                clients, seed + 1,
+                clients, seed + 1, retries=retries, backoff=backoff,
             )
             print(f"[load] open-loop bind @ {offered_rate:.0f} rps ...", flush=True)
             mixes["bind"] = open_loop(
-                bind, server.port, offered_rate, duration, clients, seed + 2
+                bind, server.port, offered_rate, duration, clients, seed + 2,
+                retries=retries, backoff=backoff,
             )
 
             print("[load] closed-loop saturation (single server) ...", flush=True)
             saturation = closed_loop(
-                cached_hit, server.port, saturation_seconds, clients
+                cached_hit, server.port, saturation_seconds, clients,
+                retries=retries, backoff=backoff,
             )
 
     print(f"[load] closed-loop saturation (fleet of {fleet_workers}) ...", flush=True)
@@ -258,8 +364,19 @@ def bench_service_load(
                 client.compile(terms, include_result=False)
 
             fleet_saturation = closed_loop(
-                fleet_hit, fleet.port, saturation_seconds, clients
+                fleet_hit, fleet.port, saturation_seconds, clients,
+                retries=retries, backoff=backoff,
             )
+
+    print("[load] chaos probe (fault-injected fleet, retrying clients) ...", flush=True)
+    chaos = chaos_probe(
+        terms,
+        duration=chaos_seconds,
+        clients=clients,
+        retries=max(retries, 4),
+        backoff=max(backoff, 0.02),
+        seed=seed,
+    )
 
     for name, mix in mixes.items():
         print(
@@ -272,6 +389,11 @@ def bench_service_load(
     print(
         f"    saturation {saturation:.0f} req/s | fleet({fleet_workers}) "
         f"{fleet_saturation:.0f} req/s | speedup {speedup:.2f}x",
+        flush=True,
+    )
+    print(
+        f"    chaos       {chaos['requests']} requests | success rate "
+        f"{chaos['chaos_success_rate']:.4f} | failures {chaos['failures']}",
         flush=True,
     )
     return {
@@ -290,6 +412,12 @@ def bench_service_load(
         "fleet_workers": fleet_workers,
         "fleet_saturation_rps": fleet_saturation,
         "fleet_speedup": speedup,
+        "retries": retries,
+        "backoff_seconds": backoff,
+        # deliberately ungated (see chaos_probe): recorded to show the
+        # hardening holds up, not to fail CI on an unlucky kill
+        "chaos": chaos,
+        "chaos_success_rate": chaos["chaos_success_rate"],
     }
 
 
@@ -316,6 +444,19 @@ def main(argv: "list[str] | None" = None) -> int:
         "--fleet-workers", type=int, default=2,
         help="fleet size for the scale-out probe (default %(default)s)",
     )
+    parser.add_argument(
+        "--retries", type=int, default=0,
+        help="client retry budget per request in the load mixes "
+        "(exponential backoff, full jitter; default %(default)s)",
+    )
+    parser.add_argument(
+        "--backoff", type=float, default=0.05,
+        help="base retry backoff in seconds (default %(default)s)",
+    )
+    parser.add_argument(
+        "--chaos-seconds", type=float, default=2.0,
+        help="duration of the fault-injected chaos probe (default %(default)s)",
+    )
     parser.add_argument("--seed", type=int, default=20250807)
     parser.add_argument(
         "--output", default="BENCH_service_load.json",
@@ -330,6 +471,9 @@ def main(argv: "list[str] | None" = None) -> int:
         saturation_seconds=args.saturation_seconds,
         fleet_workers=args.fleet_workers,
         seed=args.seed,
+        retries=args.retries,
+        backoff=args.backoff,
+        chaos_seconds=args.chaos_seconds,
     )
     report = {
         "schema": SCHEMA,

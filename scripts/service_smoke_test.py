@@ -17,11 +17,16 @@ fresh cache dir), then checks the serving story the service PR promises:
    ``template_key`` still answers (templates survive restarts too);
 6. ``GET /metrics`` reflects the traffic.
 
+``--retries``/``--backoff`` arm the client's transparent retry layer for
+every request the smoke test makes (default: 2 retries), so a transient
+hiccup on a loaded CI runner does not fail the whole run.
+
 Run with:  PYTHONPATH=src python scripts/service_smoke_test.py
 """
 
 from __future__ import annotations
 
+import argparse
 import os
 import re
 import subprocess
@@ -96,14 +101,26 @@ def check(condition: bool, label: str) -> None:
         raise SystemExit(f"smoke test failed at: {label}")
 
 
-def main() -> int:
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--retries", type=int, default=2,
+        help="client retry budget per request (default %(default)s)",
+    )
+    parser.add_argument(
+        "--backoff", type=float, default=0.05,
+        help="base retry backoff in seconds (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    client_kwargs = {"retries": args.retries, "backoff": args.backoff}
+
     h2o = get_benchmark("H2O").terms()
     reference = repro.compile(h2o, level=3)
 
     with tempfile.TemporaryDirectory(prefix="repro-smoke-cache-") as cache_dir:
         server = ServerProcess(cache_dir)
         try:
-            client = Client(port=server.port)
+            client = Client(port=server.port, **client_kwargs)
             check(client.healthz()["status"] == "ok", "healthz")
 
             first = client.compile(h2o)
@@ -129,7 +146,7 @@ def main() -> int:
 
             def worker(slot: int, program) -> None:
                 try:
-                    with Client(port=server.port) as worker_client:
+                    with Client(port=server.port, **client_kwargs) as worker_client:
                         responses[slot] = worker_client.compile(program)
                 except Exception as error:  # noqa: BLE001 — recorded and reported
                     errors.append((slot, repr(error)))
@@ -190,7 +207,7 @@ def main() -> int:
         # restart against the same cache dir: artifacts AND templates survive
         server = ServerProcess(cache_dir)
         try:
-            with Client(port=server.port) as client:
+            with Client(port=server.port, **client_kwargs) as client:
                 after_restart = client.compile(h2o)
                 check(after_restart.cache_hit, "H2O is a cache hit after server restart")
                 check(

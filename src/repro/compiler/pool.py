@@ -171,6 +171,11 @@ class CompilePool:
         (the executor is torn down; the next call rebuilds it), so callers
         can fall back to an in-process strategy without losing the batch.
         """
+        # Lazy import: repro.service imports this module, so a top-level
+        # import of the fault registry would be circular.
+        from repro.service import faults
+
+        faults.fire("pool.dispatch")
         executor = self._ensure_executor()
         payloads = [(pipeline, device, program, backend) for program in programs]
         try:

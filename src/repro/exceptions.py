@@ -69,9 +69,53 @@ class ServiceError(ReproError):
     """Raised by the service client for failed or undecodable HTTP exchanges.
 
     ``status`` carries the HTTP status code when one was received (``None``
-    for transport-level failures).
+    for transport-level failures); ``retry_after`` the server's suggested
+    backoff in seconds when the response carried one (load shedding and open
+    circuit breakers send it so well-behaved clients pace their retries).
     """
 
-    def __init__(self, message: str, status: int | None = None):
+    def __init__(
+        self,
+        message: str,
+        status: int | None = None,
+        retry_after: float | None = None,
+    ):
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
+
+
+class FaultInjectedError(ReproError):
+    """Raised by an armed :mod:`repro.service.faults` rule of kind ``error``.
+
+    Never raised in production configurations — a fault site only fires when
+    the process was explicitly armed via ``REPRO_FAULTS`` or a
+    ``POST /fault`` debug request (itself gated behind ``--enable-faults``).
+    Deliberately *not* a :class:`ServiceError` subclass: injected failures
+    must surface as server-side 5xx, not client-side 4xx validation errors.
+    """
+
+
+class DeadlineExceededError(ReproError):
+    """Raised when a request's ``X-Repro-Deadline`` budget ran out.
+
+    The serving stack checks the deadline at every queue boundary (HTTP
+    dispatch, scheduler batch execution, fleet forwarding) and abandons the
+    remaining work — the client has already given up, so finishing the
+    compile would only burn capacity the live requests need.  Maps to HTTP
+    504.
+    """
+
+
+class OverloadedError(ReproError):
+    """Raised when a bounded service queue sheds a request instead of queuing.
+
+    Unbounded queues turn overload into unbounded latency; the scheduler and
+    server instead cap their depth and fail fast with this error (HTTP 503
+    plus a ``Retry-After`` hint) so clients can back off and retry.
+    ``retry_after`` is the suggested pause in seconds.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after

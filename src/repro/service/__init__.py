@@ -33,6 +33,11 @@ the serving substrate on top of it:
   aggregated ``/healthz``, rolled-up ``/metrics``, draining restarts.
 * :mod:`repro.service.telemetry` — counters and latency histograms surfaced
   on ``/metrics``.
+* :mod:`repro.service.faults` — a process-wide fault-injection registry
+  (``REPRO_FAULTS`` env / ``POST /fault`` behind ``--enable-faults``) with
+  named fault sites threaded through the cache, scheduler, pool, server, and
+  fleet, so the failure-hardening layers (deadlines, retries, shedding,
+  circuit breakers) can be exercised deterministically.
 
 Quick start::
 
@@ -45,6 +50,7 @@ Quick start::
     >>> response.cache_hit, response.result.cx_count()
 """
 
+from repro.service import faults
 from repro.service.cache import ArtifactCache
 from repro.service.client import Client, ServiceResponse, TemplateResponse
 from repro.service.scheduler import (
@@ -74,17 +80,22 @@ from repro.service.serialize import (
     template_from_wire,
     template_to_wire,
 )
-from repro.service.fleet import FleetFront, HashRing
+from repro.service.faults import FaultRegistry, FaultRule
+from repro.service.fleet import CircuitBreaker, FleetFront, HashRing
 from repro.service.server import ServiceServer, run_server_in_thread
 from repro.service.telemetry import LatencyHistogram, Telemetry, merge_snapshots
 
 __all__ = [
     "ArtifactCache",
     "BatchingScheduler",
+    "CircuitBreaker",
     "Client",
     "CompileJob",
+    "FaultRegistry",
+    "FaultRule",
     "FleetFront",
     "HashRing",
+    "faults",
     "LatencyHistogram",
     "merge_snapshots",
     "ServiceResponse",

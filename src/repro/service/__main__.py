@@ -22,7 +22,11 @@ import os
 import sys
 
 from repro.service.cache import DEFAULT_MAX_BYTES, DEFAULT_MAX_TEMPLATE_BYTES
-from repro.service.scheduler import DEFAULT_MAX_BATCH, DEFAULT_WINDOW_SECONDS
+from repro.service.scheduler import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_QUEUE_DEPTH,
+    DEFAULT_WINDOW_SECONDS,
+)
 
 DEFAULT_CACHE_DIR = os.path.join("~", ".cache", "repro-service")
 
@@ -93,6 +97,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a fleet of this many worker processes behind a "
         "consistent-hash sharding front (0 = single-process server)",
     )
+    parser.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=DEFAULT_MAX_QUEUE_DEPTH,
+        help="shed compile requests (503 + Retry-After) once this many are "
+        "pending or in flight on the scheduler (0 disables shedding; "
+        "default %(default)s)",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="seconds a draining fleet restart waits for a worker's "
+        "in-flight requests before terminating it anyway "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        help="consecutive upstream failures before a fleet worker's circuit "
+        "breaker opens (0 disables the breaker; default %(default)s)",
+    )
+    parser.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=2.0,
+        help="seconds an open circuit breaker sheds before sending a "
+        "half-open probe (default %(default)s)",
+    )
+    parser.add_argument(
+        "--enable-faults",
+        action="store_true",
+        help="allow POST /fault to arm the fault-injection registry "
+        "(chaos testing only; never enable in production)",
+    )
     return parser
 
 
@@ -117,6 +157,7 @@ def _fleet_worker_args(args: argparse.Namespace) -> "list[str]":
         "--pool-workers", str(args.pool_workers),
         "--ttl-seconds", str(args.ttl_seconds),
         "--sweep-interval", str(args.sweep_interval),
+        "--max-queue-depth", str(args.max_queue_depth),
     ]
 
 
@@ -132,6 +173,10 @@ def main(argv: "list[str] | None" = None) -> int:
             host=args.host,
             port=args.port,
             worker_args=_fleet_worker_args(args),
+            drain_timeout=args.drain_timeout,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown=args.breaker_cooldown,
+            enable_faults=args.enable_faults,
         )
     else:
         from repro.service.cache import ArtifactCache
@@ -153,6 +198,8 @@ def main(argv: "list[str] | None" = None) -> int:
             max_batch=args.max_batch,
             pool_workers=args.pool_workers,
             sweep_interval=args.sweep_interval,
+            max_queue_depth=args.max_queue_depth,
+            enable_faults=args.enable_faults,
         )
     with contextlib.suppress(KeyboardInterrupt):
         asyncio.run(_serve(server))

@@ -48,10 +48,11 @@ from repro.clifford.engine import ConjugationCache
 from repro.compiler.api import validate_program
 from repro.compiler.result import CompilationResult
 from repro.compiler.target import Target, as_target
-from repro.exceptions import CacheError, ReproError
+from repro.exceptions import CacheError, FaultInjectedError, ReproError
 from repro.paulis.packed import PackedPauliTable
 from repro.paulis.sum import SparsePauliSum
 from repro.paulis.term import PauliTerm
+from repro.service import faults
 from repro.service.serialize import (
     result_from_wire,
     result_to_wire,
@@ -70,6 +71,10 @@ DEFAULT_MAX_TEMPLATE_BYTES = 64 * 1024 * 1024
 
 #: default number of deserialized results kept in the in-memory layer
 DEFAULT_MEMORY_ENTRIES = 128
+
+#: most corrupt files kept in ``<cache>/quarantine/`` — oldest pruned beyond
+#: this, so a rotting disk cannot fill the volume with evidence
+DEFAULT_MAX_QUARANTINE = 32
 
 
 def target_fingerprint(target: Target | CouplingMap | str | None) -> str:
@@ -215,6 +220,10 @@ class ArtifactCache:
         #: ansatz, so they never compete with single results for space — but
         #: the store is bounded and TTL-swept like everything else
         self.templates_dir = self.cache_dir / "templates"
+        #: corrupt / incompatible artifacts are moved here (bounded count)
+        #: instead of silently unlinked, so operators can diagnose disk rot
+        self.quarantine_dir = self.cache_dir / "quarantine"
+        self.max_quarantine = DEFAULT_MAX_QUARANTINE
         self.index_path = self.cache_dir / "index.json"
         self.max_bytes = int(max_bytes)
         self.max_template_bytes = int(max_template_bytes)
@@ -226,6 +235,7 @@ class ArtifactCache:
         self.memory_entries = int(memory_entries)
         self.objects_dir.mkdir(parents=True, exist_ok=True)
         self.templates_dir.mkdir(parents=True, exist_ok=True)
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
         self._memory: OrderedDict[str, CompilationResult] = OrderedDict()
         self._template_memory: OrderedDict[str, object] = OrderedDict()
@@ -249,6 +259,12 @@ class ArtifactCache:
         #: artifact files (external deletion, a lost eviction race, a pruned
         #: volume) — repaired on detection, surfaced on ``/metrics``
         self.index_drift = 0
+        #: cumulative corrupt or incompatible artifacts hit by get()/
+        #: get_template() — each is quarantined, counted, and degraded to a
+        #: miss; surfaced on ``/metrics`` so operators can see disk rot
+        self.corrupt_artifacts = 0
+        #: injected or real read failures degraded to a miss
+        self.read_errors = 0
         self.reconcile_index()
 
     # ------------------------------------------------------------------ #
@@ -276,33 +292,29 @@ class ArtifactCache:
                 return cached
         path = self._object_path(key)
         try:
-            with open(path) as handle:
-                payload = json.load(handle)
+            faults.fire("cache.read")
+            with open(path, "rb") as handle:
+                raw = handle.read()
         except FileNotFoundError:
             with self._lock:
                 self.misses += 1
             return None
-        except (OSError, json.JSONDecodeError) as error:
-            # a torn write is impossible (os.replace), but a truncated disk
-            # or concurrent eviction mid-read degrades to a miss
+        except (OSError, FaultInjectedError):
+            # a torn write is impossible (os.replace), but a failing disk or
+            # concurrent eviction mid-read degrades to a miss
             with self._lock:
                 self.misses += 1
-            if isinstance(error, json.JSONDecodeError):
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
+                self.read_errors += 1
             return None
+        raw = faults.corrupt_bytes("cache.read", raw)
         try:
+            payload = json.loads(raw)
             result = result_from_wire(payload)
-        except ReproError:
-            # incompatible or corrupt artifact (wire-format mismatch, or a
-            # structurally valid payload whose contents fail reconstruction):
-            # drop it and recompile
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        except (ValueError, ReproError):
+            # corrupt or incompatible artifact (undecodable bytes, a
+            # wire-format mismatch, or a structurally valid payload whose
+            # contents fail reconstruction): quarantine it and recompile
+            self._quarantine(path)
             with self._lock:
                 self.misses += 1
             return None
@@ -318,6 +330,7 @@ class ArtifactCache:
 
     def put(self, key: str, result: CompilationResult) -> None:
         """Store ``result`` under ``key`` (atomic write + LRU eviction)."""
+        faults.fire("cache.write")
         payload = result_to_wire(result)
         encoded = json.dumps(payload, separators=(",", ":"))
         path = self._object_path(key)
@@ -376,20 +389,25 @@ class ArtifactCache:
                 return cached
         path = self._template_path(key)
         try:
-            with open(path) as handle:
-                payload = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+            faults.fire("cache.read")
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except FileNotFoundError:
             with self._lock:
                 self.template_misses += 1
             return None
+        except (OSError, FaultInjectedError):
+            with self._lock:
+                self.template_misses += 1
+                self.read_errors += 1
+            return None
+        raw = faults.corrupt_bytes("cache.read", raw)
         try:
+            payload = json.loads(raw)
             template = template_from_wire(payload)
-        except ReproError:
-            # incompatible or corrupt template: drop it and re-trace
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        except (ValueError, ReproError):
+            # corrupt or incompatible template: quarantine it and re-trace
+            self._quarantine(path)
             with self._lock:
                 self.template_misses += 1
             return None
@@ -404,6 +422,7 @@ class ArtifactCache:
 
     def put_template(self, key: str, template) -> None:
         """Store a compiled template under ``key`` (atomic write + LRU)."""
+        faults.fire("cache.write")
         encoded = json.dumps(template_to_wire(template), separators=(",", ":"))
         self._atomic_write(self._template_path(key), encoded)
         with self._lock:
@@ -435,6 +454,35 @@ class ArtifactCache:
         self._template_memory.move_to_end(key)
         while len(self._template_memory) > self.memory_entries:
             self._template_memory.popitem(last=False)
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt artifact into ``quarantine/`` instead of deleting.
+
+        Keeps at most ``max_quarantine`` files (oldest-mtime pruned), counts
+        the event into ``corrupt_artifacts``, and never raises — quarantine
+        is best-effort bookkeeping on an already-degraded read path.
+        """
+        with self._lock:
+            self.corrupt_artifacts += 1
+        try:
+            os.replace(path, self.quarantine_dir / path.name)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return
+        held = self._scan_dir(self.quarantine_dir)
+        if len(held) > self.max_quarantine:
+            for _, _, old in sorted(held)[: len(held) - self.max_quarantine]:
+                try:
+                    old.unlink()
+                except OSError:
+                    continue
+
+    def quarantine_entries(self) -> int:
+        """Number of files currently held in ``quarantine/``."""
+        return len(self._scan_dir(self.quarantine_dir))
 
     def forget_memory(self) -> None:
         """Drop the in-memory layers (disk untouched) — restart simulation."""
@@ -556,6 +604,7 @@ class ArtifactCache:
         """
         if now is None:
             now = time.time()
+        faults.fire("cache.sweep")
         expired_objects = 0
         expired_templates = 0
         if self.ttl_seconds is not None:
@@ -648,6 +697,9 @@ class ArtifactCache:
                 "evictions": self.evictions,
                 "deletes": self.deletes,
                 "index_drift": self.index_drift,
+                "corrupt_artifacts": self.corrupt_artifacts,
+                "read_errors": self.read_errors,
+                "quarantine_entries": self.quarantine_entries(),
                 "template_hits": self.template_hits,
                 "template_misses": self.template_misses,
                 "template_evictions": self.template_evictions,

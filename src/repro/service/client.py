@@ -5,12 +5,30 @@ serialized with :func:`~repro.service.serialize.program_to_wire`, responses
 deserialized back into :class:`~repro.compiler.result.CompilationResult`.
 One :class:`Client` holds one keep-alive connection and is **not**
 thread-safe — give each thread its own instance (they are cheap).
+
+Reliability knobs (all default off, preserving the old flat-timeout
+behavior):
+
+* ``retries`` — transparent re-sends of a failed request, with exponential
+  backoff and *full jitter* (each pause is uniform over ``[0, cap]``, so a
+  thundering herd of retrying clients decorrelates).  Transport failures and
+  5xx responses retry; 4xx never does.  POSTs are not idempotent, so every
+  retried POST carries an ``X-Repro-Request-Id`` the server deduplicates on
+  — a retry after a lost response replays the original answer instead of
+  compiling (or deleting) twice.
+* ``deadline`` — a per-request latency budget in seconds, shipped as the
+  ``X-Repro-Deadline`` header (a relative budget, not a wall-clock
+  timestamp, so client and server clocks never need to agree).  The serving
+  stack abandons work past the budget and answers 504.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
+import time
+import uuid
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -58,13 +76,34 @@ class TemplateResponse:
     template: "object | None" = None
 
 
+#: response statuses worth retrying: server-side failures and shed load —
+#: never 4xx, which would fail identically on every attempt
+_RETRY_STATUSES = frozenset({500, 502, 503, 504})
+
+
 class Client:
     """Synchronous client for one ``repro.service`` server."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8765, timeout: float = 120.0):
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        timeout: float = 120.0,
+        retries: int = 0,
+        backoff: float = 0.05,
+        max_backoff: float = 2.0,
+        deadline: float | None = None,
+    ):
         self.host = host
         self.port = int(port)
         self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.max_backoff = float(max_backoff)
+        self.deadline = None if deadline is None else float(deadline)
+        #: observable count of re-sent requests (all calls, cumulative)
+        self.retries_performed = 0
+        self._rng = random.Random()
         self._connection: "http.client.HTTPConnection | None" = None
 
     # ------------------------------------------------------------------ #
@@ -82,6 +121,43 @@ class Client:
     def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
         body = None if payload is None else json.dumps(payload).encode()
         headers = {"Content-Type": "application/json"} if body is not None else {}
+        if self.deadline is not None:
+            headers["X-Repro-Deadline"] = f"{self.deadline:g}"
+        if method == "POST" and self.retries:
+            # a retried POST is only safe because the server deduplicates on
+            # this id — a retry after a lost response replays the original
+            # answer instead of redoing non-idempotent work
+            headers["X-Repro-Request-Id"] = uuid.uuid4().hex
+        last_error: Exception | None = None
+        for attempt in range(self.retries + 1):
+            retry_after: float | None = None
+            try:
+                return self._exchange(method, path, body, headers)
+            except ServiceError as error:
+                if error.status is not None and error.status not in _RETRY_STATUSES:
+                    raise
+                if attempt >= self.retries:
+                    raise
+                last_error = error
+                retry_after = error.retry_after
+            except (http.client.HTTPException, ConnectionError, OSError):
+                if attempt >= self.retries:
+                    raise
+            self.retries_performed += 1
+            # exponential cap with full jitter, floored by the server's own
+            # Retry-After hint when it sent one
+            cap = min(self.max_backoff, self.backoff * (2.0 ** attempt))
+            pause = self._rng.uniform(0.0, max(0.0, cap))
+            if retry_after:
+                pause = max(pause, retry_after)
+            if pause > 0:
+                time.sleep(pause)
+        raise last_error if last_error is not None else ServiceError(
+            f"{method} {path} failed after {self.retries + 1} attempts"
+        )
+
+    def _exchange(self, method: str, path: str, body, headers: dict) -> dict:
+        """One request/response exchange, with one free keep-alive reconnect."""
         for attempt in (0, 1):
             if self._connection is None:
                 self._connection = http.client.HTTPConnection(
@@ -99,12 +175,20 @@ class Client:
                     raise
         if response.getheader("Connection", "").lower() == "close":
             self.close()
+        retry_after: float | None = None
+        retry_after_text = response.getheader("Retry-After")
+        if retry_after_text:
+            try:
+                retry_after = float(retry_after_text)
+            except ValueError:
+                retry_after = None
         try:
             decoded = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
             raise ServiceError(
                 f"{method} {path} returned undecodable body (status {response.status})",
                 status=response.status,
+                retry_after=retry_after,
             ) from error
         if response.status != 200:
             message = decoded.get("error", raw.decode("utf-8", "replace"))
@@ -114,6 +198,7 @@ class Client:
             raise ServiceError(
                 f"{method} {path} failed with {response.status}: {message}",
                 status=response.status,
+                retry_after=retry_after,
             )
         return decoded
 

@@ -1,0 +1,310 @@
+"""Process-wide fault-injection registry for the serving stack.
+
+The service's failure handling — deadlines, retries, load shedding, the
+fleet's circuit breakers — is only trustworthy if the failure paths can be
+exercised deterministically.  This module provides the machinery: named
+**fault sites** threaded through the hot paths of the cache, scheduler,
+compile pool, server, and fleet front, each a single cheap call that is a
+no-op unless the process has been explicitly armed.
+
+Arming happens two ways:
+
+* the ``REPRO_FAULTS`` environment variable, parsed at import time, using a
+  compact grammar (see :func:`parse_spec`)::
+
+      REPRO_FAULTS=cache.read:error:0.05,server.handle:delay:200ms
+
+* a ``POST /fault`` debug request against a server started with
+  ``--enable-faults``, which accepts the same grammar as a string or a list
+  of JSON rule objects (supporting extras such as ``times`` caps).
+
+Rule grammar: ``site:kind[:arg][:probability]`` where *kind* is one of
+
+``error``
+    raise :class:`~repro.exceptions.FaultInjectedError` at the site;
+``delay``
+    sleep for *arg* (a duration such as ``200ms``, ``1.5s``, or bare
+    seconds) before continuing;
+``corrupt``
+    flip bytes in data flowing through the site (only honoured by sites
+    that move payloads, e.g. ``cache.read``);
+``kill``
+    hard-kill the process via ``os._exit`` — the worker-crash fault.
+
+*probability* defaults to 1.0.  ``delay`` takes both an argument and an
+optional probability (``site:delay:200ms:0.5``); for the other kinds the
+third field is the probability.
+
+Determinism: the registry draws from its own :class:`random.Random` seeded
+from ``REPRO_FAULTS_SEED`` when set, so chaos runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.exceptions import FaultInjectedError
+
+__all__ = [
+    "FaultRule",
+    "FaultRegistry",
+    "REGISTRY",
+    "parse_spec",
+    "fire",
+    "fire_async",
+    "corrupt_bytes",
+]
+
+_KINDS = ("error", "delay", "corrupt", "kill")
+
+
+def _parse_duration(text: str) -> float:
+    """Parse ``200ms`` / ``1.5s`` / bare-seconds into float seconds."""
+    text = text.strip().lower()
+    try:
+        if text.endswith("ms"):
+            return float(text[:-2]) / 1000.0
+        if text.endswith("s"):
+            return float(text[:-1])
+        return float(text)
+    except ValueError:
+        raise ValueError(f"unparseable duration in fault spec: {text!r}") from None
+
+
+@dataclass
+class FaultRule:
+    """One armed fault: fire *kind* at *site* with the given probability.
+
+    ``times`` bounds how often the rule trips (``None`` = unlimited);
+    ``worker`` restricts a fleet-broadcast rule to one worker slot and is
+    carried here only so the front can route it — workers receive the rule
+    with ``worker`` already stripped.
+    """
+
+    site: str
+    kind: str
+    probability: float = 1.0
+    delay_seconds: float = 0.0
+    times: int | None = None
+    worker: str | None = None
+    trips: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {_KINDS}"
+            )
+        if not self.site:
+            raise ValueError("fault rule needs a non-empty site")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"fault probability out of range: {self.probability}")
+
+    def to_dict(self) -> dict:
+        out = {
+            "site": self.site,
+            "kind": self.kind,
+            "probability": self.probability,
+        }
+        if self.kind == "delay":
+            out["delay_ms"] = self.delay_seconds * 1000.0
+        if self.times is not None:
+            out["times"] = self.times
+        if self.worker is not None:
+            out["worker"] = self.worker
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultRule":
+        if not isinstance(data, dict):
+            raise ValueError(f"fault rule must be an object, got {type(data).__name__}")
+        known = {"site", "kind", "probability", "delay_ms", "delay", "times", "worker"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown fault rule fields: {sorted(unknown)}")
+        delay_seconds = 0.0
+        if "delay_ms" in data:
+            delay_seconds = float(data["delay_ms"]) / 1000.0
+        elif "delay" in data:
+            delay_seconds = _parse_duration(str(data["delay"]))
+        times = data.get("times")
+        if times is not None:
+            times = int(times)
+            if times < 1:
+                raise ValueError(f"fault rule 'times' must be >= 1, got {times}")
+        return cls(
+            site=str(data.get("site", "")),
+            kind=str(data.get("kind", "")),
+            probability=float(data.get("probability", 1.0)),
+            delay_seconds=delay_seconds,
+            times=times,
+            worker=data.get("worker"),
+        )
+
+
+def parse_spec(spec: str) -> list[FaultRule]:
+    """Parse a comma-separated ``site:kind[:arg][:prob]`` spec string."""
+    rules: list[FaultRule] = []
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        parts = chunk.split(":")
+        if len(parts) < 2:
+            raise ValueError(f"fault spec entry needs site:kind, got {chunk!r}")
+        site, kind = parts[0].strip(), parts[1].strip().lower()
+        probability = 1.0
+        delay_seconds = 0.0
+        if kind == "delay":
+            if len(parts) < 3:
+                raise ValueError(f"delay fault needs a duration: {chunk!r}")
+            delay_seconds = _parse_duration(parts[2])
+            if len(parts) > 3:
+                probability = float(parts[3])
+        elif len(parts) > 2:
+            probability = float(parts[2])
+        rules.append(
+            FaultRule(
+                site=site,
+                kind=kind,
+                probability=probability,
+                delay_seconds=delay_seconds,
+            )
+        )
+    return rules
+
+
+class FaultRegistry:
+    """Thread-safe store of armed :class:`FaultRule` objects.
+
+    ``armed`` is a plain bool read without the lock: when no rules exist
+    (the production case) every fault site costs one attribute load and a
+    falsy check, nothing more.
+    """
+
+    def __init__(self, seed: int | None = None):
+        self._lock = threading.Lock()
+        self._rules: list[FaultRule] = []
+        self._rng = random.Random(seed)
+        self.armed = False
+        # Indirection so tests can observe kill faults without dying.
+        self._exit = os._exit
+
+    def configure(self, spec: str) -> list[FaultRule]:
+        """Replace all rules with the parsed *spec* (empty string clears)."""
+        rules = parse_spec(spec)
+        with self._lock:
+            self._rules = rules
+            self.armed = bool(rules)
+        return rules
+
+    def add(self, rule: FaultRule) -> None:
+        with self._lock:
+            self._rules.append(rule)
+            self.armed = True
+
+    def clear(self) -> None:
+        with self._lock:
+            self._rules = []
+            self.armed = False
+
+    def active(self) -> list[FaultRule]:
+        with self._lock:
+            return list(self._rules)
+
+    def reseed(self, seed: int | None) -> None:
+        with self._lock:
+            self._rng = random.Random(seed)
+
+    def _draw(self, site: str, kinds: tuple[str, ...]) -> FaultRule | None:
+        """Pick the first matching rule that trips, honouring ``times`` caps."""
+        with self._lock:
+            for rule in self._rules:
+                if rule.site != site or rule.kind not in kinds:
+                    continue
+                if rule.times is not None and rule.trips >= rule.times:
+                    continue
+                if rule.probability < 1.0 and self._rng.random() >= rule.probability:
+                    continue
+                rule.trips += 1
+                return rule
+        return None
+
+    def fire(self, site: str) -> None:
+        """Synchronous fault point: may sleep, raise, or kill the process."""
+        if not self.armed:
+            return
+        rule = self._draw(site, ("delay", "error", "kill"))
+        if rule is None:
+            return
+        if rule.kind == "delay":
+            time.sleep(rule.delay_seconds)
+        elif rule.kind == "error":
+            raise FaultInjectedError(f"injected fault at {site}")
+        elif rule.kind == "kill":
+            self._exit(1)
+
+    async def fire_async(self, site: str) -> None:
+        """Async fault point: like :meth:`fire` but awaits delays."""
+        if not self.armed:
+            return
+        rule = self._draw(site, ("delay", "error", "kill"))
+        if rule is None:
+            return
+        if rule.kind == "delay":
+            await asyncio.sleep(rule.delay_seconds)
+        elif rule.kind == "error":
+            raise FaultInjectedError(f"injected fault at {site}")
+        elif rule.kind == "kill":
+            self._exit(1)
+
+    def corrupt_bytes(self, site: str, data: bytes) -> bytes:
+        """Apply a matching ``corrupt`` rule to *data*, if any.
+
+        Corruption is representative of real disk rot: either the payload is
+        truncated or a byte in the middle is flipped.
+        """
+        if not self.armed or not data:
+            return data
+        rule = self._draw(site, ("corrupt",))
+        if rule is None:
+            return data
+        with self._lock:
+            if self._rng.random() < 0.5 and len(data) > 1:
+                return data[: len(data) // 2]
+            index = self._rng.randrange(len(data))
+        flipped = data[index] ^ 0xFF
+        return data[:index] + bytes([flipped]) + data[index + 1 :]
+
+
+def _registry_from_env() -> FaultRegistry:
+    seed_text = os.environ.get("REPRO_FAULTS_SEED")
+    seed = int(seed_text) if seed_text else None
+    registry = FaultRegistry(seed=seed)
+    spec = os.environ.get("REPRO_FAULTS", "")
+    if spec:
+        registry.configure(spec)
+    return registry
+
+
+#: The process-wide registry every fault site consults.
+REGISTRY = _registry_from_env()
+
+
+def fire(site: str) -> None:
+    """Module-level shorthand for ``REGISTRY.fire(site)``."""
+    REGISTRY.fire(site)
+
+
+async def fire_async(site: str) -> None:
+    """Module-level shorthand for ``REGISTRY.fire_async(site)``."""
+    await REGISTRY.fire_async(site)
+
+
+def corrupt_bytes(site: str, data: bytes) -> bytes:
+    """Module-level shorthand for ``REGISTRY.corrupt_bytes(site, data)``."""
+    return REGISTRY.corrupt_bytes(site, data)

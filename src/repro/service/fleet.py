@@ -43,15 +43,18 @@ import contextlib
 import hashlib
 import json
 import os
+import queue
 import re
 import subprocess
 import sys
 import threading
 import time
 from bisect import bisect_right
+from collections import deque
 from pathlib import Path
 
 from repro.exceptions import ServiceError
+from repro.service import faults
 from repro.service.server import (
     DEFAULT_MAX_BODY_BYTES,
     _HttpError,
@@ -68,6 +71,78 @@ DEFAULT_VNODES = 64
 
 #: the machine-parsable startup line every worker prints
 _LISTEN_RE = re.compile(r"listening on http://([\d.]+):(\d+)")
+
+#: captured worker output lines kept per worker for failure diagnostics
+_OUTPUT_TAIL_LINES = 200
+
+
+class CircuitBreaker:
+    """Per-worker circuit breaker: fail fast instead of queueing on a corpse.
+
+    Closed (normal) → open after ``threshold`` *consecutive* forward
+    failures; open sheds instantly for ``cooldown`` seconds; then one
+    half-open probe is let through — success re-closes the breaker, failure
+    re-opens it for another cooldown.  Methods return event names
+    (``"trip"`` / ``"probe"`` / ``"reset"``) so the front can count them
+    into its telemetry.
+    """
+
+    def __init__(self, threshold: int = 5, cooldown: float = 2.0):
+        self.threshold = int(threshold)
+        self.cooldown = float(cooldown)
+        self.state = "closed"
+        self.failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+
+    def allow(self) -> "tuple[bool, str | None]":
+        """Whether a request may go upstream, plus a telemetry event."""
+        if self.threshold <= 0 or self.state == "closed":
+            return True, None
+        if self.state == "open":
+            if time.monotonic() - self._opened_at >= self.cooldown:
+                self.state = "half-open"
+                self._probe_in_flight = True
+                return True, "probe"
+            return False, None
+        # half-open: exactly one probe may be outstanding
+        if not self._probe_in_flight:
+            self._probe_in_flight = True
+            return True, "probe"
+        return False, None
+
+    def release_probe(self) -> None:
+        """Free the half-open probe slot without a verdict (aborted forward)."""
+        self._probe_in_flight = False
+
+    def record_success(self) -> "str | None":
+        event = "reset" if self.state != "closed" else None
+        self.state = "closed"
+        self.failures = 0
+        self._probe_in_flight = False
+        return event
+
+    def record_failure(self) -> "str | None":
+        self.failures += 1
+        tripping = self.state == "half-open" or (
+            self.state == "closed"
+            and self.threshold > 0
+            and self.failures >= self.threshold
+        )
+        self._probe_in_flight = False
+        if tripping:
+            self.state = "open"
+            self._opened_at = time.monotonic()
+            return "trip"
+        return None
+
+    def stats(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.failures,
+            "threshold": self.threshold,
+            "cooldown_seconds": self.cooldown,
+        }
 
 
 class HashRing:
@@ -111,6 +186,13 @@ class WorkerHandle:
         self.in_flight = 0
         #: cleared while the worker is draining/restarting; requests wait
         self.available = asyncio.Event()
+        #: serializes respawn/restart so two coroutines seeing the same dead
+        #: process cannot double-spawn it
+        self.lock = asyncio.Lock()
+        #: trips open after consecutive forward failures; front-configurable
+        self.breaker = CircuitBreaker()
+        #: tail of the worker's combined stdout+stderr, for error messages
+        self.output_tail: "deque[str]" = deque(maxlen=_OUTPUT_TAIL_LINES)
         #: idle keep-alive connections to this worker, reused across requests
         self.idle: "list[tuple[asyncio.StreamReader, asyncio.StreamWriter]]" = []
 
@@ -170,6 +252,9 @@ class FleetFront:
         vnodes: int = DEFAULT_VNODES,
         startup_timeout: float = 60.0,
         drain_timeout: float = 10.0,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 2.0,
+        enable_faults: bool = False,
     ):
         self.num_workers = int(workers)
         if self.num_workers < 1:
@@ -181,8 +266,13 @@ class FleetFront:
         self.max_body_bytes = int(max_body_bytes)
         self.startup_timeout = float(startup_timeout)
         self.drain_timeout = float(drain_timeout)
+        #: whether ``POST /fault`` may arm faults — in the front itself
+        #: (``fleet.*`` sites) and, forwarded, in the workers
+        self.enable_faults = bool(enable_faults)
         self.telemetry = Telemetry()
         self.workers = {f"w{i}": WorkerHandle(f"w{i}") for i in range(self.num_workers)}
+        for handle in self.workers.values():
+            handle.breaker = CircuitBreaker(breaker_threshold, breaker_cooldown)
         self.ring = HashRing(sorted(self.workers), vnodes=vnodes)
         self._server: "asyncio.AbstractServer | None" = None
         self._connections: "set[asyncio.Task]" = set()
@@ -202,6 +292,7 @@ class FleetFront:
             "0",
             "--cache-dir",
             self.cache_dir if self.cache_dir is not None else "none",
+            *(["--enable-faults"] if self.enable_faults else []),
             *self.worker_args,
         ]
         return subprocess.Popen(
@@ -213,77 +304,137 @@ class FleetFront:
         )
 
     @staticmethod
-    def _read_listen_line(process: subprocess.Popen, timeout: float) -> "tuple[str, int]":
-        """Block until the worker prints its listen line; returns (host, port)."""
+    def _pump_output(
+        process: subprocess.Popen,
+        lines: "queue.Queue[str | None]",
+        tail: "deque[str]",
+    ) -> None:
+        """Read the worker's pipe for its whole life on a daemon thread.
+
+        Every line lands in ``tail`` (bounded, for diagnostics) and — until
+        startup finishes consuming them — in the ``lines`` queue.  ``None``
+        marks EOF (the process exited).  The single long-lived reader both
+        feeds :meth:`_read_listen_line` and keeps the pipe from filling up
+        after startup.
+        """
+
+        def _run() -> None:
+            with contextlib.suppress(Exception):
+                for line in process.stdout:  # type: ignore[union-attr]
+                    tail.append(line)
+                    # nobody drains the queue after startup; drop rather than
+                    # grow without bound under a chatty worker
+                    with contextlib.suppress(queue.Full):
+                        lines.put_nowait(line)
+            with contextlib.suppress(queue.Full):
+                lines.put_nowait(None)
+
+        threading.Thread(target=_run, daemon=True, name="repro-fleet-pump").start()
+
+    @staticmethod
+    def _read_listen_line(
+        process: subprocess.Popen,
+        lines: "queue.Queue[str | None]",
+        tail: "deque[str]",
+        timeout: float,
+    ) -> "tuple[str, int]":
+        """Wait for the worker's listen line; returns (host, port).
+
+        Polls the pump thread's queue with a short timeout (no busy spin —
+        ``Queue.get`` blocks) and checks the wall deadline between polls, so
+        a worker that hangs *without* printing anything still times out.  A
+        failure message includes the worker's captured output, stderr
+        included (the workers run with ``stderr=STDOUT``).
+        """
         deadline = time.monotonic() + timeout
-        assert process.stdout is not None
         while True:
-            if time.monotonic() > deadline:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
                 process.terminate()
-                raise ServiceError("fleet worker failed to report its port in time")
-            line = process.stdout.readline()
-            if not line:
-                process.wait(timeout=5)
+                captured = "".join(tail).strip() or "<no output>"
                 raise ServiceError(
-                    f"fleet worker exited during startup (code {process.returncode})"
+                    f"fleet worker failed to report its port within {timeout:g}s; "
+                    f"captured output:\n{captured}"
+                )
+            try:
+                line = lines.get(timeout=min(remaining, 0.05))
+            except queue.Empty:
+                continue
+            if line is None:
+                with contextlib.suppress(Exception):
+                    process.wait(timeout=5)
+                captured = "".join(tail).strip() or "<no output>"
+                raise ServiceError(
+                    f"fleet worker exited during startup "
+                    f"(code {process.returncode}); captured output:\n{captured}"
                 )
             match = _LISTEN_RE.search(line)
             if match:
                 return match.group(1), int(match.group(2))
 
-    @staticmethod
-    def _drain_stdout(process: subprocess.Popen) -> None:
-        """Keep the worker's pipe from filling once we stop reading it."""
-
-        def _pump() -> None:
-            with contextlib.suppress(Exception):
-                for _ in process.stdout:  # type: ignore[union-attr]
-                    pass
-
-        threading.Thread(target=_pump, daemon=True).start()
-
     async def _start_worker(self, handle: WorkerHandle) -> None:
         loop = asyncio.get_running_loop()
         process = self._spawn_process()
+        tail: "deque[str]" = deque(maxlen=_OUTPUT_TAIL_LINES)
+        lines: "queue.Queue[str | None]" = queue.Queue(maxsize=1000)
+        self._pump_output(process, lines, tail)
         try:
             host, port = await loop.run_in_executor(
-                None, self._read_listen_line, process, self.startup_timeout
+                None, self._read_listen_line, process, lines, tail,
+                self.startup_timeout,
             )
         except ServiceError:
             with contextlib.suppress(Exception):
                 process.kill()
             raise
-        self._drain_stdout(process)
         handle.process = process
+        handle.output_tail = tail
         handle.host, handle.port = host, port
         handle.available.set()
 
     async def _respawn_worker(self, handle: WorkerHandle) -> None:
-        """Replace a dead worker in place (same slot, so same key ranges)."""
-        handle.available.clear()
-        handle.close_idle()
-        if handle.process is not None:
-            with contextlib.suppress(Exception):
-                handle.process.kill()
-        await self._start_worker(handle)
-        handle.restarts += 1
-        self.telemetry.inc("fleet.worker_respawns")
+        """Replace a dead worker in place (same slot, so same key ranges).
+
+        Serialized per handle: concurrent forwards that all see the same dead
+        process queue on the lock, and whoever enters second finds the worker
+        alive again and skips the spawn.
+        """
+        async with handle.lock:
+            if handle.alive and handle.available.is_set():
+                return
+            handle.available.clear()
+            handle.close_idle()
+            if handle.process is not None:
+                with contextlib.suppress(Exception):
+                    handle.process.kill()
+            await self._start_worker(handle)
+            handle.restarts += 1
+            self.telemetry.inc("fleet.worker_respawns")
 
     async def restart_worker(self, handle: WorkerHandle) -> None:
-        """Draining restart: stop new traffic, let in-flight finish, respawn."""
+        """Draining restart: stop new traffic, let in-flight finish, respawn.
+
+        The drain wait is bounded by ``drain_timeout``: a request stuck on
+        the worker cannot wedge the restart — the worker is terminated
+        anyway, and the stuck caller's connection dies with it, surfacing as
+        a clean error on the caller (never a hang).
+        """
         handle.available.clear()
         deadline = time.monotonic() + self.drain_timeout
         while handle.in_flight > 0 and time.monotonic() < deadline:
             await asyncio.sleep(0.01)
-        handle.close_idle()
-        if handle.process is not None:
-            handle.process.terminate()
-            loop = asyncio.get_running_loop()
-            with contextlib.suppress(Exception):
-                await loop.run_in_executor(None, handle.process.wait, 10)
-        await self._start_worker(handle)
-        handle.restarts += 1
-        self.telemetry.inc("fleet.worker_restarts")
+        if handle.in_flight > 0:
+            self.telemetry.inc("fleet.drain_timeouts")
+        async with handle.lock:
+            handle.close_idle()
+            if handle.process is not None:
+                handle.process.terminate()
+                loop = asyncio.get_running_loop()
+                with contextlib.suppress(Exception):
+                    await loop.run_in_executor(None, handle.process.wait, 10)
+            await self._start_worker(handle)
+            handle.restarts += 1
+            self.telemetry.inc("fleet.worker_restarts")
 
     # ------------------------------------------------------------------ #
     # Front lifecycle
@@ -351,19 +502,23 @@ class FleetFront:
                 method, path, version, headers, body = request
                 keep_alive = wants_keep_alive(headers, version)
                 self.telemetry.inc("fleet.http_requests")
+                extra_headers = None
                 try:
-                    status, payload = await self._dispatch(method, path, body)
+                    status, payload = await self._dispatch(
+                        method, path, body, headers
+                    )
                 except _HttpError as error:
                     status, payload = error.status, json.dumps(
                         error.payload, separators=(",", ":")
                     ).encode()
+                    extra_headers = error.headers
                 except Exception as error:  # noqa: BLE001 — the front must not die
                     self.telemetry.inc("fleet.http_500")
                     status, payload = 500, json.dumps(
                         {"error": str(error), "type": type(error).__name__},
                         separators=(",", ":"),
                     ).encode()
-                await respond_raw(writer, status, payload, keep_alive)
+                await respond_raw(writer, status, payload, keep_alive, extra_headers)
                 if not keep_alive:
                     break
         except (
@@ -381,7 +536,14 @@ class FleetFront:
                 writer.close()
                 await writer.wait_closed()
 
-    async def _dispatch(self, method: str, path: str, body: bytes) -> "tuple[int, bytes]":
+    async def _dispatch(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        headers: "dict[str, str] | None" = None,
+    ) -> "tuple[int, bytes]":
+        headers = headers or {}
         bare = path.split("?", 1)[0]
         if method == "GET" and bare == "/healthz":
             return await self._fleet_healthz()
@@ -389,9 +551,25 @@ class FleetFront:
             return await self._fleet_metrics()
         if method == "POST" and bare == "/fleet/restart":
             return await self._fleet_restart()
+        if method == "POST" and bare == "/fault":
+            return await self._fleet_fault(body)
+        deadline = None
+        budget_text = headers.get("x-repro-deadline")
+        if budget_text:
+            try:
+                deadline = time.monotonic() + max(0.0, float(budget_text))
+            except ValueError:
+                deadline = None
         shard = self._shard_key(method, bare, body)
         handle = self.workers[self.ring.lookup(shard)]
-        return await self._forward(handle, method, path, body)
+        return await self._forward(
+            handle,
+            method,
+            path,
+            body,
+            deadline=deadline,
+            request_id=headers.get("x-repro-request-id"),
+        )
 
     def _shard_key(self, method: str, path: str, body: bytes) -> str:
         """The affinity key a request shards on (see the module docstring)."""
@@ -417,55 +595,117 @@ class FleetFront:
     # Proxying
     # ------------------------------------------------------------------ #
     async def _forward(
-        self, handle: WorkerHandle, method: str, path: str, body: bytes
+        self,
+        handle: WorkerHandle,
+        method: str,
+        path: str,
+        body: bytes,
+        deadline: "float | None" = None,
+        request_id: "str | None" = None,
     ) -> "tuple[int, bytes]":
         """Proxy one request to ``handle``'s worker over a pooled connection.
 
         A stale pooled connection (worker restarted since last use) retries
         once on a fresh one; a dead worker is respawned into its slot and
-        the request retried once more.
+        the request retried once more — a request that died *with* a killed
+        worker is re-sent to its respawned replacement instead of failing.
+        The worker's circuit breaker sheds instantly (503) while open, and
+        ``deadline`` is re-budgeted into the forwarded ``X-Repro-Deadline``
+        so the worker sees only the time the client has left.
         """
-        try:
-            await asyncio.wait_for(handle.available.wait(), self.startup_timeout)
-        except asyncio.TimeoutError:
+        allowed, event = handle.breaker.allow()
+        if event == "probe":
+            self.telemetry.inc("fleet.breaker_probes")
+        if not allowed:
+            self.telemetry.inc("fleet.breaker_shed")
             raise _HttpError(
-                500, f"fleet worker {handle.slot} did not become available", "FleetError"
-            ) from None
-        handle.in_flight += 1
-        try:
-            for attempt in range(3):
-                fresh = attempt > 0 or not handle.idle
-                try:
-                    if handle.idle:
-                        reader, writer = handle.idle.pop()
-                    else:
-                        reader, writer = await asyncio.open_connection(
-                            handle.host, handle.port
-                        )
-                except OSError:
-                    reader = writer = None
-                if writer is not None:
-                    try:
-                        status, payload = await self._exchange(
-                            reader, writer, method, path, body
-                        )
-                    except (OSError, asyncio.IncompleteReadError, _HttpError):
-                        with contextlib.suppress(Exception):
-                            writer.close()
-                    else:
-                        handle.idle.append((reader, writer))
-                        return status, payload
-                # a fresh connection failed too: the worker process is gone
-                if fresh and not handle.alive:
-                    self.telemetry.inc("fleet.worker_deaths")
-                    await self._respawn_worker(handle)
-            raise _HttpError(
-                500,
-                f"fleet worker {handle.slot} kept failing at {handle.address}",
-                "FleetError",
+                503,
+                f"fleet worker {handle.slot} circuit breaker is open",
+                "CircuitOpen",
+                headers={"Retry-After": f"{handle.breaker.cooldown:g}"},
             )
+        verdict_recorded = False
+        try:
+            await faults.fire_async("fleet.upstream")
+            try:
+                await asyncio.wait_for(handle.available.wait(), self.startup_timeout)
+            except asyncio.TimeoutError:
+                raise _HttpError(
+                    500,
+                    f"fleet worker {handle.slot} did not become available",
+                    "FleetError",
+                ) from None
+            handle.in_flight += 1
+            try:
+                for attempt in range(3):
+                    if deadline is not None and time.monotonic() >= deadline:
+                        raise _HttpError(
+                            504,
+                            "request deadline exceeded at the fleet front",
+                            "DeadlineExceededError",
+                        )
+                    fresh = attempt > 0 or not handle.idle
+                    try:
+                        if handle.idle:
+                            reader, writer = handle.idle.pop()
+                        else:
+                            reader, writer = await asyncio.open_connection(
+                                handle.host, handle.port
+                            )
+                    except OSError:
+                        reader = writer = None
+                    if writer is not None:
+                        try:
+                            status, payload = await self._exchange(
+                                reader, writer, method, path, body,
+                                deadline=deadline, request_id=request_id,
+                            )
+                        except (OSError, asyncio.IncompleteReadError, _HttpError):
+                            with contextlib.suppress(Exception):
+                                writer.close()
+                        else:
+                            handle.idle.append((reader, writer))
+                            verdict_recorded = True
+                            if handle.breaker.record_success() == "reset":
+                                self.telemetry.inc("fleet.breaker_resets")
+                            return status, payload
+                    if attempt > 0:
+                        self.telemetry.inc("fleet.forward_retries")
+                    # a fresh connection failed too: the worker process is gone
+                    if fresh and not await self._confirm_alive(handle):
+                        self.telemetry.inc("fleet.worker_deaths")
+                        await self._respawn_worker(handle)
+                verdict_recorded = True
+                if handle.breaker.record_failure() == "trip":
+                    self.telemetry.inc("fleet.breaker_trips")
+                raise _HttpError(
+                    500,
+                    f"fleet worker {handle.slot} kept failing at {handle.address}",
+                    "FleetError",
+                )
+            finally:
+                handle.in_flight -= 1
         finally:
-            handle.in_flight -= 1
+            # a forward that exited without a success/failure verdict (an
+            # expired deadline, an availability timeout) must not leave the
+            # half-open probe slot claimed forever
+            if not verdict_recorded:
+                handle.breaker.release_probe()
+
+    async def _confirm_alive(self, handle: WorkerHandle) -> bool:
+        """Whether a worker whose fresh connection just failed really lives.
+
+        A dying worker closes its sockets an instant *before* it becomes
+        reapable, so a single ``poll()`` here races the kernel: the connect
+        already failed but the process does not read as dead yet, and the
+        respawn-and-resend path would be skipped.  Re-poll briefly before
+        trusting a live verdict.
+        """
+        for _ in range(5):
+            if not handle.alive:
+                return False
+            await asyncio.sleep(0.02)
+        return handle.alive
 
     async def _exchange(
         self,
@@ -474,14 +714,23 @@ class FleetFront:
         method: str,
         path: str,
         body: bytes,
+        deadline: "float | None" = None,
+        request_id: "str | None" = None,
     ) -> "tuple[int, bytes]":
         """One request/response over an (already open) worker connection."""
+        extra = ""
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            extra += f"X-Repro-Deadline: {max(0.0, remaining):g}\r\n"
+        if request_id:
+            extra += f"X-Repro-Request-Id: {request_id}\r\n"
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self.host}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
             "Connection: keep-alive\r\n"
+            f"{extra}"
             "\r\n"
         ).encode("latin-1")
         writer.write(head + body)
@@ -552,6 +801,7 @@ class FleetFront:
                 return None
             metrics["slot"] = handle.slot
             metrics["restarts"] = handle.restarts
+            metrics["breaker"] = handle.breaker.stats()
             return metrics
 
         per_worker = [
@@ -579,7 +829,8 @@ class FleetFront:
             rollup = dict(caches[0])
             for name in (
                 "hits", "misses", "memory_hits", "disk_hits", "evictions",
-                "deletes", "index_drift", "template_hits", "template_misses",
+                "deletes", "index_drift", "corrupt_artifacts", "read_errors",
+                "template_hits", "template_misses",
                 "template_evictions", "sweeps", "expired",
             ):
                 rollup[name] = sum(int(cache.get(name, 0)) for cache in caches)
@@ -605,6 +856,91 @@ class FleetFront:
                 restarted.append(slot)
         return self._encode(200, {"restarted": restarted})
 
+    async def _fleet_fault(self, body: bytes) -> "tuple[int, bytes]":
+        """Arm faults across the fleet (chaos tooling; needs ``--enable-faults``).
+
+        ``fleet.*`` sites arm the front's own registry; everything else is
+        forwarded to the workers — to every worker, or to one slot when the
+        rule carries a ``"worker"`` field.  ``clear`` / ``seed`` apply to the
+        front and broadcast to every worker.
+        """
+        if not self.enable_faults:
+            raise _HttpError(
+                403,
+                "fault injection is disabled; start the fleet with "
+                "--enable-faults",
+                "FaultsDisabled",
+            )
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+            if not isinstance(payload, dict):
+                raise ValueError("fault payload must be a JSON object")
+            rules: "list[faults.FaultRule]" = []
+            if "spec" in payload:
+                rules.extend(faults.parse_spec(str(payload["spec"])))
+            raw_rules = payload.get("rules", [])
+            if not isinstance(raw_rules, list):
+                raise ValueError("'rules' must be a list of rule objects")
+            for rule_data in raw_rules:
+                rules.extend([faults.FaultRule.from_dict(rule_data)])
+        except (ValueError, TypeError, UnicodeDecodeError) as error:
+            raise _HttpError(400, str(error), "FaultSpec") from error
+
+        clear = bool(payload.get("clear"))
+        seed = payload.get("seed")
+        if clear:
+            faults.REGISTRY.clear()
+        if seed is not None:
+            faults.REGISTRY.reseed(int(seed))
+
+        # split front-local vs worker rules; unknown worker slots are a 400
+        per_worker: "dict[str, list[dict]]" = {slot: [] for slot in self.workers}
+        for rule in rules:
+            if rule.site.startswith("fleet."):
+                faults.REGISTRY.add(rule)
+                continue
+            targets = [rule.worker] if rule.worker else sorted(self.workers)
+            for slot in targets:
+                if slot not in self.workers:
+                    raise _HttpError(
+                        400, f"unknown fleet worker slot {slot!r}", "FaultSpec"
+                    )
+                data = rule.to_dict()
+                data.pop("worker", None)
+                per_worker[slot].append(data)
+
+        worker_reports: "dict[str, object]" = {}
+        for slot in sorted(self.workers):
+            worker_payload: dict = {}
+            if clear:
+                worker_payload["clear"] = True
+            if seed is not None:
+                worker_payload["seed"] = int(seed)
+            if per_worker[slot]:
+                worker_payload["rules"] = per_worker[slot]
+            if not worker_payload:
+                continue
+            handle = self.workers[slot]
+            encoded = json.dumps(worker_payload, separators=(",", ":")).encode()
+            try:
+                status, response = await self._forward(
+                    handle, "POST", "/fault", encoded
+                )
+                worker_reports[slot] = {
+                    "status": status,
+                    "active": json.loads(response).get("active", []),
+                }
+            except Exception as error:  # noqa: BLE001 — report, don't crash
+                worker_reports[slot] = {"error": str(error)}
+        return self._encode(
+            200,
+            {
+                "enabled": True,
+                "front": [rule.to_dict() for rule in faults.REGISTRY.active()],
+                "workers": worker_reports,
+            },
+        )
+
     def stats(self) -> dict:
         """JSON-safe supervisor counters (for tests; the front has no loop)."""
         return {
@@ -615,6 +951,7 @@ class FleetFront:
                     "restarts": handle.restarts,
                     "in_flight": handle.in_flight,
                     "idle_connections": len(handle.idle),
+                    "breaker": handle.breaker.stats(),
                 }
                 for slot, handle in sorted(self.workers.items())
             },

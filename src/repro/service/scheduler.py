@@ -39,15 +39,22 @@ stores the fresh artifacts back.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
 import repro
 from repro.compiler.api import validate_program
 from repro.compiler.pool import CompilePool
-from repro.exceptions import ReproError
+from repro.exceptions import (
+    DeadlineExceededError,
+    FaultInjectedError,
+    OverloadedError,
+    ReproError,
+)
 from repro.paulis.sum import SparsePauliSum
 from repro.paulis.term import PauliTerm
+from repro.service import faults
 from repro.service.cache import ArtifactCache
 from repro.service.telemetry import Telemetry
 
@@ -56,6 +63,11 @@ DEFAULT_WINDOW_SECONDS = 0.002
 
 #: a full batch flushes immediately instead of waiting out the window
 DEFAULT_MAX_BATCH = 256
+
+#: default cap on pending + in-flight scheduler jobs before load shedding;
+#: far above any steady-state depth the load harness reaches, so it only
+#: engages under genuine overload
+DEFAULT_MAX_QUEUE_DEPTH = 1024
 
 
 @dataclass
@@ -67,6 +79,9 @@ class CompileJob:
     level: int = 3
     pipeline: str | None = None
     use_cache: bool = True
+    #: absolute ``time.monotonic()`` deadline, or ``None`` for no limit; a
+    #: job still queued past its deadline is abandoned instead of compiled
+    deadline: float | None = None
     future: "asyncio.Future | None" = field(default=None, repr=False)
 
     def config(self) -> tuple:
@@ -135,6 +150,16 @@ def _execute_group(
     for index in indices:
         job = jobs[index]
         key = None
+        if job.deadline is not None and time.monotonic() >= job.deadline:
+            completed[index] = CompletedJob(
+                None,
+                None,
+                error=DeadlineExceededError(
+                    "request deadline expired before its batch ran"
+                ),
+            )
+            telemetry.inc("service.deadline_abandoned")
+            continue
         try:
             validate_program(job.program, source="repro.service")
             if cache is not None:
@@ -165,6 +190,33 @@ def _execute_group(
     if not missing:
         return
 
+    # Deadline re-check at the compile boundary: the cache phase above can
+    # take real time under a slow disk, and abandoning here is what actually
+    # saves the compile capacity (the server's own 504 cannot stop work that
+    # already left the event loop).
+    now = time.monotonic()
+    for key in list(missing):
+        alive = []
+        for index in missing[key]:
+            job = jobs[index]
+            if job.deadline is not None and now >= job.deadline:
+                completed[index] = CompletedJob(
+                    completed[index].key,
+                    None,
+                    error=DeadlineExceededError(
+                        "request deadline expired before compilation started"
+                    ),
+                )
+                telemetry.inc("service.deadline_abandoned")
+            else:
+                alive.append(index)
+        if alive:
+            missing[key] = alive
+        else:
+            del missing[key]
+    if not missing:
+        return
+
     # Compile phase: every distinct missing program through compile_many as
     # one planned batch (plan_batch resolves serial/threads/processes), with
     # the cache's shared conjugation cache pooling tableau freezes.
@@ -174,6 +226,19 @@ def _execute_group(
     live_pool = pool if pool is not None and pool.usable else None
     pool_batches_before = live_pool.batches if live_pool is not None else 0
     pool_breaks_before = live_pool.breaks if live_pool is not None else 0
+    # The scheduler.compile fault fires here, outside the compile try below:
+    # that try's per-program fallback exists to isolate real program defects
+    # and would otherwise swallow the injected failure.
+    try:
+        faults.fire("scheduler.compile")
+    except FaultInjectedError as error:
+        for key in ordered_keys:
+            for index in missing[key]:
+                completed[index] = CompletedJob(
+                    completed[index].key, None, error=error
+                )
+        telemetry.inc("service.failed_batches")
+        return
     try:
         with telemetry.timed("service.compile_seconds"):
             results = repro.compile_many(
@@ -218,8 +283,13 @@ def _execute_group(
             continue
         compiled += 1
         if cache is not None and stored_key is not None:
-            with telemetry.timed("service.cache_store_seconds"):
-                cache.put(stored_key, result)
+            # a failed store must not fail the request — the compile already
+            # succeeded; the artifact is simply recomputed next time
+            try:
+                with telemetry.timed("service.cache_store_seconds"):
+                    cache.put(stored_key, result)
+            except (ReproError, OSError):
+                telemetry.inc("service.cache_store_errors")
         for index in job_indices:
             completed[index] = CompletedJob(stored_key, result, cache_hit=False)
     telemetry.inc("service.compiled_programs", compiled)
@@ -269,11 +339,17 @@ class BatchingScheduler:
         max_batch: int = DEFAULT_MAX_BATCH,
         pool_workers: int = 0,
         pool: CompilePool | None = None,
+        max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
     ):
         self.cache = cache
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.window_seconds = float(window_seconds)
         self.max_batch = int(max_batch)
+        #: cap on pending + in-flight jobs before :meth:`submit` sheds with
+        #: :class:`~repro.exceptions.OverloadedError` (0 disables shedding)
+        self.max_queue_depth = int(max_queue_depth)
+        #: ``Retry-After`` hint handed to shed requests, seconds
+        self.shed_retry_after = 0.1
         #: the long-lived compile pool the batches consult; ``pool_workers=0``
         #: (the default) keeps compilation in-process — the right call on a
         #: one-core box, where extra processes only add pickling
@@ -281,9 +357,11 @@ class BatchingScheduler:
             CompilePool(pool_workers) if pool_workers else None
         )
         self._pending: list[CompileJob] = []
+        self._in_flight = 0
         self._flush_handle: "asyncio.TimerHandle | None" = None
         self.batches_flushed = 0
         self.jobs_submitted = 0
+        self.jobs_shed = 0
 
     def close(self) -> None:
         """Shut down the owned compile pool (idempotent)."""
@@ -298,15 +376,33 @@ class BatchingScheduler:
         level: int = 3,
         pipeline: str | None = None,
         use_cache: bool = True,
+        deadline: float | None = None,
     ) -> CompletedJob:
-        """Queue one compile request; resolves when its batch completes."""
+        """Queue one compile request; resolves when its batch completes.
+
+        ``deadline`` is an absolute ``time.monotonic()`` timestamp: a job
+        still queued when it passes is abandoned with
+        :class:`~repro.exceptions.DeadlineExceededError` instead of compiled.
+        Sheds immediately with :class:`~repro.exceptions.OverloadedError`
+        when pending + in-flight depth is at ``max_queue_depth``.
+        """
         loop = asyncio.get_running_loop()
+        depth = len(self._pending) + self._in_flight
+        if self.max_queue_depth and depth >= self.max_queue_depth:
+            self.jobs_shed += 1
+            self.telemetry.inc("service.shed_requests")
+            raise OverloadedError(
+                f"scheduler queue full ({depth} jobs >= "
+                f"max_queue_depth={self.max_queue_depth})",
+                retry_after=self.shed_retry_after,
+            )
         job = CompileJob(
             program=program,
             target=target,
             level=level,
             pipeline=pipeline,
             use_cache=use_cache,
+            deadline=deadline,
             future=loop.create_future(),
         )
         self._pending.append(job)
@@ -329,6 +425,7 @@ class BatchingScheduler:
         if not self._pending:
             return
         batch, self._pending = self._pending, []
+        self._in_flight += len(batch)
         self.batches_flushed += 1
         self.telemetry.inc("service.batches")
         self.telemetry.observe("service.batch_size", len(batch))
@@ -346,6 +443,8 @@ class BatchingScheduler:
                 if not job.future.done():
                     job.future.set_exception(error)
             return
+        finally:
+            self._in_flight -= len(batch)
         for job, outcome in zip(batch, completed):
             if not job.future.done():
                 job.future.set_result(outcome)

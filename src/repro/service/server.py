@@ -40,11 +40,20 @@ import asyncio
 import contextlib
 import json
 import threading
+import time
+from collections import OrderedDict
 
-from repro.exceptions import ReproError
+from repro.exceptions import (
+    DeadlineExceededError,
+    FaultInjectedError,
+    OverloadedError,
+    ReproError,
+)
+from repro.service import faults
 from repro.service.cache import ArtifactCache
 from repro.service.scheduler import (
     DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_QUEUE_DEPTH,
     DEFAULT_WINDOW_SECONDS,
     BatchingScheduler,
     CompletedJob,
@@ -66,20 +75,33 @@ DEFAULT_MAX_BODY_BYTES = 64 * 1024 * 1024
 _REASONS = {
     200: "OK",
     400: "Bad Request",
+    403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
+
+#: bounded replay store of request_id → completed POST responses, per server
+DEFAULT_DEDUP_ENTRIES = 128
 
 
 class _HttpError(Exception):
     """Internal: carries an HTTP status + JSON error payload to the writer."""
 
-    def __init__(self, status: int, message: str, kind: str = "error"):
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        kind: str = "error",
+        headers: "dict[str, str] | None" = None,
+    ):
         super().__init__(message)
         self.status = status
         self.payload = {"error": message, "type": kind}
+        self.headers = headers
 
 
 def _bad_request(error: Exception) -> _HttpError:
@@ -136,10 +158,11 @@ async def respond_json(
     status: int,
     payload: dict,
     keep_alive: bool,
+    extra_headers: "dict[str, str] | None" = None,
 ) -> None:
     """Serialize ``payload`` and write one HTTP/1.1 JSON response."""
     body = json.dumps(payload, separators=(",", ":")).encode()
-    await respond_raw(writer, status, body, keep_alive)
+    await respond_raw(writer, status, body, keep_alive, extra_headers)
 
 
 async def respond_raw(
@@ -147,14 +170,19 @@ async def respond_raw(
     status: int,
     body: bytes,
     keep_alive: bool,
+    extra_headers: "dict[str, str] | None" = None,
 ) -> None:
     """Write one HTTP/1.1 response with a pre-encoded JSON body."""
     connection = "keep-alive" if keep_alive else "close"
+    extra = ""
+    if extra_headers:
+        extra = "".join(f"{name}: {value}\r\n" for name, value in extra_headers.items())
     head = (
         f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
         "Content-Type: application/json\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: {connection}\r\n"
+        f"{extra}"
         "\r\n"
     ).encode("latin-1")
     writer.write(head + body)
@@ -177,6 +205,8 @@ class ServiceServer:
         pool_workers: int = 0,
         ttl_seconds: float | None = None,
         sweep_interval: float = 0.0,
+        max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
+        enable_faults: bool = False,
     ):
         if cache is None and cache_dir is not None:
             cache_kwargs: dict = {}
@@ -195,8 +225,17 @@ class ServiceServer:
             window_seconds=window_seconds,
             max_batch=max_batch,
             pool_workers=pool_workers,
+            max_queue_depth=max_queue_depth,
         )
         self.max_body_bytes = int(max_body_bytes)
+        #: whether ``POST /fault`` may arm the in-process fault registry;
+        #: off by default — chaos tooling must opt in explicitly
+        self.enable_faults = bool(enable_faults)
+        #: bounded replay store: request_id → completed POST (status, payload),
+        #: so a client retrying a non-idempotent POST after a lost response
+        #: gets the original answer instead of duplicated work
+        self._dedup: "OrderedDict[str, tuple[int, dict]]" = OrderedDict()
+        self.dedup_entries = DEFAULT_DEDUP_ENTRIES
         #: background-sweep period in seconds; 0 disables the task (a TTL
         #: can still be applied by calling ``cache.sweep()`` by hand)
         self.sweep_interval = float(sweep_interval)
@@ -304,12 +343,62 @@ class ServiceServer:
         method, path, version, headers, body = request
         keep_alive = wants_keep_alive(headers, version)
 
+        # Per-request deadline: the client ships its remaining *budget* in
+        # seconds (relative, so no clock sync needed); past it the request is
+        # answered 504 and the work abandoned at the next checkpoint.
+        deadline: float | None = None
+        budget_text = headers.get("x-repro-deadline")
+        if budget_text:
+            try:
+                deadline = time.monotonic() + max(0.0, float(budget_text))
+            except ValueError:
+                deadline = None  # a malformed budget never breaks the request
+
+        # Replay of completed non-idempotent POSTs: a retrying client sends
+        # the same X-Repro-Request-Id and gets the original response back.
+        request_id = headers.get("x-repro-request-id") if method == "POST" else None
+        if request_id:
+            replay = self._dedup.get(request_id)
+            if replay is not None:
+                status, payload = replay
+                payload = dict(payload)
+                payload["deduplicated"] = True
+                self.telemetry.inc("service.request_dedup_hits")
+                await self._respond(writer, status, payload, keep_alive)
+                return keep_alive
+
         self.telemetry.inc("service.http_requests")
+        extra_headers: "dict[str, str] | None" = None
         with self.telemetry.timed("service.request_seconds"):
             try:
-                status, payload = await self._dispatch(method, path, body)
+                await faults.fire_async("server.handle")
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise DeadlineExceededError(
+                            "deadline budget exhausted before dispatch"
+                        )
+                    status, payload = await asyncio.wait_for(
+                        self._dispatch(method, path, body, deadline=deadline),
+                        timeout=remaining,
+                    )
+                else:
+                    status, payload = await self._dispatch(method, path, body)
             except _HttpError as error:
                 status, payload = error.status, error.payload
+                extra_headers = error.headers
+            except (asyncio.TimeoutError, DeadlineExceededError) as error:
+                self.telemetry.inc("service.deadline_expired")
+                message = str(error) or "request deadline exceeded"
+                status, payload = 504, {
+                    "error": message,
+                    "type": "DeadlineExceededError",
+                }
+            except OverloadedError as error:
+                status, payload = 503, {"error": str(error), "type": "OverloadedError"}
+                extra_headers = {"Retry-After": f"{error.retry_after:g}"}
+            except FaultInjectedError as error:
+                status, payload = 500, {"error": str(error), "type": "FaultInjectedError"}
             except ReproError as error:
                 status, payload = 400, {"error": str(error), "type": type(error).__name__}
             except Exception as error:  # noqa: BLE001 — the server must not die
@@ -317,7 +406,12 @@ class ServiceServer:
                 status, payload = 500, {"error": str(error), "type": type(error).__name__}
         if status != 200:
             self.telemetry.inc(f"service.http_{status}")
-        await self._respond(writer, status, payload, keep_alive)
+        elif request_id:
+            self._dedup[request_id] = (status, payload)
+            self._dedup.move_to_end(request_id)
+            while len(self._dedup) > self.dedup_entries:
+                self._dedup.popitem(last=False)
+        await self._respond(writer, status, payload, keep_alive, extra_headers)
         return keep_alive
 
     async def _respond(
@@ -326,13 +420,20 @@ class ServiceServer:
         status: int,
         payload: dict,
         keep_alive: bool,
+        extra_headers: "dict[str, str] | None" = None,
     ) -> None:
-        await respond_json(writer, status, payload, keep_alive)
+        await respond_json(writer, status, payload, keep_alive, extra_headers)
 
     # ------------------------------------------------------------------ #
     # Routing
     # ------------------------------------------------------------------ #
-    async def _dispatch(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+    async def _dispatch(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        deadline: float | None = None,
+    ) -> tuple[int, dict]:
         path = path.split("?", 1)[0]
         if method == "GET":
             if path == "/healthz":
@@ -345,13 +446,15 @@ class ServiceServer:
         if method == "POST":
             payload = self._parse_json(body)
             if path == "/compile":
-                return await self._post_compile(payload)
+                return await self._post_compile(payload, deadline=deadline)
             if path == "/compile_batch":
-                return await self._post_compile_batch(payload)
+                return await self._post_compile_batch(payload, deadline=deadline)
             if path == "/compile_template":
                 return await self._post_compile_template(payload)
             if path == "/bind":
                 return self._post_bind(payload)
+            if path == "/fault":
+                return self._post_fault(payload)
             raise _HttpError(404, f"unknown path {path!r}", kind="NotFound")
         if method == "DELETE":
             if path.startswith("/result/"):
@@ -384,8 +487,10 @@ class ServiceServer:
             "scheduler": {
                 "jobs_submitted": self.scheduler.jobs_submitted,
                 "batches_flushed": self.scheduler.batches_flushed,
+                "jobs_shed": self.scheduler.jobs_shed,
                 "window_seconds": self.scheduler.window_seconds,
                 "max_batch": self.scheduler.max_batch,
+                "max_queue_depth": self.scheduler.max_queue_depth,
             },
         }
         if self.scheduler.pool is not None:
@@ -432,7 +537,9 @@ class ServiceServer:
                 entry["result"] = result_to_wire(outcome.result)
         return entry
 
-    async def _post_compile(self, payload: dict) -> tuple[int, dict]:
+    async def _post_compile(
+        self, payload: dict, deadline: float | None = None
+    ) -> tuple[int, dict]:
         wire_program = payload.get("program")
         if wire_program is None:
             raise _HttpError(400, "payload lacks a 'program' field")
@@ -442,8 +549,37 @@ class ServiceServer:
             program = program_from_wire(wire_program)
         except ReproError as error:
             raise _bad_request(error) from error
-        outcome = await self.scheduler.submit(program, **options)
+        outcome = await self.scheduler.submit(program, deadline=deadline, **options)
         return 200, self._job_payload(outcome, include_result)
+
+    def _post_fault(self, payload: dict) -> tuple[int, dict]:
+        """Arm / inspect the in-process fault registry (chaos tooling only)."""
+        if not self.enable_faults:
+            raise _HttpError(
+                403,
+                "fault injection is disabled; start the server with "
+                "--enable-faults",
+                "FaultsDisabled",
+            )
+        try:
+            if payload.get("clear"):
+                faults.REGISTRY.clear()
+            if "seed" in payload:
+                faults.REGISTRY.reseed(int(payload["seed"]))
+            if "spec" in payload:
+                for rule in faults.parse_spec(str(payload["spec"])):
+                    faults.REGISTRY.add(rule)
+            rules = payload.get("rules", [])
+            if not isinstance(rules, list):
+                raise ValueError("'rules' must be a list of rule objects")
+            for rule_data in rules:
+                faults.REGISTRY.add(faults.FaultRule.from_dict(rule_data))
+        except (ValueError, TypeError) as error:
+            raise _HttpError(400, str(error), "FaultSpec") from error
+        return 200, {
+            "enabled": True,
+            "active": [rule.to_dict() for rule in faults.REGISTRY.active()],
+        }
 
     def _delete_result(self, key: str) -> tuple[int, dict]:
         if self.cache is None:
@@ -556,7 +692,9 @@ class ServiceServer:
             entry["result"] = result_to_wire(result)
         return 200, entry
 
-    async def _post_compile_batch(self, payload: dict) -> tuple[int, dict]:
+    async def _post_compile_batch(
+        self, payload: dict, deadline: float | None = None
+    ) -> tuple[int, dict]:
         wire_programs = payload.get("programs")
         if not isinstance(wire_programs, list) or not wire_programs:
             raise _HttpError(400, "payload needs a non-empty 'programs' list")
@@ -566,7 +704,9 @@ class ServiceServer:
         async def _one(wire_program) -> dict:
             try:
                 program = program_from_wire(wire_program)
-                outcome = await self.scheduler.submit(program, **options)
+                outcome = await self.scheduler.submit(
+                    program, deadline=deadline, **options
+                )
             except ReproError as error:
                 return {"error": str(error), "type": type(error).__name__}
             return self._job_payload(outcome, include_result)
