@@ -61,6 +61,7 @@ import numpy as np  # noqa: E402
 
 import repro  # noqa: E402
 from repro.arrays import default_backend  # noqa: E402
+from repro.observability import DEFAULT_SAMPLE_RATE, TRACER  # noqa: E402
 from repro.parametric import ParametricProgram  # noqa: E402
 from repro.paulis.pauli import PauliString  # noqa: E402
 from repro.paulis.term import PauliTerm  # noqa: E402
@@ -301,15 +302,25 @@ def bench_service_load(
     retries: int = 0,
     backoff: float = 0.05,
     chaos_seconds: float = 2.0,
+    trace: bool = False,
 ) -> dict:
     terms = get_benchmark(SERVICE_WORKLOAD).terms()
     program = ParametricProgram.from_terms(terms, [i % 4 for i in range(len(terms))])
     params = [0.1, 0.3, 0.5, 0.7]
 
+    # sample aggressively during a traced run: the mixes are short, and the
+    # queue-wait percentile needs enough spans to be meaningful; an untraced
+    # run keeps the production-default rate so the gated floors measure the
+    # serving path as actually deployed
+    trace_sample = 0.25 if trace else DEFAULT_SAMPLE_RATE
+    if trace:
+        TRACER.clear()
+
     mixes: "dict[str, dict]" = {}
     with tempfile.TemporaryDirectory(prefix="repro-bench-load-") as cache_dir:
         server = ServiceServer(
-            cache=ArtifactCache(cache_dir), window_seconds=0.001
+            cache=ArtifactCache(cache_dir), window_seconds=0.001,
+            trace_sample=trace_sample,
         )
         with run_server_in_thread(server):
             with Client(port=server.port) as primer:
@@ -342,6 +353,23 @@ def bench_service_load(
                 bind, server.port, offered_rate, duration, clients, seed + 2,
                 retries=retries, backoff=backoff,
             )
+
+            # harvest queue-wait spans before the saturation probe floods the
+            # ring buffer: the server runs in-process, so the global tracer
+            # holds the spans the open-loop mixes just sampled
+            trace_block: "dict | None" = None
+            if trace:
+                waits = sorted(
+                    span["duration_seconds"] * 1000.0
+                    for span in TRACER.find("scheduler.queue_wait")
+                )
+                trace_block = {
+                    "sample_rate": trace_sample,
+                    "traced_requests": len(TRACER.traces(limit=500)),
+                    "queue_wait_spans": len(waits),
+                    "queue_wait_p50_ms": _percentile(waits, 0.50),
+                    "queue_wait_p99_ms": _percentile(waits, 0.99),
+                }
 
             print("[load] closed-loop saturation (single server) ...", flush=True)
             saturation = closed_loop(
@@ -396,7 +424,23 @@ def bench_service_load(
         f"{chaos['chaos_success_rate']:.4f} | failures {chaos['failures']}",
         flush=True,
     )
+    if trace_block is not None:
+        print(
+            f"    trace       {trace_block['traced_requests']} traces | "
+            f"{trace_block['queue_wait_spans']} queue-wait spans | "
+            f"queue-wait p99 {trace_block['queue_wait_p99_ms']:.3f} ms",
+            flush=True,
+        )
+    block_trace_extras = {}
+    if trace_block is not None:
+        block_trace_extras = {
+            "trace": trace_block,
+            # deliberately ungated: scheduler queue wait measured from
+            # sampled spans, recorded so regressions are visible in reports
+            "queue_wait_p99_ms": trace_block["queue_wait_p99_ms"],
+        }
     return {
+        **block_trace_extras,
         "workload": SERVICE_WORKLOAD,
         "offered_rate_rps": offered_rate,
         "duration_seconds": duration,
@@ -457,6 +501,11 @@ def main(argv: "list[str] | None" = None) -> int:
         "--chaos-seconds", type=float, default=2.0,
         help="duration of the fault-injected chaos probe (default %(default)s)",
     )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="head-sample traces during the open-loop mixes and record the "
+        "scheduler queue-wait percentiles (ungated) in the report",
+    )
     parser.add_argument("--seed", type=int, default=20250807)
     parser.add_argument(
         "--output", default="BENCH_service_load.json",
@@ -474,6 +523,7 @@ def main(argv: "list[str] | None" = None) -> int:
         retries=args.retries,
         backoff=args.backoff,
         chaos_seconds=args.chaos_seconds,
+        trace=args.trace,
     )
     report = {
         "schema": SCHEMA,

@@ -15,7 +15,15 @@ fresh cache dir), then checks the serving story the service PR promises:
 5. the server is restarted against the same cache dir and the H2O compile is
    *still* a cache hit — and a ``POST /bind`` against the pre-restart
    ``template_key`` still answers (templates survive restarts too);
-6. ``GET /metrics`` reflects the traffic.
+6. ``GET /metrics`` reflects the traffic, and ``GET
+   /metrics?format=prometheus`` passes the strict text-format parser;
+7. a traced compile (``X-Repro-Trace`` headers) comes back via ``GET
+   /trace/<id>`` with the full span tree — repeated against a 2-worker
+   fleet front, where the stitched trace must cover the front's forward,
+   the worker's handle, the scheduler queue wait, the batch compile with
+   per-pass children, and the cache write, with durations consistent with
+   the measured end-to-end latency; the front's Prometheus exposition must
+   carry per-worker labels.
 
 ``--retries``/``--backoff`` arm the client's transparent retry layer for
 every request the smoke test makes (default: 2 retries), so a transient
@@ -40,6 +48,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 import repro  # noqa: E402
+from repro.observability import parse_prometheus_text  # noqa: E402
 from repro.parametric import ParametricProgram  # noqa: E402
 from repro.service.client import Client  # noqa: E402
 from repro.workloads.registry import get_benchmark  # noqa: E402
@@ -51,7 +60,7 @@ _LISTEN_LINE = re.compile(r"listening on http://([\d.]+):(\d+)")
 class ServerProcess:
     """A ``python -m repro.service`` subprocess with a parsed port."""
 
-    def __init__(self, cache_dir: str):
+    def __init__(self, cache_dir: str, extra_args: "list[str] | None" = None):
         env = dict(os.environ)
         env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
         self.process = subprocess.Popen(
@@ -65,6 +74,7 @@ class ServerProcess:
                 cache_dir,
                 "--window-ms",
                 "2",
+                *(extra_args or []),
             ],
             stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT,
@@ -200,6 +210,38 @@ def main(argv: "list[str] | None" = None) -> int:
                 metrics["telemetry"]["counters"]["service.bind_requests"] >= 1,
                 "metrics count the bind requests",
             )
+
+            families = parse_prometheus_text(client.metrics_prometheus())
+            check(
+                families["repro_service_http_requests_total"]["type"] == "counter",
+                "prometheus exposition parses strictly (single server)",
+            )
+            check(
+                families["repro_service_request_seconds"]["type"] == "histogram",
+                "prometheus exposes real latency histograms",
+            )
+
+            # trace a cold compile so the batch + cache-write spans appear too
+            fresh = maxcut_qaoa_terms(random_graph(8, 12, seed=424242))
+            with Client(port=server.port, trace=True, **client_kwargs) as tracing:
+                started = time.perf_counter()
+                tracing.compile(fresh, include_result=False)
+                e2e_seconds = time.perf_counter() - started
+                trace = tracing.trace()
+            check(trace is not None, "traced compile is retrievable by trace id")
+            names = {span["name"] for span in trace["spans"]}
+            check(
+                {"server.handle", "scheduler.queue_wait", "scheduler.batch",
+                 "cache.read", "cache.write"} <= names,
+                f"single-server trace covers the serving layers {sorted(names)}",
+            )
+            handle_span = next(
+                span for span in trace["spans"] if span["name"] == "server.handle"
+            )
+            check(
+                handle_span["duration_seconds"] <= e2e_seconds,
+                "span durations consistent with measured e2e latency",
+            )
             client.close()
         finally:
             server.stop()
@@ -221,6 +263,53 @@ def main(argv: "list[str] | None" = None) -> int:
                 )
         finally:
             server.stop()
+
+    # a 2-worker fleet: traced compile stitched across front + worker, and
+    # the front's Prometheus exposition labeled per worker
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-fleet-") as cache_dir:
+        front = ServerProcess(cache_dir, extra_args=["--workers", "2"])
+        try:
+            with Client(port=front.port, trace=True, **client_kwargs) as client:
+                check(client.healthz()["status"] == "ok", "fleet healthz")
+                started = time.perf_counter()
+                cold = client.compile(h2o, include_result=False)
+                e2e_seconds = time.perf_counter() - started
+                check(not cold.cache_hit, "fleet H2O compile is cold")
+                trace = client.trace()
+                check(
+                    trace is not None and trace.get("stitched") is True,
+                    "fleet trace is stitched across processes",
+                )
+                names = {span["name"] for span in trace["spans"]}
+                check(
+                    {"fleet.forward", "server.handle", "scheduler.queue_wait",
+                     "scheduler.batch", "cache.write"} <= names,
+                    f"stitched trace covers front and worker {sorted(names)}",
+                )
+                check(
+                    any(name.startswith("pass.") for name in names),
+                    "stitched trace includes per-pass compile children",
+                )
+                forward_span = next(
+                    span for span in trace["spans"] if span["name"] == "fleet.forward"
+                )
+                check(
+                    forward_span["duration_seconds"] <= e2e_seconds,
+                    "stitched span durations consistent with e2e latency",
+                )
+
+                families = parse_prometheus_text(client.metrics_prometheus())
+                workers = {
+                    dict(labelset).get("worker")
+                    for family in families.values()
+                    for labelset in family["samples"]
+                }
+                check(
+                    {"w0", "w1", "front"} <= workers,
+                    f"fleet prometheus carries per-worker labels {sorted(w for w in workers if w)}",
+                )
+        finally:
+            front.stop()
 
     print("[smoke] service smoke test: PASS", flush=True)
     return 0

@@ -38,6 +38,10 @@ the serving substrate on top of it:
   named fault sites threaded through the cache, scheduler, pool, server, and
   fleet, so the failure-hardening layers (deadlines, retries, shedding,
   circuit breakers) can be exercised deterministically.
+* :mod:`repro.observability` — span-based distributed tracing threaded
+  through every layer above (``X-Repro-Trace-Id`` propagation, ``GET
+  /trace/<id>`` stitched across the fleet, slow-request logging) plus
+  Prometheus text exposition on ``GET /metrics?format=prometheus``.
 
 Quick start::
 

@@ -21,6 +21,7 @@ import contextlib
 import os
 import sys
 
+from repro.observability import DEFAULT_CAPACITY, DEFAULT_SAMPLE_RATE, TRACER
 from repro.service.cache import DEFAULT_MAX_BYTES, DEFAULT_MAX_TEMPLATE_BYTES
 from repro.service.scheduler import (
     DEFAULT_MAX_BATCH,
@@ -133,6 +134,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="allow POST /fault to arm the fault-injection registry "
         "(chaos testing only; never enable in production)",
     )
+    parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=DEFAULT_SAMPLE_RATE,
+        help="fraction of untagged requests to head-sample into the trace "
+        "ring (X-Repro-Trace: 1 always forces a trace; default %(default)s)",
+    )
+    parser.add_argument(
+        "--slow-request-ms",
+        type=float,
+        default=0.0,
+        help="log a structured slow-request line to stderr (trace id + "
+        "per-span breakdown) for requests slower than this many "
+        "milliseconds (0 disables; default %(default)s)",
+    )
+    parser.add_argument(
+        "--trace-buffer",
+        type=int,
+        default=DEFAULT_CAPACITY,
+        help="completed spans retained in the process-local trace ring "
+        "buffer (default %(default)s)",
+    )
     return parser
 
 
@@ -158,12 +181,17 @@ def _fleet_worker_args(args: argparse.Namespace) -> "list[str]":
         "--ttl-seconds", str(args.ttl_seconds),
         "--sweep-interval", str(args.sweep_interval),
         "--max-queue-depth", str(args.max_queue_depth),
+        "--trace-sample", str(args.trace_sample),
+        "--slow-request-ms", str(args.slow_request_ms),
+        "--trace-buffer", str(args.trace_buffer),
     ]
 
 
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     cache_dir = None if args.cache_dir.lower() == "none" else os.path.expanduser(args.cache_dir)
+    if args.trace_buffer > 0 and args.trace_buffer != TRACER.capacity:
+        TRACER.resize(args.trace_buffer)
     if args.workers > 0:
         from repro.service.fleet import FleetFront
 
@@ -177,6 +205,8 @@ def main(argv: "list[str] | None" = None) -> int:
             breaker_threshold=args.breaker_threshold,
             breaker_cooldown=args.breaker_cooldown,
             enable_faults=args.enable_faults,
+            trace_sample=args.trace_sample,
+            slow_request_ms=args.slow_request_ms,
         )
     else:
         from repro.service.cache import ArtifactCache
@@ -200,6 +230,8 @@ def main(argv: "list[str] | None" = None) -> int:
             sweep_interval=args.sweep_interval,
             max_queue_depth=args.max_queue_depth,
             enable_faults=args.enable_faults,
+            trace_sample=args.trace_sample,
+            slow_request_ms=args.slow_request_ms,
         )
     with contextlib.suppress(KeyboardInterrupt):
         asyncio.run(_serve(server))

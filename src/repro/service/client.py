@@ -20,6 +20,11 @@ behavior):
   ``X-Repro-Deadline`` header (a relative budget, not a wall-clock
   timestamp, so client and server clocks never need to agree).  The serving
   stack abandons work past the budget and answers 504.
+* ``trace`` — mint one ``X-Repro-Trace-Id`` per logical request (retries of
+  a request reuse its id, so a failed attempt and its successful retry land
+  in one trace) and force head sampling with ``X-Repro-Trace: 1``.  The last
+  minted id is kept on :attr:`Client.last_trace_id`; fetch the assembled
+  trace with :meth:`Client.trace`.
 """
 
 from __future__ import annotations
@@ -93,6 +98,7 @@ class Client:
         backoff: float = 0.05,
         max_backoff: float = 2.0,
         deadline: float | None = None,
+        trace: bool = False,
     ):
         self.host = host
         self.port = int(port)
@@ -101,6 +107,10 @@ class Client:
         self.backoff = float(backoff)
         self.max_backoff = float(max_backoff)
         self.deadline = None if deadline is None else float(deadline)
+        #: when on, every request mints a trace id and forces head sampling
+        self.trace_requests = bool(trace)
+        #: the trace id minted for the most recent traced request
+        self.last_trace_id: "str | None" = None
         #: observable count of re-sent requests (all calls, cumulative)
         self.retries_performed = 0
         self._rng = random.Random()
@@ -118,7 +128,13 @@ class Client:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        traced: bool = True,
+    ) -> dict:
         body = None if payload is None else json.dumps(payload).encode()
         headers = {"Content-Type": "application/json"} if body is not None else {}
         if self.deadline is not None:
@@ -128,6 +144,14 @@ class Client:
             # this id — a retry after a lost response replays the original
             # answer instead of redoing non-idempotent work
             headers["X-Repro-Request-Id"] = uuid.uuid4().hex
+        if self.trace_requests and traced:
+            # one trace id per logical request: retries reuse it, so a failed
+            # attempt's spans and the surviving retry's stitch into one trace
+            # (introspection calls like trace()/traces() pass traced=False so
+            # they neither clobber last_trace_id nor trace themselves)
+            self.last_trace_id = uuid.uuid4().hex
+            headers["X-Repro-Trace-Id"] = self.last_trace_id
+            headers["X-Repro-Trace"] = "1"
         last_error: Exception | None = None
         for attempt in range(self.retries + 1):
             retry_after: float | None = None
@@ -345,3 +369,44 @@ class Client:
 
     def metrics(self) -> dict:
         return self._request("GET", "/metrics")
+
+    def metrics_prometheus(self) -> str:
+        """Fetch ``GET /metrics?format=prometheus`` as raw exposition text.
+
+        Separate from :meth:`metrics` because the Prometheus format is plain
+        text, not JSON — the normal exchange path would reject it.
+        """
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request("GET", "/metrics?format=prometheus")
+            response = connection.getresponse()
+            raw = response.read()
+            if response.status != 200:
+                raise ServiceError(
+                    f"GET /metrics?format=prometheus failed with {response.status}",
+                    status=response.status,
+                )
+            return raw.decode("utf-8")
+        finally:
+            connection.close()
+
+    def trace(self, trace_id: str | None = None) -> dict | None:
+        """Fetch one assembled trace (``GET /trace/<id>``); ``None`` on 404.
+
+        Defaults to :attr:`last_trace_id` — the id minted for the most
+        recent request sent with ``trace=True``.
+        """
+        trace_id = trace_id or self.last_trace_id
+        if not trace_id:
+            raise ValueError("no trace id: pass one or send a traced request first")
+        try:
+            return self._request("GET", f"/trace/{trace_id}", traced=False)
+        except ServiceError as error:
+            if error.status == 404:
+                return None
+            raise
+
+    def traces(self, limit: int | None = None) -> list[dict]:
+        """List recent trace summaries (``GET /traces?limit=N``)."""
+        path = "/traces" if limit is None else f"/traces?limit={int(limit)}"
+        return self._request("GET", path, traced=False).get("traces", [])

@@ -52,11 +52,22 @@ import time
 from bisect import bisect_right
 from collections import deque
 from pathlib import Path
+from urllib.parse import parse_qs
 
 from repro.exceptions import ServiceError
+from repro.observability import (
+    DEFAULT_SAMPLE_RATE,
+    TRACER,
+    TraceContext,
+    merge_trace_spans,
+    merge_trace_summaries,
+    mint_span_id,
+    render_prometheus,
+)
 from repro.service import faults
 from repro.service.server import (
     DEFAULT_MAX_BODY_BYTES,
+    PROMETHEUS_CONTENT_TYPE,
     _HttpError,
     read_http_request,
     respond_json,
@@ -255,6 +266,8 @@ class FleetFront:
         breaker_threshold: int = 5,
         breaker_cooldown: float = 2.0,
         enable_faults: bool = False,
+        trace_sample: float = DEFAULT_SAMPLE_RATE,
+        slow_request_ms: float = 0.0,
     ):
         self.num_workers = int(workers)
         if self.num_workers < 1:
@@ -269,6 +282,13 @@ class FleetFront:
         #: whether ``POST /fault`` may arm faults — in the front itself
         #: (``fleet.*`` sites) and, forwarded, in the workers
         self.enable_faults = bool(enable_faults)
+        #: head-sampling probability for untraced requests; the front's
+        #: decision is authoritative — forwards carry explicit trace headers
+        #: (on or off), so workers never sample independently
+        self.trace_sample = float(trace_sample)
+        #: requests slower than this (ms) log one JSON line to stderr
+        self.slow_request_ms = float(slow_request_ms)
+        self.tracer = TRACER
         self.telemetry = Telemetry()
         self.workers = {f"w{i}": WorkerHandle(f"w{i}") for i in range(self.num_workers)}
         for handle in self.workers.values():
@@ -502,11 +522,20 @@ class FleetFront:
                 method, path, version, headers, body = request
                 keep_alive = wants_keep_alive(headers, version)
                 self.telemetry.inc("fleet.http_requests")
+                trace_ctx = self.tracer.sample_request(headers, self.trace_sample)
+                if trace_ctx is not None:
+                    self.telemetry.inc("fleet.traced_requests")
+                started_perf = time.perf_counter()
                 extra_headers = None
+                content_type = "application/json"
                 try:
-                    status, payload = await self._dispatch(
-                        method, path, body, headers
+                    result = await self._dispatch(
+                        method, path, body, headers, trace=trace_ctx
                     )
+                    if len(result) == 3:
+                        status, payload, content_type = result
+                    else:
+                        status, payload = result
                 except _HttpError as error:
                     status, payload = error.status, json.dumps(
                         error.payload, separators=(",", ":")
@@ -518,7 +547,18 @@ class FleetFront:
                         {"error": str(error), "type": type(error).__name__},
                         separators=(",", ":"),
                     ).encode()
-                await respond_raw(writer, status, payload, keep_alive, extra_headers)
+                if trace_ctx is not None:
+                    extra_headers = dict(extra_headers or {})
+                    extra_headers["X-Repro-Trace-Id"] = trace_ctx.trace_id
+                await respond_raw(
+                    writer, status, payload, keep_alive, extra_headers,
+                    content_type=content_type,
+                )
+                duration_ms = (time.perf_counter() - started_perf) * 1000.0
+                if self.slow_request_ms > 0 and duration_ms >= self.slow_request_ms:
+                    self._log_slow_request(
+                        method, path.split("?", 1)[0], status, duration_ms, trace_ctx
+                    )
                 if not keep_alive:
                     break
         except (
@@ -542,13 +582,19 @@ class FleetFront:
         path: str,
         body: bytes,
         headers: "dict[str, str] | None" = None,
+        trace: "TraceContext | None" = None,
     ) -> "tuple[int, bytes]":
         headers = headers or {}
-        bare = path.split("?", 1)[0]
+        bare, _, query_text = path.partition("?")
+        query = parse_qs(query_text) if query_text else {}
         if method == "GET" and bare == "/healthz":
             return await self._fleet_healthz()
         if method == "GET" and bare == "/metrics":
-            return await self._fleet_metrics()
+            return await self._fleet_metrics((query.get("format") or ["json"])[0])
+        if method == "GET" and bare == "/traces":
+            return await self._fleet_traces(query)
+        if method == "GET" and bare.startswith("/trace/"):
+            return await self._fleet_trace(bare[len("/trace/"):])
         if method == "POST" and bare == "/fleet/restart":
             return await self._fleet_restart()
         if method == "POST" and bare == "/fault":
@@ -561,15 +607,21 @@ class FleetFront:
             except ValueError:
                 deadline = None
         shard = self._shard_key(method, bare, body)
-        handle = self.workers[self.ring.lookup(shard)]
-        return await self._forward(
-            handle,
-            method,
-            path,
-            body,
-            deadline=deadline,
-            request_id=headers.get("x-repro-request-id"),
-        )
+        slot = self.ring.lookup(shard)
+        handle = self.workers[slot]
+        with self.tracer.span(
+            trace, "fleet.forward", tags={"path": bare, "worker": slot}
+        ) as forward_span:
+            return await self._forward(
+                handle,
+                method,
+                path,
+                body,
+                deadline=deadline,
+                request_id=headers.get("x-repro-request-id"),
+                trace=forward_span.context,
+                span=forward_span,
+            )
 
     def _shard_key(self, method: str, path: str, body: bytes) -> str:
         """The affinity key a request shards on (see the module docstring)."""
@@ -602,6 +654,8 @@ class FleetFront:
         body: bytes,
         deadline: "float | None" = None,
         request_id: "str | None" = None,
+        trace: "TraceContext | None" = None,
+        span=None,
     ) -> "tuple[int, bytes]":
         """Proxy one request to ``handle``'s worker over a pooled connection.
 
@@ -612,12 +666,20 @@ class FleetFront:
         The worker's circuit breaker sheds instantly (503) while open, and
         ``deadline`` is re-budgeted into the forwarded ``X-Repro-Deadline``
         so the worker sees only the time the client has left.
+
+        ``trace``/``span`` annotate a sampled request's ``fleet.forward``
+        span: each upstream attempt records its own ``fleet.attempt`` child
+        (error-tagged on failure), and breaker events land as tags.
         """
         allowed, event = handle.breaker.allow()
         if event == "probe":
             self.telemetry.inc("fleet.breaker_probes")
+            if span is not None:
+                span.tag("breaker", "probe")
         if not allowed:
             self.telemetry.inc("fleet.breaker_shed")
+            if span is not None:
+                span.tag("breaker", "open")
             raise _HttpError(
                 503,
                 f"fleet worker {handle.slot} circuit breaker is open",
@@ -645,6 +707,15 @@ class FleetFront:
                             "DeadlineExceededError",
                         )
                     fresh = attempt > 0 or not handle.idle
+                    attempt_error: "str | None" = None
+                    attempt_id = mint_span_id() if trace is not None else None
+                    attempt_wall = time.time()
+                    attempt_perf = time.perf_counter()
+                    attempt_ctx = (
+                        TraceContext(trace.trace_id, attempt_id)
+                        if trace is not None
+                        else None
+                    )
                     try:
                         if handle.idle:
                             reader, writer = handle.idle.pop()
@@ -652,15 +723,18 @@ class FleetFront:
                             reader, writer = await asyncio.open_connection(
                                 handle.host, handle.port
                             )
-                    except OSError:
+                    except OSError as error:
                         reader = writer = None
+                        attempt_error = f"{type(error).__name__}: {error}"
                     if writer is not None:
                         try:
                             status, payload = await self._exchange(
                                 reader, writer, method, path, body,
                                 deadline=deadline, request_id=request_id,
+                                trace_ctx=attempt_ctx,
                             )
-                        except (OSError, asyncio.IncompleteReadError, _HttpError):
+                        except (OSError, asyncio.IncompleteReadError, _HttpError) as error:
+                            attempt_error = f"{type(error).__name__}: {error}"
                             with contextlib.suppress(Exception):
                                 writer.close()
                         else:
@@ -668,7 +742,35 @@ class FleetFront:
                             verdict_recorded = True
                             if handle.breaker.record_success() == "reset":
                                 self.telemetry.inc("fleet.breaker_resets")
+                                if span is not None:
+                                    span.tag("breaker", "reset")
+                            if trace is not None:
+                                self.tracer.record(
+                                    trace.trace_id,
+                                    "fleet.attempt",
+                                    attempt_wall,
+                                    time.perf_counter() - attempt_perf,
+                                    parent_id=trace.span_id,
+                                    span_id=attempt_id,
+                                    tags={
+                                        "attempt": attempt,
+                                        "worker": handle.slot,
+                                        "status": status,
+                                    },
+                                )
+                                span.tag("attempts", attempt + 1)
                             return status, payload
+                    if trace is not None:
+                        self.tracer.record(
+                            trace.trace_id,
+                            "fleet.attempt",
+                            attempt_wall,
+                            time.perf_counter() - attempt_perf,
+                            parent_id=trace.span_id,
+                            span_id=attempt_id,
+                            tags={"attempt": attempt, "worker": handle.slot},
+                            error=attempt_error or "forward attempt failed",
+                        )
                     if attempt > 0:
                         self.telemetry.inc("fleet.forward_retries")
                     # a fresh connection failed too: the worker process is gone
@@ -676,8 +778,12 @@ class FleetFront:
                         self.telemetry.inc("fleet.worker_deaths")
                         await self._respawn_worker(handle)
                 verdict_recorded = True
+                if span is not None:
+                    span.tag("attempts", 3)
                 if handle.breaker.record_failure() == "trip":
                     self.telemetry.inc("fleet.breaker_trips")
+                    if span is not None:
+                        span.tag("breaker", "trip")
                 raise _HttpError(
                     500,
                     f"fleet worker {handle.slot} kept failing at {handle.address}",
@@ -716,6 +822,7 @@ class FleetFront:
         body: bytes,
         deadline: "float | None" = None,
         request_id: "str | None" = None,
+        trace_ctx: "TraceContext | None" = None,
     ) -> "tuple[int, bytes]":
         """One request/response over an (already open) worker connection."""
         extra = ""
@@ -724,6 +831,14 @@ class FleetFront:
             extra += f"X-Repro-Deadline: {max(0.0, remaining):g}\r\n"
         if request_id:
             extra += f"X-Repro-Request-Id: {request_id}\r\n"
+        if trace_ctx is not None:
+            # the front's sampling decision is authoritative for the worker
+            extra += f"X-Repro-Trace-Id: {trace_ctx.trace_id}\r\n"
+            extra += "X-Repro-Trace: 1\r\n"
+            if trace_ctx.span_id:
+                extra += f"X-Repro-Parent-Span: {trace_ctx.span_id}\r\n"
+        else:
+            extra += "X-Repro-Trace: 0\r\n"
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self.host}\r\n"
@@ -791,8 +906,15 @@ class FleetFront:
             },
         )
 
-    async def _fleet_metrics(self) -> "tuple[int, bytes]":
-        """Per-worker metrics plus a fleet-wide telemetry rollup."""
+    async def _fleet_metrics(self, fmt: str = "json") -> "tuple[int, bytes]":
+        """Per-worker metrics plus a fleet-wide telemetry rollup.
+
+        ``fmt="prometheus"`` renders every worker's payload with a
+        ``worker="wN"`` label (plus the front's own telemetry as
+        ``worker="front"``) in text exposition format.
+        """
+        if fmt not in ("json", "prometheus"):
+            raise _HttpError(400, f"unknown metrics format {fmt!r}", "BadFormat")
 
         async def _one(handle: WorkerHandle) -> "dict | None":
             try:
@@ -811,6 +933,15 @@ class FleetFront:
             )
             if metrics is not None
         ]
+        if fmt == "prometheus":
+            sources = [
+                (metrics, {"worker": metrics["slot"]}) for metrics in per_worker
+            ]
+            sources.append(
+                ({"telemetry": self.telemetry.snapshot()}, {"worker": "front"})
+            )
+            text = render_prometheus(sources)
+            return 200, text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE
         scheduler = {
             "jobs_submitted": sum(m["scheduler"]["jobs_submitted"] for m in per_worker),
             "batches_flushed": sum(m["scheduler"]["batches_flushed"] for m in per_worker),
@@ -820,6 +951,7 @@ class FleetFront:
             "workers": len(self.workers),
             "telemetry": merge_snapshots([m["telemetry"] for m in per_worker]),
             "scheduler": scheduler,
+            "tracer": self.tracer.snapshot(),
             "per_worker": per_worker,
         }
         caches = [m["cache"] for m in per_worker if "cache" in m]
@@ -846,6 +978,102 @@ class FleetFront:
                 "breaks": sum(int(pool.get("breaks", 0)) for pool in pools),
             }
         return self._encode(200, payload)
+
+    async def _fleet_trace(self, trace_id: str) -> "tuple[int, bytes]":
+        """Stitch one trace: the front's own spans + every worker's.
+
+        Workers without spans for the id (404s, dead workers) just drop out;
+        a 404 from the front means *nobody* buffered the trace.
+        """
+        await faults.fire_async("fleet.trace")
+        trace_id = trace_id.strip().lower()
+
+        async def _one(handle: WorkerHandle) -> "list[dict]":
+            try:
+                status, payload = await self._forward(
+                    handle, "GET", f"/trace/{trace_id}", b""
+                )
+                if status != 200:
+                    return []
+                return json.loads(payload).get("spans", [])
+            except Exception:  # noqa: BLE001 — a missing worker trace is not fatal
+                return []
+
+        worker_spans = await asyncio.gather(
+            *(_one(handle) for handle in self.workers.values())
+        )
+        merged = merge_trace_spans([self.tracer.trace(trace_id), *worker_spans])
+        if not merged:
+            raise _HttpError(
+                404, f"no buffered spans for trace {trace_id!r}", "NotFound"
+            )
+        return self._encode(
+            200,
+            {
+                "trace_id": trace_id,
+                "spans": merged,
+                "stitched": True,
+                "workers": len(self.workers),
+            },
+        )
+
+    async def _fleet_traces(self, query: "dict[str, list[str]]") -> "tuple[int, bytes]":
+        """Merged recent-trace summaries across the front and every worker."""
+        await faults.fire_async("fleet.trace")
+        limit_text = (query.get("limit") or ["20"])[0]
+        try:
+            limit = max(1, min(500, int(limit_text)))
+        except ValueError:
+            raise _HttpError(
+                400, f"limit must be an integer, got {limit_text!r}"
+            ) from None
+
+        async def _one(handle: WorkerHandle) -> "list[dict]":
+            try:
+                payload = await self._worker_get_json(
+                    handle, f"/traces?limit={limit}"
+                )
+                return payload.get("traces", [])
+            except Exception:  # noqa: BLE001 — a dead worker just drops out
+                return []
+
+        worker_summaries = await asyncio.gather(
+            *(_one(handle) for handle in self.workers.values())
+        )
+        merged = merge_trace_summaries(
+            [self.tracer.traces(limit), *worker_summaries], limit=limit
+        )
+        return self._encode(200, {"traces": merged})
+
+    def _log_slow_request(
+        self,
+        method: str,
+        path: str,
+        status: int,
+        duration_ms: float,
+        trace_ctx: "TraceContext | None",
+    ) -> None:
+        """One structured JSON line to stderr per over-threshold request."""
+        self.telemetry.inc("fleet.slow_requests")
+        record: dict = {
+            "event": "slow_request",
+            "source": "fleet-front",
+            "method": method,
+            "path": path,
+            "status": status,
+            "duration_ms": round(duration_ms, 3),
+            "threshold_ms": self.slow_request_ms,
+            "trace_id": trace_ctx.trace_id if trace_ctx is not None else None,
+        }
+        if trace_ctx is not None:
+            record["spans"] = [
+                {
+                    "name": span["name"],
+                    "duration_ms": round(span["duration_seconds"] * 1000.0, 3),
+                }
+                for span in self.tracer.trace(trace_ctx.trace_id)
+            ]
+        print(json.dumps(record, separators=(",", ":")), file=sys.stderr, flush=True)
 
     async def _fleet_restart(self) -> "tuple[int, bytes]":
         """Rolling draining restart of every worker, one at a time."""

@@ -52,6 +52,7 @@ from repro.exceptions import (
     OverloadedError,
     ReproError,
 )
+from repro.observability import TRACER, TraceContext
 from repro.paulis.sum import SparsePauliSum
 from repro.paulis.term import PauliTerm
 from repro.service import faults
@@ -83,6 +84,12 @@ class CompileJob:
     #: job still queued past its deadline is abandoned instead of compiled
     deadline: float | None = None
     future: "asyncio.Future | None" = field(default=None, repr=False)
+    #: sampled trace context (``None`` = untraced); span parentage hangs the
+    #: scheduler spans under the server's ``server.handle`` span
+    trace: TraceContext | None = None
+    #: wall/perf clocks at submission, for the ``scheduler.queue_wait`` span
+    submitted_wall: float = 0.0
+    submitted_perf: float = 0.0
 
     def config(self) -> tuple:
         """The compilation-config group this job batches with."""
@@ -119,6 +126,18 @@ def execute_batch(
     """
     telemetry = telemetry if telemetry is not None else Telemetry()
     completed: list[CompletedJob] = [CompletedJob(None, None) for _ in jobs]
+
+    # queue-wait spans: submission to batch execution, per traced job
+    batch_start_perf = time.perf_counter()
+    for job in jobs:
+        if job.trace is not None and job.submitted_perf:
+            TRACER.record(
+                job.trace.trace_id,
+                "scheduler.queue_wait",
+                job.submitted_wall,
+                batch_start_perf - job.submitted_perf,
+                parent_id=job.trace.span_id,
+            )
 
     groups: dict[tuple, list[int]] = {}
     for index, job in enumerate(jobs):
@@ -174,8 +193,23 @@ def _execute_group(
         if key is not None:
             completed[index].key = key
             if job.use_cache:
+                corrupt_before = cache.corrupt_artifacts
+                read_wall = time.time()
+                read_perf = time.perf_counter()
                 with telemetry.timed("service.cache_lookup_seconds"):
                     cached = cache.get(key)
+                if job.trace is not None:
+                    TRACER.record(
+                        job.trace.trace_id,
+                        "cache.read",
+                        read_wall,
+                        time.perf_counter() - read_perf,
+                        parent_id=job.trace.span_id,
+                        tags={
+                            "hit": cached is not None,
+                            "quarantined": cache.corrupt_artifacts > corrupt_before,
+                        },
+                    )
                 if cached is not None:
                     completed[index] = CompletedJob(key, cached, cache_hit=True)
                     telemetry.inc("service.cache_hits")
@@ -226,6 +260,8 @@ def _execute_group(
     live_pool = pool if pool is not None and pool.usable else None
     pool_batches_before = live_pool.batches if live_pool is not None else 0
     pool_breaks_before = live_pool.breaks if live_pool is not None else 0
+    compile_wall = time.time()
+    compile_perf = time.perf_counter()
     # The scheduler.compile fault fires here, outside the compile try below:
     # that try's per-program fallback exists to isolate real program defects
     # and would otherwise swallow the injected failure.
@@ -236,6 +272,11 @@ def _execute_group(
             for index in missing[key]:
                 completed[index] = CompletedJob(
                     completed[index].key, None, error=error
+                )
+                _record_batch_span(
+                    jobs[index], missing, key, ordered_keys, live_pool,
+                    compile_wall, time.perf_counter() - compile_perf,
+                    error=f"{type(error).__name__}: {error}",
                 )
         telemetry.inc("service.failed_batches")
         return
@@ -274,25 +315,113 @@ def _execute_group(
                 results.append(error)
 
     compiled = 0
+    compile_duration = time.perf_counter() - compile_perf
+    pool_used = live_pool is not None and live_pool.batches > pool_batches_before
     for key, result in zip(ordered_keys, results):
         job_indices = missing[key]
         stored_key = completed[job_indices[0]].key
         if isinstance(result, ReproError):
             for index in job_indices:
                 completed[index] = CompletedJob(stored_key, None, error=result)
+                _record_batch_span(
+                    jobs[index], missing, key, ordered_keys, live_pool,
+                    compile_wall, compile_duration,
+                    error=f"{type(result).__name__}: {result}",
+                    pool_used=pool_used,
+                )
             continue
         compiled += 1
+        for index in job_indices:
+            _record_batch_span(
+                jobs[index], missing, key, ordered_keys, live_pool,
+                compile_wall, compile_duration,
+                result=result, pool_used=pool_used,
+            )
         if cache is not None and stored_key is not None:
             # a failed store must not fail the request — the compile already
             # succeeded; the artifact is simply recomputed next time
+            store_error: "str | None" = None
+            store_wall = time.time()
+            store_perf = time.perf_counter()
             try:
                 with telemetry.timed("service.cache_store_seconds"):
                     cache.put(stored_key, result)
-            except (ReproError, OSError):
+            except (ReproError, OSError) as error:
                 telemetry.inc("service.cache_store_errors")
+                store_error = f"{type(error).__name__}: {error}"
+            store_duration = time.perf_counter() - store_perf
+            for index in job_indices:
+                job = jobs[index]
+                if job.trace is not None:
+                    TRACER.record(
+                        job.trace.trace_id,
+                        "cache.write",
+                        store_wall,
+                        store_duration,
+                        parent_id=job.trace.span_id,
+                        tags={"stored": store_error is None},
+                        error=store_error,
+                    )
         for index in job_indices:
             completed[index] = CompletedJob(stored_key, result, cache_hit=False)
     telemetry.inc("service.compiled_programs", compiled)
+
+
+def _record_batch_span(
+    job: CompileJob,
+    missing: "dict[str | None, list[int]]",
+    key: "str | None",
+    ordered_keys: list,
+    live_pool: CompilePool | None,
+    start_wall: float,
+    duration: float,
+    *,
+    result=None,
+    error: "str | None" = None,
+    pool_used: bool = False,
+) -> None:
+    """One ``scheduler.batch`` span (+ pool/per-pass children) per traced job.
+
+    Each trace is self-contained: jobs deduplicated onto the same compiled
+    program each get their own span over the shared compile phase, tagged
+    with the batch size and how many peers coalesced onto this program.
+    """
+    if job.trace is None:
+        return
+    batch_span_id = TRACER.record(
+        job.trace.trace_id,
+        "scheduler.batch",
+        start_wall,
+        duration,
+        parent_id=job.trace.span_id,
+        tags={
+            "batch_programs": len(ordered_keys),
+            "dedup_jobs": len(missing.get(key) or []),
+            "pool": pool_used,
+        },
+        error=error,
+    )
+    if pool_used and live_pool is not None:
+        TRACER.record(
+            job.trace.trace_id,
+            "pool.dispatch",
+            start_wall,
+            duration,
+            parent_id=batch_span_id,
+            tags={"workers": live_pool.max_workers},
+        )
+    pass_timings = getattr(result, "pass_timings", None)
+    if pass_timings:
+        cursor = start_wall
+        for pass_name, seconds in pass_timings.items():
+            TRACER.record(
+                job.trace.trace_id,
+                f"pass.{pass_name}",
+                cursor,
+                float(seconds),
+                parent_id=batch_span_id,
+            )
+            cursor += float(seconds)
 
 
 def execute_bind(
@@ -377,6 +506,7 @@ class BatchingScheduler:
         pipeline: str | None = None,
         use_cache: bool = True,
         deadline: float | None = None,
+        trace: TraceContext | None = None,
     ) -> CompletedJob:
         """Queue one compile request; resolves when its batch completes.
 
@@ -404,6 +534,9 @@ class BatchingScheduler:
             use_cache=use_cache,
             deadline=deadline,
             future=loop.create_future(),
+            trace=trace,
+            submitted_wall=time.time(),
+            submitted_perf=time.perf_counter(),
         )
         self._pending.append(job)
         self.jobs_submitted += 1

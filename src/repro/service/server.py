@@ -39,15 +39,23 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import sys
 import threading
 import time
 from collections import OrderedDict
+from urllib.parse import parse_qs
 
 from repro.exceptions import (
     DeadlineExceededError,
     FaultInjectedError,
     OverloadedError,
     ReproError,
+)
+from repro.observability import (
+    DEFAULT_SAMPLE_RATE,
+    TRACER,
+    TraceContext,
+    render_prometheus,
 )
 from repro.service import faults
 from repro.service.cache import ArtifactCache
@@ -106,6 +114,20 @@ class _HttpError(Exception):
 
 def _bad_request(error: Exception) -> _HttpError:
     return _HttpError(400, str(error), kind=type(error).__name__)
+
+
+class _TextPayload:
+    """A non-JSON response body (Prometheus exposition) out of ``_dispatch``."""
+
+    __slots__ = ("body", "content_type")
+
+    def __init__(self, body: bytes, content_type: str):
+        self.body = body
+        self.content_type = content_type
+
+
+#: the content type Prometheus scrapers expect from a text-format endpoint
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 # ---------------------------------------------------------------------- #
@@ -171,15 +193,16 @@ async def respond_raw(
     body: bytes,
     keep_alive: bool,
     extra_headers: "dict[str, str] | None" = None,
+    content_type: str = "application/json",
 ) -> None:
-    """Write one HTTP/1.1 response with a pre-encoded JSON body."""
+    """Write one HTTP/1.1 response with a pre-encoded body."""
     connection = "keep-alive" if keep_alive else "close"
     extra = ""
     if extra_headers:
         extra = "".join(f"{name}: {value}\r\n" for name, value in extra_headers.items())
     head = (
         f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-        "Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: {connection}\r\n"
         f"{extra}"
@@ -207,6 +230,8 @@ class ServiceServer:
         sweep_interval: float = 0.0,
         max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
         enable_faults: bool = False,
+        trace_sample: float = DEFAULT_SAMPLE_RATE,
+        slow_request_ms: float = 0.0,
     ):
         if cache is None and cache_dir is not None:
             cache_kwargs: dict = {}
@@ -231,6 +256,14 @@ class ServiceServer:
         #: whether ``POST /fault`` may arm the in-process fault registry;
         #: off by default — chaos tooling must opt in explicitly
         self.enable_faults = bool(enable_faults)
+        #: head-sampling probability for requests without an explicit trace
+        #: id / ``X-Repro-Trace`` header (spans land in the process-global
+        #: :data:`repro.observability.TRACER` ring buffer)
+        self.trace_sample = float(trace_sample)
+        #: requests slower than this (milliseconds) emit one structured JSON
+        #: line to stderr with the trace id + per-span breakdown; 0 disables
+        self.slow_request_ms = float(slow_request_ms)
+        self.tracer = TRACER
         #: bounded replay store: request_id → completed POST (status, payload),
         #: so a client retrying a non-idempotent POST after a lost response
         #: gets the original answer instead of duplicated work
@@ -368,51 +401,105 @@ class ServiceServer:
                 return keep_alive
 
         self.telemetry.inc("service.http_requests")
+        trace_ctx = self.tracer.sample_request(headers, self.trace_sample)
+        if trace_ctx is not None:
+            self.telemetry.inc("service.traced_requests")
+        bare_path = path.split("?", 1)[0]
+        started_perf = time.perf_counter()
         extra_headers: "dict[str, str] | None" = None
         with self.telemetry.timed("service.request_seconds"):
-            try:
-                await faults.fire_async("server.handle")
-                if deadline is not None:
-                    remaining = deadline - time.monotonic()
-                    if remaining <= 0:
-                        raise DeadlineExceededError(
-                            "deadline budget exhausted before dispatch"
+            with self.tracer.span(
+                trace_ctx, "server.handle", tags={"method": method, "path": bare_path}
+            ) as handle_span:
+                try:
+                    await faults.fire_async("server.handle")
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise DeadlineExceededError(
+                                "deadline budget exhausted before dispatch"
+                            )
+                        status, payload = await asyncio.wait_for(
+                            self._dispatch(
+                                method, path, body, deadline=deadline,
+                                trace=handle_span.context,
+                            ),
+                            timeout=remaining,
                         )
-                    status, payload = await asyncio.wait_for(
-                        self._dispatch(method, path, body, deadline=deadline),
-                        timeout=remaining,
+                    else:
+                        status, payload = await self._dispatch(
+                            method, path, body, trace=handle_span.context
+                        )
+                except _HttpError as error:
+                    status, payload = error.status, error.payload
+                    extra_headers = error.headers
+                except (asyncio.TimeoutError, DeadlineExceededError) as error:
+                    self.telemetry.inc("service.deadline_expired")
+                    message = str(error) or "request deadline exceeded"
+                    status, payload = 504, {
+                        "error": message,
+                        "type": "DeadlineExceededError",
+                    }
+                except OverloadedError as error:
+                    status, payload = 503, {"error": str(error), "type": "OverloadedError"}
+                    extra_headers = {"Retry-After": f"{error.retry_after:g}"}
+                except FaultInjectedError as error:
+                    status, payload = 500, {"error": str(error), "type": "FaultInjectedError"}
+                except ReproError as error:
+                    status, payload = 400, {"error": str(error), "type": type(error).__name__}
+                except Exception as error:  # noqa: BLE001 — the server must not die
+                    self.telemetry.inc("service.http_500")
+                    status, payload = 500, {"error": str(error), "type": type(error).__name__}
+                handle_span.tag("status", status)
+                if status >= 400 and isinstance(payload, dict):
+                    handle_span.set_error(
+                        f"{payload.get('type', 'error')}: {payload.get('error', '')}"
                     )
-                else:
-                    status, payload = await self._dispatch(method, path, body)
-            except _HttpError as error:
-                status, payload = error.status, error.payload
-                extra_headers = error.headers
-            except (asyncio.TimeoutError, DeadlineExceededError) as error:
-                self.telemetry.inc("service.deadline_expired")
-                message = str(error) or "request deadline exceeded"
-                status, payload = 504, {
-                    "error": message,
-                    "type": "DeadlineExceededError",
-                }
-            except OverloadedError as error:
-                status, payload = 503, {"error": str(error), "type": "OverloadedError"}
-                extra_headers = {"Retry-After": f"{error.retry_after:g}"}
-            except FaultInjectedError as error:
-                status, payload = 500, {"error": str(error), "type": "FaultInjectedError"}
-            except ReproError as error:
-                status, payload = 400, {"error": str(error), "type": type(error).__name__}
-            except Exception as error:  # noqa: BLE001 — the server must not die
-                self.telemetry.inc("service.http_500")
-                status, payload = 500, {"error": str(error), "type": type(error).__name__}
         if status != 200:
             self.telemetry.inc(f"service.http_{status}")
-        elif request_id:
+        elif request_id and isinstance(payload, dict):
             self._dedup[request_id] = (status, payload)
             self._dedup.move_to_end(request_id)
             while len(self._dedup) > self.dedup_entries:
                 self._dedup.popitem(last=False)
-        await self._respond(writer, status, payload, keep_alive, extra_headers)
+        response_headers = extra_headers
+        if trace_ctx is not None:
+            response_headers = dict(extra_headers or {})
+            response_headers["X-Repro-Trace-Id"] = trace_ctx.trace_id
+        await self._respond(writer, status, payload, keep_alive, response_headers)
+        duration_ms = (time.perf_counter() - started_perf) * 1000.0
+        if self.slow_request_ms > 0 and duration_ms >= self.slow_request_ms:
+            self._log_slow_request(method, bare_path, status, duration_ms, trace_ctx)
         return keep_alive
+
+    def _log_slow_request(
+        self,
+        method: str,
+        path: str,
+        status: int,
+        duration_ms: float,
+        trace_ctx: "TraceContext | None",
+    ) -> None:
+        """One structured JSON line to stderr per over-threshold request."""
+        self.telemetry.inc("service.slow_requests")
+        record: dict = {
+            "event": "slow_request",
+            "method": method,
+            "path": path,
+            "status": status,
+            "duration_ms": round(duration_ms, 3),
+            "threshold_ms": self.slow_request_ms,
+            "trace_id": trace_ctx.trace_id if trace_ctx is not None else None,
+        }
+        if trace_ctx is not None:
+            record["spans"] = [
+                {
+                    "name": span["name"],
+                    "duration_ms": round(span["duration_seconds"] * 1000.0, 3),
+                }
+                for span in self.tracer.trace(trace_ctx.trace_id)
+            ]
+        print(json.dumps(record, separators=(",", ":")), file=sys.stderr, flush=True)
 
     async def _respond(
         self,
@@ -422,6 +509,12 @@ class ServiceServer:
         keep_alive: bool,
         extra_headers: "dict[str, str] | None" = None,
     ) -> None:
+        if isinstance(payload, _TextPayload):
+            await respond_raw(
+                writer, status, payload.body, keep_alive, extra_headers,
+                content_type=payload.content_type,
+            )
+            return
         await respond_json(writer, status, payload, keep_alive, extra_headers)
 
     # ------------------------------------------------------------------ #
@@ -433,22 +526,32 @@ class ServiceServer:
         path: str,
         body: bytes,
         deadline: float | None = None,
+        trace: "TraceContext | None" = None,
     ) -> tuple[int, dict]:
-        path = path.split("?", 1)[0]
+        path, _, query_text = path.partition("?")
+        query = parse_qs(query_text) if query_text else {}
         if method == "GET":
             if path == "/healthz":
                 return 200, self._healthz()
             if path == "/metrics":
-                return 200, self._metrics()
+                return 200, self._metrics_view(query)
+            if path == "/traces":
+                return await self._get_traces(query)
+            if path.startswith("/trace/"):
+                return await self._get_trace(path[len("/trace/"):])
             if path.startswith("/result/"):
-                return self._get_result(path[len("/result/"):])
+                return self._get_result(path[len("/result/"):], trace=trace)
             raise _HttpError(404, f"unknown path {path!r}", kind="NotFound")
         if method == "POST":
             payload = self._parse_json(body)
             if path == "/compile":
-                return await self._post_compile(payload, deadline=deadline)
+                return await self._post_compile(
+                    payload, deadline=deadline, trace=trace
+                )
             if path == "/compile_batch":
-                return await self._post_compile_batch(payload, deadline=deadline)
+                return await self._post_compile_batch(
+                    payload, deadline=deadline, trace=trace
+                )
             if path == "/compile_template":
                 return await self._post_compile_template(payload)
             if path == "/bind":
@@ -492,6 +595,7 @@ class ServiceServer:
                 "max_batch": self.scheduler.max_batch,
                 "max_queue_depth": self.scheduler.max_queue_depth,
             },
+            "tracer": self.tracer.snapshot(),
         }
         if self.scheduler.pool is not None:
             payload["pool"] = self.scheduler.pool.stats()
@@ -499,13 +603,49 @@ class ServiceServer:
             payload["cache"] = self.cache.stats()
         return payload
 
-    def _get_result(self, key: str) -> tuple[int, dict]:
+    def _metrics_view(self, query: "dict[str, list[str]]"):
+        """``GET /metrics``: JSON by default, ``?format=prometheus`` for text."""
+        fmt = (query.get("format") or ["json"])[0]
+        if fmt == "json":
+            return self._metrics()
+        if fmt == "prometheus":
+            text = render_prometheus([(self._metrics(), {})])
+            return _TextPayload(text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE)
+        raise _HttpError(400, f"unknown metrics format {fmt!r}", "BadFormat")
+
+    # ------------------------------------------------------------------ #
+    # Traces
+    # ------------------------------------------------------------------ #
+    async def _get_trace(self, trace_id: str) -> tuple[int, dict]:
+        await faults.fire_async("server.trace")
+        trace_id = trace_id.strip().lower()
+        spans = self.tracer.trace(trace_id)
+        if not spans:
+            raise _HttpError(
+                404, f"no buffered spans for trace {trace_id!r}", "NotFound"
+            )
+        return 200, {"trace_id": trace_id, "spans": spans}
+
+    async def _get_traces(self, query: "dict[str, list[str]]") -> tuple[int, dict]:
+        await faults.fire_async("server.trace")
+        limit_text = (query.get("limit") or ["20"])[0]
+        try:
+            limit = max(1, min(500, int(limit_text)))
+        except ValueError:
+            raise _HttpError(400, f"limit must be an integer, got {limit_text!r}") from None
+        return 200, {"traces": self.tracer.traces(limit)}
+
+    def _get_result(
+        self, key: str, trace: "TraceContext | None" = None
+    ) -> tuple[int, dict]:
         if self.cache is None:
             raise _HttpError(404, "the server runs without an artifact cache", "NoCache")
-        try:
-            result = self.cache.get(key)
-        except ReproError as error:
-            raise _bad_request(error) from error
+        with self.tracer.span(trace, "cache.read", tags={"kind": "artifact"}) as span:
+            try:
+                result = self.cache.get(key)
+            except ReproError as error:
+                raise _bad_request(error) from error
+            span.tag("hit", result is not None)
         if result is None:
             raise _HttpError(404, f"no artifact stored under {key!r}", "NotFound")
         return 200, {"key": key, "result": result_to_wire(result)}
@@ -538,7 +678,10 @@ class ServiceServer:
         return entry
 
     async def _post_compile(
-        self, payload: dict, deadline: float | None = None
+        self,
+        payload: dict,
+        deadline: float | None = None,
+        trace: "TraceContext | None" = None,
     ) -> tuple[int, dict]:
         wire_program = payload.get("program")
         if wire_program is None:
@@ -549,7 +692,9 @@ class ServiceServer:
             program = program_from_wire(wire_program)
         except ReproError as error:
             raise _bad_request(error) from error
-        outcome = await self.scheduler.submit(program, deadline=deadline, **options)
+        outcome = await self.scheduler.submit(
+            program, deadline=deadline, trace=trace, **options
+        )
         return 200, self._job_payload(outcome, include_result)
 
     def _post_fault(self, payload: dict) -> tuple[int, dict]:
@@ -693,7 +838,10 @@ class ServiceServer:
         return 200, entry
 
     async def _post_compile_batch(
-        self, payload: dict, deadline: float | None = None
+        self,
+        payload: dict,
+        deadline: float | None = None,
+        trace: "TraceContext | None" = None,
     ) -> tuple[int, dict]:
         wire_programs = payload.get("programs")
         if not isinstance(wire_programs, list) or not wire_programs:
@@ -705,7 +853,7 @@ class ServiceServer:
             try:
                 program = program_from_wire(wire_program)
                 outcome = await self.scheduler.submit(
-                    program, deadline=deadline, **options
+                    program, deadline=deadline, trace=trace, **options
                 )
             except ReproError as error:
                 return {"error": str(error), "type": type(error).__name__}

@@ -98,7 +98,34 @@ class LatencyHistogram:
             "max_seconds": self.max,
             "p50_seconds": self.quantile(0.5),
             "p99_seconds": self.quantile(0.99),
+            # raw per-bucket counts so fleet fronts can merge histograms
+            # exactly and Prometheus exposition can emit real ``le`` buckets
+            "buckets": {
+                "bounds": list(self.buckets),
+                "counts": list(self.counts),
+            },
         }
+
+
+def quantile_from_counts(
+    bounds: "list[float]",
+    counts: "list[int]",
+    fraction: float,
+    maximum: float,
+) -> float:
+    """:meth:`LatencyHistogram.quantile`, but over raw merged bucket counts."""
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    target = fraction * total
+    cumulative = 0
+    for index, bucket_count in enumerate(counts):
+        cumulative += bucket_count
+        if cumulative >= target:
+            if index < len(bounds):
+                return bounds[index]
+            return maximum
+    return maximum
 
 
 class Telemetry:
@@ -147,10 +174,12 @@ def merge_snapshots(snapshots: "list[dict]") -> dict:
     """Roll worker :meth:`Telemetry.snapshot` payloads up into one view.
 
     Counters sum; histogram count/sum/min/max merge exactly (the mean is
-    recomputed); the merged quantiles are the worst (highest) per-worker
-    bucket estimate, which is conservative — a fleet front cannot do better
-    without the raw bucket counts on the wire.  Uptime reports the oldest
-    worker's.
+    recomputed).  When every payload carries raw ``buckets`` counts over the
+    same bounds the per-bucket counts are summed and p50/p99 are recomputed
+    from the merged histogram — the exact fleet-wide quantile at bucket
+    resolution.  Payloads without bucket data (or with mismatched bounds)
+    fall back to the conservative max of per-worker quantiles.  Uptime
+    reports the oldest worker's.
     """
     counters: dict[str, int] = {}
     latency: dict[str, dict] = {}
@@ -165,9 +194,38 @@ def merge_snapshots(snapshots: "list[dict]") -> dict:
             merged = latency.get(name)
             if merged is None:
                 latency[name] = dict(stats)
+                buckets = stats.get("buckets")
+                if isinstance(buckets, dict):
+                    latency[name]["buckets"] = {
+                        "bounds": list(buckets.get("bounds") or []),
+                        "counts": list(buckets.get("counts") or []),
+                    }
                 continue
             count = merged["count"] + stats["count"]
             total = merged["sum_seconds"] + stats["sum_seconds"]
+            max_seconds = max(merged["max_seconds"], stats["max_seconds"])
+            merged_buckets = merged.get("buckets")
+            stats_buckets = stats.get("buckets")
+            if (
+                isinstance(merged_buckets, dict)
+                and isinstance(stats_buckets, dict)
+                and merged_buckets.get("bounds") == stats_buckets.get("bounds")
+                and len(merged_buckets.get("counts") or [])
+                == len(stats_buckets.get("counts") or [])
+            ):
+                bounds = list(merged_buckets["bounds"])
+                bucket_counts = [
+                    a + b
+                    for a, b in zip(merged_buckets["counts"], stats_buckets["counts"])
+                ]
+                merged["buckets"] = {"bounds": bounds, "counts": bucket_counts}
+                p50 = quantile_from_counts(bounds, bucket_counts, 0.5, max_seconds)
+                p99 = quantile_from_counts(bounds, bucket_counts, 0.99, max_seconds)
+            else:
+                # heterogeneous payloads: keep the pre-PR-10 conservative max
+                merged.pop("buckets", None)
+                p50 = max(merged["p50_seconds"], stats["p50_seconds"])
+                p99 = max(merged["p99_seconds"], stats["p99_seconds"])
             merged.update(
                 count=count,
                 sum_seconds=total,
@@ -177,9 +235,9 @@ def merge_snapshots(snapshots: "list[dict]") -> dict:
                     if merged["count"] and stats["count"]
                     else merged["min_seconds"] or stats["min_seconds"]
                 ),
-                max_seconds=max(merged["max_seconds"], stats["max_seconds"]),
-                p50_seconds=max(merged["p50_seconds"], stats["p50_seconds"]),
-                p99_seconds=max(merged["p99_seconds"], stats["p99_seconds"]),
+                max_seconds=max_seconds,
+                p50_seconds=p50,
+                p99_seconds=p99,
             )
     return {
         "uptime_seconds": uptime,

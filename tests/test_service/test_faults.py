@@ -405,6 +405,51 @@ class TestClientRetries:
             assert client.healthz()["status"] == "ok"
 
 
+class TestTraceFaultSite:
+    """Tracing and fault injection must compose, in both directions."""
+
+    def test_trace_endpoints_have_their_own_fault_site(self, fault_server):
+        from repro.observability import TRACER
+
+        TRACER.clear()
+        _raw_post(
+            fault_server,
+            "/fault",
+            {"clear": True, "rules": [{"site": "server.trace", "kind": "error", "times": 1}]},
+        )
+        try:
+            with Client(port=fault_server.port, trace=True) as client:
+                # the serving path is untouched while /trace is faulted...
+                assert client.healthz()["status"] == "ok"
+                with pytest.raises(ServiceError) as excinfo:
+                    client._request("GET", f"/trace/{client.last_trace_id}")
+                assert excinfo.value.status == 500
+                # ...and the one-shot rule expired: the trace is still there
+                assert client.trace() is not None
+        finally:
+            _raw_post(fault_server, "/fault", {"clear": True})
+
+    def test_tracing_never_masks_injected_faults(self, fault_server):
+        from repro.observability import TRACER
+
+        TRACER.clear()
+        _raw_post(
+            fault_server,
+            "/fault",
+            {"clear": True, "rules": [{"site": "server.handle", "kind": "error", "times": 1}]},
+        )
+        try:
+            with Client(port=fault_server.port, trace=True) as client:
+                with pytest.raises(ServiceError) as excinfo:
+                    client.healthz()
+                assert excinfo.value.status == 500  # fault fires despite tracing
+                spans = TRACER.trace(client.last_trace_id)
+                (handle,) = [s for s in spans if s["name"] == "server.handle"]
+                assert "FaultInjectedError" in handle["error"]
+        finally:
+            _raw_post(fault_server, "/fault", {"clear": True})
+
+
 class TestCircuitBreaker:
     def test_trips_after_consecutive_failures(self):
         breaker = CircuitBreaker(threshold=3, cooldown=60.0)

@@ -1,6 +1,14 @@
 """Telemetry histograms, with a focus on the sub-millisecond bind decades."""
 
-from repro.service.telemetry import DEFAULT_BUCKETS, LatencyHistogram, Telemetry
+import pytest
+
+from repro.service.telemetry import (
+    DEFAULT_BUCKETS,
+    LatencyHistogram,
+    Telemetry,
+    merge_snapshots,
+    quantile_from_counts,
+)
 
 
 class TestBuckets:
@@ -52,3 +60,75 @@ class TestTelemetry:
         snapshot = telemetry.snapshot()
         assert snapshot["counters"]["service.bind_requests"] == 2
         assert snapshot["latency"]["service.bind_seconds"]["count"] == 1
+
+
+def _snapshot_of(observations: "list[float]") -> dict:
+    telemetry = Telemetry()
+    for seconds in observations:
+        telemetry.observe("service.request_seconds", seconds)
+    return telemetry.snapshot()
+
+
+class TestMergeSnapshots:
+    def test_merged_quantiles_come_from_merged_buckets(self):
+        # worker A: 100 fast requests (30 us); worker B: 100 slow (5 ms).
+        # The fleet-wide p50 sits in the fast half — taking the max of the
+        # per-worker p50s (the old behavior) would wrongly report ~5 ms.
+        fast = _snapshot_of([0.00003] * 100)
+        slow = _snapshot_of([0.005] * 100)
+        merged = merge_snapshots([fast, slow])["latency"]["service.request_seconds"]
+        assert merged["count"] == 200
+        assert merged["p50_seconds"] <= 0.00005
+        # ...while the p99 still reflects the slow tail
+        assert merged["p99_seconds"] >= 0.005
+        # and the merged raw buckets hold the union of observations
+        assert sum(merged["buckets"]["counts"]) == 200
+
+    def test_uneven_workers_weight_by_count(self):
+        # 10 slow observations cannot drag the p50 of 990 fast ones
+        fast = _snapshot_of([0.00003] * 990)
+        slow = _snapshot_of([0.005] * 10)
+        merged = merge_snapshots([fast, slow])["latency"]["service.request_seconds"]
+        assert merged["p50_seconds"] <= 0.00005
+        assert merged["p99_seconds"] <= 0.001
+
+    def test_mismatched_bounds_fall_back_to_conservative_max(self):
+        fast = _snapshot_of([0.00003] * 100)
+        other = Telemetry()
+        other._histograms["service.request_seconds"] = LatencyHistogram(
+            buckets=(0.1, 1.0)
+        )
+        other.observe("service.request_seconds", 0.005)
+        merged = merge_snapshots(
+            [fast, other.snapshot()]
+        )["latency"]["service.request_seconds"]
+        assert merged["count"] == 101
+        assert "buckets" not in merged
+        # conservative: the max of the per-worker quantiles
+        assert merged["p50_seconds"] == pytest.approx(0.1)
+
+    def test_payload_without_buckets_falls_back(self):
+        fast = _snapshot_of([0.00003] * 100)
+        legacy = _snapshot_of([0.005] * 100)
+        legacy["latency"]["service.request_seconds"].pop("buckets")
+        merged = merge_snapshots(
+            [fast, legacy]
+        )["latency"]["service.request_seconds"]
+        assert merged["count"] == 200
+        assert merged["p50_seconds"] >= 0.005  # old max-of-quantiles behavior
+
+
+class TestQuantileFromCounts:
+    def test_matches_single_histogram_quantile(self):
+        histogram = LatencyHistogram()
+        for seconds in [0.00001, 0.0005, 0.0005, 0.02]:
+            histogram.observe(seconds)
+        snap = histogram.snapshot()
+        for fraction in (0.5, 0.99):
+            assert quantile_from_counts(
+                snap["buckets"]["bounds"], snap["buckets"]["counts"],
+                fraction, snap["max_seconds"],
+            ) == histogram.quantile(fraction)
+
+    def test_empty_counts(self):
+        assert quantile_from_counts([0.001], [0, 0], 0.5, 9.9) == 0.0
